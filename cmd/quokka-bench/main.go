@@ -1,0 +1,129 @@
+// Command quokka-bench regenerates the paper's evaluation tables and
+// figures (§V) on the simulated cluster. Each experiment prints the same
+// rows/series as the corresponding figure; shapes (who wins, by what
+// factor) are the reproduction target, not absolute seconds.
+//
+// Usage:
+//
+//	quokka-bench -exp all                      # everything (slow)
+//	quokka-bench -exp fig6 -workers 4          # one experiment
+//	quokka-bench -exp fig9 -sf 0.05 -repeats 3
+//
+// Experiments: table1, fig6, fig7, fig8, fig9, ckpt, fig10a, fig10b,
+// fig11a, fig11b, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quokka/internal/bench"
+	"quokka/internal/tpch"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|fig10a|fig10b|fig11a|fig11b|all")
+		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		splitRows = flag.Int("split-rows", 512, "rows per table split")
+		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
+		repeats   = flag.Int("repeats", 1, "timing repetitions (mean reported)")
+		workers   = flag.Int("workers", 0, "override worker count (0 = per-figure defaults)")
+		queries   = flag.String("queries", "", "comma-separated query list for fig6/fig11a (default: all 22)")
+	)
+	flag.Parse()
+
+	p := bench.DefaultParams(os.Stdout)
+	p.SF = *sf
+	p.SplitRows = *splitRows
+	p.TimeScale = *timeScale
+	p.Repeats = *repeats
+	h := bench.New(p)
+
+	qlist := tpch.QueryNumbers()
+	if *queries != "" {
+		qlist = nil
+		for _, part := range strings.Split(*queries, ",") {
+			var q int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &q); err != nil {
+				fatal("bad -queries entry %q", part)
+			}
+			qlist = append(qlist, q)
+		}
+	}
+	w := func(def int) int {
+		if *workers > 0 {
+			return *workers
+		}
+		return def
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatal("%s: %v", name, err)
+		}
+	}
+
+	run("table1", func() error { h.Table1(); return nil })
+	run("fig6", func() error {
+		if _, err := h.Fig6(w(4), qlist); err != nil {
+			return err
+		}
+		if *workers > 0 {
+			return nil
+		}
+		_, err := h.Fig6(16, qlist)
+		return err
+	})
+	run("fig7", func() error {
+		if _, err := h.Fig7(w(4)); err != nil {
+			return err
+		}
+		if *workers > 0 {
+			return nil
+		}
+		_, err := h.Fig7(16)
+		return err
+	})
+	run("fig8", func() error {
+		if _, err := h.Fig8(w(4)); err != nil {
+			return err
+		}
+		if *workers > 0 {
+			return nil
+		}
+		_, err := h.Fig8(16)
+		return err
+	})
+	run("fig9", func() error {
+		if _, err := h.Fig9(w(4)); err != nil {
+			return err
+		}
+		if *workers > 0 {
+			return nil
+		}
+		_, err := h.Fig9(16)
+		return err
+	})
+	run("ckpt", func() error { _, err := h.CheckpointAblation(w(4)); return err })
+	run("fig10a", func() error { _, err := h.Fig10a(w(16)); return err })
+	run("fig10b", func() error { _, err := h.Fig10b(w(16)); return err })
+	run("fig11a", func() error { _, err := h.Fig6(w(32), qlist); return err })
+	run("fig11b", func() error { _, err := h.Fig10a(w(32)); return err })
+
+	switch *exp {
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	default:
+		fatal("unknown experiment %q", *exp)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "quokka-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command quokka runs one TPC-H query on a simulated cluster and prints
+// the result, timings and execution metrics. It is the quickest way to
+// poke at the engine's modes:
+//
+//	quokka -q 5 -workers 8 -sf 0.02                  # Quokka defaults
+//	quokka -q 9 -system spark                        # SparkSQL-like baseline
+//	quokka -q 3 -ft spool                            # durable spooling
+//	quokka -q 9 -kill 0.5                            # kill a worker halfway
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quokka"
+)
+
+func main() {
+	var (
+		q         = flag.Int("q", 6, "TPC-H query number (1..22)")
+		workers   = flag.Int("workers", 4, "number of simulated workers")
+		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		splitRows = flag.Int("split-rows", 512, "rows per table split")
+		system    = flag.String("system", "quokka", "engine preset: quokka|spark|trino")
+		ft        = flag.String("ft", "", "override fault tolerance: none|wal|spool|checkpoint")
+		kill      = flag.Float64("kill", 0, "kill worker 1 at this fraction of the expected runtime (0 = no failure)")
+		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
+		showRows  = flag.Bool("rows", true, "print result rows")
+		metrics   = flag.Bool("metrics", false, "print all execution counters")
+	)
+	flag.Parse()
+
+	var cfg quokka.RunConfig
+	switch *system {
+	case "quokka":
+		cfg = quokka.DefaultConfig()
+	case "spark":
+		cfg = quokka.SparkLikeConfig()
+	case "trino":
+		cfg = quokka.TrinoLikeConfig()
+	default:
+		fatal("unknown -system %q", *system)
+	}
+	switch *ft {
+	case "":
+	case "none":
+		cfg.FT = quokka.FTNone
+	case "wal":
+		cfg.FT = quokka.FTWriteAheadLineage
+	case "spool":
+		cfg.FT = quokka.FTSpool
+	case "checkpoint":
+		cfg.FT = quokka.FTCheckpoint
+	default:
+		fatal("unknown -ft %q", *ft)
+	}
+
+	cl, err := quokka.NewCluster(quokka.ClusterConfig{Workers: *workers, TimeScale: *timeScale})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("loading TPC-H SF %g ...\n", *sf)
+	quokka.LoadTPCH(cl, *sf, *splitRows)
+
+	if *kill > 0 {
+		// Estimate the failure-free runtime first, then re-run with a
+		// scheduled failure, as the paper's recovery experiments do.
+		fmt.Printf("estimating failure-free runtime ...\n")
+		res, err := quokka.RunTPCH(context.Background(), cl, *q, cfg)
+		if err != nil {
+			fatal("baseline run: %v", err)
+		}
+		base := res.Duration()
+		fmt.Printf("failure-free: %v; killing worker 1 at %.0f%%\n", base.Round(time.Millisecond), *kill*100)
+		time.AfterFunc(time.Duration(float64(base)*(*kill)), func() {
+			cl.KillWorker(1)
+		})
+	}
+
+	res, err := quokka.RunTPCH(context.Background(), cl, *q, cfg)
+	if err != nil {
+		fatal("run: %v", err)
+	}
+	fmt.Printf("\nTPC-H Q%d on %d workers (%s, ft=%s): %v, %d rows, %d tasks (%d replayed), %d recoveries\n",
+		*q, *workers, *system, cfg.FT, res.Duration().Round(time.Millisecond),
+		res.NumRows(), res.TasksExecuted(), res.TasksReplayed(), res.Recoveries())
+	if *showRows {
+		fmt.Println(res)
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		for k, v := range cl.Metrics() {
+			fmt.Printf("  %-24s %d\n", k, v)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "quokka: "+format+"\n", args...)
+	os.Exit(1)
+}

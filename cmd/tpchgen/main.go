@@ -1,0 +1,47 @@
+// Command tpchgen generates the deterministic TPC-H dataset at a given
+// scale factor and prints per-table statistics (rows, bytes, splits),
+// useful for sizing benchmark runs.
+//
+//	tpchgen -sf 0.05 -split-rows 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"quokka/internal/tpch"
+)
+
+func main() {
+	var (
+		sf        = flag.Float64("sf", 0.02, "scale factor")
+		splitRows = flag.Int("split-rows", 512, "rows per split")
+	)
+	flag.Parse()
+
+	d := tpch.Generate(*sf)
+	tables := d.Tables()
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("TPC-H scale factor %g (split %d rows)\n", *sf, *splitRows)
+	fmt.Printf("%-10s %12s %14s %8s\n", "table", "rows", "bytes", "splits")
+	var totalRows, totalBytes int64
+	for _, n := range names {
+		b := tables[n]
+		rows := int64(b.NumRows())
+		bytes := b.ByteSize()
+		splits := (int(rows) + *splitRows - 1) / *splitRows
+		if splits == 0 {
+			splits = 1
+		}
+		fmt.Printf("%-10s %12d %14d %8d\n", n, rows, bytes, splits)
+		totalRows += rows
+		totalBytes += bytes
+	}
+	fmt.Printf("%-10s %12d %14d\n", "total", totalRows, totalBytes)
+}

@@ -1,0 +1,98 @@
+// Custom pipeline: use the DataFrame API on your own tables — an order
+// event log joined with a user dimension, grouped, and topped — showing
+// that the engine is a general library, not a TPC-H-only harness.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"quokka"
+)
+
+func main() {
+	cl, err := quokka.NewCluster(quokka.ClusterConfig{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An "events" fact table: 50k purchase events.
+	rng := rand.New(rand.NewSource(42))
+	const users = 500
+	events := make([][]any, 50_000)
+	for i := range events {
+		events[i] = []any{
+			int64(i),               // event id
+			int64(rng.Intn(users)), // user id
+			rng.Float64() * 100,    // amount
+			quokka.DateDays(2024, 1, 1) + int64(rng.Intn(365)), // day
+		}
+	}
+	if err := cl.CreateTable("events", []quokka.ColumnDef{
+		{Name: "event_id", Type: quokka.Int64},
+		{Name: "user_id", Type: quokka.Int64},
+		{Name: "amount", Type: quokka.Float64},
+		{Name: "day", Type: quokka.Date},
+	}, events, 2048); err != nil {
+		log.Fatal(err)
+	}
+
+	// A small "users" dimension.
+	tiers := []string{"free", "pro", "enterprise"}
+	userRows := make([][]any, users)
+	for i := range userRows {
+		userRows[i] = []any{int64(i), tiers[rng.Intn(len(tiers))]}
+	}
+	if err := cl.CreateTable("users", []quokka.ColumnDef{
+		{Name: "uid", Type: quokka.Int64},
+		{Name: "tier", Type: quokka.String},
+	}, userRows, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Revenue by tier for H2, highest first — a broadcast join against
+	// the dimension, then grouped aggregation.
+	sess := quokka.NewSession(cl)
+	usersDF := sess.Read("users")
+	res, err := sess.Read("events").
+		Filter(quokka.Col("day").Ge(quokka.LitDate(2024, 7, 1))).
+		BroadcastJoin(usersDF, quokka.Inner, []string{"user_id"}, []string{"uid"}).
+		GroupBy([]string{"tier"},
+			quokka.SumOf("revenue", quokka.Col("amount")),
+			quokka.CountAll("purchases")).
+		Sort(0, quokka.Desc("revenue")).
+		Collect(context.Background(), quokka.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("H2 revenue by tier:")
+	fmt.Println(res)
+
+	// Same session, a second question: per-user spend vs the global
+	// average (a scalar join, the engine's multi-pipeline pattern).
+	sess2 := quokka.NewSession(cl)
+	ev := sess2.Read("events")
+	avg := ev.GroupBy(nil,
+		quokka.SumOf("total", quokka.Col("amount")),
+		quokka.CountAll("n"))
+	big, err := ev.
+		GroupBy([]string{"user_id"}, quokka.SumOf("spend", quokka.Col("amount"))).
+		JoinScalar(avg,
+			[]quokka.Named{
+				quokka.As("user_id", quokka.Col("user_id")),
+				quokka.As("spend", quokka.Col("spend")),
+			},
+			[]quokka.Named{
+				quokka.As("avg_event", quokka.Col("total").Div(quokka.Col("n"))),
+			}).
+		Filter(quokka.Col("spend").Gt(quokka.Col("avg_event").Mul(quokka.LitF(112)))).
+		Sort(5, quokka.Desc("spend")).
+		Collect(context.Background(), quokka.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top big spenders (>112x the average event):")
+	fmt.Println(big)
+}

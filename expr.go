@@ -1,0 +1,119 @@
+package quokka
+
+import (
+	iexpr "quokka/internal/expr"
+)
+
+// Expr is a scalar expression over DataFrame columns. Build expressions
+// from Col and literals, then combine with the fluent methods:
+//
+//	quokka.Col("price").Mul(quokka.LitF(1.1)).Gt(quokka.LitF(100))
+type Expr struct {
+	e iexpr.Expr
+}
+
+// Col references a column by name.
+func Col(name string) Expr { return Expr{iexpr.C(name)} }
+
+// LitI is an int64 literal.
+func LitI(v int64) Expr { return Expr{iexpr.Int64(v)} }
+
+// LitF is a float64 literal.
+func LitF(v float64) Expr { return Expr{iexpr.Float64(v)} }
+
+// LitS is a string literal.
+func LitS(v string) Expr { return Expr{iexpr.Str(v)} }
+
+// LitB is a bool literal.
+func LitB(v bool) Expr { return Expr{iexpr.Boolean(v)} }
+
+// LitDate is a calendar-date literal.
+func LitDate(year, month, day int) Expr {
+	return Expr{iexpr.DateLit(iexpr.DaysOfDate(year, month, day))}
+}
+
+// DateDays converts a calendar date to the engine's day-count
+// representation, for use with CreateTable Date columns.
+func DateDays(year, month, day int) int64 { return iexpr.DaysOfDate(year, month, day) }
+
+// Arithmetic.
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr { return Expr{iexpr.Add(e.e, o.e)} }
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return Expr{iexpr.Sub(e.e, o.e)} }
+
+// Mul returns e * o.
+func (e Expr) Mul(o Expr) Expr { return Expr{iexpr.Mul(e.e, o.e)} }
+
+// Div returns e / o (always float64).
+func (e Expr) Div(o Expr) Expr { return Expr{iexpr.Div(e.e, o.e)} }
+
+// Comparisons.
+
+// Eq returns e = o.
+func (e Expr) Eq(o Expr) Expr { return Expr{iexpr.Eq(e.e, o.e)} }
+
+// Ne returns e != o.
+func (e Expr) Ne(o Expr) Expr { return Expr{iexpr.Ne(e.e, o.e)} }
+
+// Lt returns e < o.
+func (e Expr) Lt(o Expr) Expr { return Expr{iexpr.Lt(e.e, o.e)} }
+
+// Le returns e <= o.
+func (e Expr) Le(o Expr) Expr { return Expr{iexpr.Le(e.e, o.e)} }
+
+// Gt returns e > o.
+func (e Expr) Gt(o Expr) Expr { return Expr{iexpr.Gt(e.e, o.e)} }
+
+// Ge returns e >= o.
+func (e Expr) Ge(o Expr) Expr { return Expr{iexpr.Ge(e.e, o.e)} }
+
+// Between returns lo <= e <= hi.
+func (e Expr) Between(lo, hi Expr) Expr { return Expr{iexpr.Between(e.e, lo.e, hi.e)} }
+
+// Boolean logic.
+
+// And returns the conjunction of e and the arguments.
+func (e Expr) And(os ...Expr) Expr {
+	args := []iexpr.Expr{e.e}
+	for _, o := range os {
+		args = append(args, o.e)
+	}
+	return Expr{iexpr.And(args...)}
+}
+
+// Or returns the disjunction of e and the arguments.
+func (e Expr) Or(os ...Expr) Expr {
+	args := []iexpr.Expr{e.e}
+	for _, o := range os {
+		args = append(args, o.e)
+	}
+	return Expr{iexpr.Or(args...)}
+}
+
+// Not negates a boolean expression.
+func (e Expr) Not() Expr { return Expr{iexpr.Not{Of: e.e}} }
+
+// Strings and dates.
+
+// Like matches a %-wildcard pattern ("PROMO%", "%green%", ...).
+func (e Expr) Like(pattern string) Expr { return Expr{iexpr.LikePat(e.e, pattern)} }
+
+// InStrings tests membership in a string set.
+func (e Expr) InStrings(set ...string) Expr { return Expr{iexpr.InStr(e.e, set...)} }
+
+// InInts tests membership in an integer set.
+func (e Expr) InInts(set ...int64) Expr { return Expr{iexpr.InInt(e.e, set...)} }
+
+// Year extracts the calendar year of a Date expression.
+func (e Expr) Year() Expr { return Expr{iexpr.Year(e.e)} }
+
+// Substr returns the SQL substring (1-based start, given length).
+func (e Expr) Substr(start, length int) Expr { return Expr{iexpr.Substring(e.e, start, length)} }
+
+// IfElse returns CASE WHEN cond THEN e ELSE other END.
+func IfElse(cond, then, other Expr) Expr {
+	return Expr{iexpr.CaseWhen(other.e, iexpr.When{Cond: cond.e, Then: then.e})}
+}

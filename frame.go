@@ -1,0 +1,276 @@
+package quokka
+
+import (
+	"context"
+	"fmt"
+
+	"quokka/internal/engine"
+	iexpr "quokka/internal/expr"
+	"quokka/internal/ops"
+)
+
+// Session builds queries against a cluster. DataFrames created from the
+// same session share one plan; Collect compiles and runs it.
+type Session struct {
+	cluster *Cluster
+	stages  []*engine.Stage
+}
+
+// NewSession creates a query-building session on the cluster.
+func NewSession(c *Cluster) *Session { return &Session{cluster: c} }
+
+func (s *Session) add(st *engine.Stage) *DataFrame {
+	st.ID = len(s.stages)
+	s.stages = append(s.stages, st)
+	return &DataFrame{s: s, stage: st.ID}
+}
+
+// Read scans a table previously loaded with CreateTable or LoadTPCH.
+func (s *Session) Read(table string) *DataFrame {
+	return s.add(&engine.Stage{Name: "scan-" + table, Reader: &engine.ReaderSpec{Table: table}})
+}
+
+// DataFrame is a lazy, immutable query fragment: each transformation
+// appends a pipeline stage and returns a new frame.
+type DataFrame struct {
+	s     *Session
+	stage int
+}
+
+// Named pairs an output column name with its defining expression.
+type Named struct {
+	Name string
+	Expr Expr
+}
+
+// As names an expression for Select.
+func As(name string, e Expr) Named { return Named{Name: name, Expr: e} }
+
+// Keep produces identity projections for existing columns, for use in
+// Select alongside computed columns.
+func Keep(names ...string) []Named {
+	out := make([]Named, len(names))
+	for i, n := range names {
+		out[i] = Named{Name: n, Expr: Col(n)}
+	}
+	return out
+}
+
+func toNamedExprs(cols []Named) []ops.NamedExpr {
+	out := make([]ops.NamedExpr, len(cols))
+	for i, c := range cols {
+		out[i] = ops.NamedExpr{Name: c.Name, Expr: c.Expr.e}
+	}
+	return out
+}
+
+// Filter keeps rows satisfying the predicate.
+func (d *DataFrame) Filter(pred Expr) *DataFrame {
+	return d.s.add(&engine.Stage{
+		Name:   "filter",
+		Op:     ops.NewFilterSpec(pred.e),
+		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
+	})
+}
+
+// Select projects the given (possibly computed) columns.
+func (d *DataFrame) Select(cols ...Named) *DataFrame {
+	return d.s.add(&engine.Stage{
+		Name:   "select",
+		Op:     ops.NewProjectSpec(toNamedExprs(cols)...),
+		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
+	})
+}
+
+// FilterSelect fuses a filter and a projection into one stage.
+func (d *DataFrame) FilterSelect(pred Expr, cols ...Named) *DataFrame {
+	return d.s.add(&engine.Stage{
+		Name:   "map",
+		Op:     ops.NewFilterProjectSpec(pred.e, toNamedExprs(cols)...),
+		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
+	})
+}
+
+// JoinKind selects join semantics for DataFrame.Join.
+type JoinKind = ops.JoinType
+
+// Join kinds.
+const (
+	Inner     = ops.InnerJoin
+	LeftOuter = ops.LeftOuterJoin
+	Semi      = ops.SemiJoin
+	Anti      = ops.AntiJoin
+)
+
+// Join hash-joins d (the probe side) with build: rows are co-partitioned
+// on the join keys across the cluster. Output columns are d's columns
+// followed by build's non-key columns; names must not collide.
+func (d *DataFrame) Join(build *DataFrame, kind JoinKind, probeKeys, buildKeys []string) *DataFrame {
+	return d.s.add(&engine.Stage{
+		Name: "join",
+		Op:   ops.NewHashJoinSpec(kind, buildKeys, probeKeys),
+		Inputs: []engine.StageInput{
+			{Stage: build.stage, Part: engine.Hash(buildKeys...), Phase: 0},
+			{Stage: d.stage, Part: engine.Hash(probeKeys...), Phase: 1},
+		},
+	})
+}
+
+// BroadcastJoin joins against a small build side replicated to every
+// channel; d's rows stay where they are (no shuffle of the probe side).
+func (d *DataFrame) BroadcastJoin(build *DataFrame, kind JoinKind, probeKeys, buildKeys []string) *DataFrame {
+	return d.s.add(&engine.Stage{
+		Name: "join",
+		Op:   ops.NewHashJoinSpec(kind, buildKeys, probeKeys),
+		Inputs: []engine.StageInput{
+			{Stage: build.stage, Part: engine.Broadcast(), Phase: 0},
+			{Stage: d.stage, Part: engine.Direct(), Phase: 1},
+		},
+	})
+}
+
+// Agg is one aggregate output column.
+type Agg struct {
+	spec ops.AggExpr
+}
+
+// SumOf returns sum(e) as name.
+func SumOf(name string, e Expr) Agg { return Agg{ops.Sum(name, e.e)} }
+
+// CountAll returns count(*) as name.
+func CountAll(name string) Agg { return Agg{ops.CountStar(name)} }
+
+// MinOf returns min(e) as name.
+func MinOf(name string, e Expr) Agg { return Agg{ops.Min(name, e.e)} }
+
+// MaxOf returns max(e) as name.
+func MaxOf(name string, e Expr) Agg { return Agg{ops.Max(name, e.e)} }
+
+// GroupBy aggregates by the key columns; with no keys it computes a
+// single global row. Grouped aggregations are hash-partitioned so each
+// channel owns its groups; global ones run on one channel.
+func (d *DataFrame) GroupBy(keys []string, aggs ...Agg) *DataFrame {
+	specs := make([]ops.AggExpr, len(aggs))
+	for i, a := range aggs {
+		specs[i] = a.spec
+	}
+	part := engine.Single()
+	parallelism := 1
+	if len(keys) > 0 {
+		part = engine.Hash(keys...)
+		parallelism = 0
+	}
+	return d.s.add(&engine.Stage{
+		Name:        "agg",
+		Op:          ops.NewHashAggSpec(keys, specs...),
+		Parallelism: parallelism,
+		Inputs:      []engine.StageInput{{Stage: d.stage, Part: part}},
+	})
+}
+
+// SortKey is one ORDER BY term.
+type SortKey = ops.SortKey
+
+// Asc sorts ascending on the column.
+func Asc(col string) SortKey { return ops.Asc(col) }
+
+// Desc sorts descending on the column.
+func Desc(col string) SortKey { return ops.Desc(col) }
+
+// Sort totally orders the frame on a single output channel. limit > 0
+// truncates to the top rows (ORDER BY ... LIMIT).
+func (d *DataFrame) Sort(limit int, keys ...SortKey) *DataFrame {
+	var spec ops.Spec
+	if limit > 0 {
+		spec = ops.NewTopKSpec(limit, keys...)
+	} else {
+		spec = ops.NewSortSpec(keys...)
+	}
+	return d.s.add(&engine.Stage{
+		Name:        "sort",
+		Op:          spec,
+		Parallelism: 1,
+		Inputs:      []engine.StageInput{{Stage: d.stage, Part: engine.Single()}},
+	})
+}
+
+// WithConstant appends a constant key column ("one" = 1) used to join a
+// scalar pipeline back against a row pipeline.
+func (d *DataFrame) withConstantKey(cols ...Named) *DataFrame {
+	all := append([]Named{{Name: "one", Expr: LitI(1)}}, cols...)
+	return d.Select(all...)
+}
+
+// JoinScalar cross-joins d with a single-row frame (e.g. a global
+// aggregate), making the scalar's columns available on every row.
+func (d *DataFrame) JoinScalar(scalar *DataFrame, dCols, scalarCols []Named) *DataFrame {
+	dk := d.withConstantKey(dCols...)
+	sk := scalar.withConstantKey(scalarCols...)
+	return dk.BroadcastJoin(sk, Inner, []string{"one"}, []string{"one"})
+}
+
+// Collect compiles the session's stages into a plan whose output is this
+// frame and executes it on the session's cluster.
+func (d *DataFrame) Collect(ctx context.Context, cfg RunConfig) (*Result, error) {
+	plan, err := d.compile()
+	if err != nil {
+		return nil, err
+	}
+	return runPlan(ctx, d.s.cluster, plan, cfg)
+}
+
+// compile extracts the stages reachable from this frame and renumbers
+// them into a valid plan.
+func (d *DataFrame) compile() (*engine.Plan, error) {
+	needed := make([]bool, len(d.s.stages))
+	var mark func(int)
+	mark = func(id int) {
+		if needed[id] {
+			return
+		}
+		needed[id] = true
+		for _, in := range d.s.stages[id].Inputs {
+			mark(in.Stage)
+		}
+	}
+	mark(d.stage)
+	remap := make([]int, len(d.s.stages))
+	var stages []*engine.Stage
+	for id, keep := range needed {
+		if !keep {
+			continue
+		}
+		src := d.s.stages[id]
+		cp := *src
+		cp.ID = len(stages)
+		cp.Inputs = append([]engine.StageInput(nil), src.Inputs...)
+		remap[id] = cp.ID
+		stages = append(stages, &cp)
+	}
+	for _, st := range stages {
+		for i := range st.Inputs {
+			st.Inputs[i].Stage = remap[st.Inputs[i].Stage]
+		}
+	}
+	plan, err := engine.NewPlan(stages...)
+	if err != nil {
+		return nil, fmt.Errorf("quokka: invalid query: %w", err)
+	}
+	return plan, nil
+}
+
+// runPlan executes an engine plan on a cluster.
+func runPlan(ctx context.Context, c *Cluster, plan *engine.Plan, cfg RunConfig) (*Result, error) {
+	r, err := engine.NewRunner(c.inner, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{batch: out, report: rep}, nil
+}
+
+// Ensure unused helper linkage for documentation examples.
+var _ = iexpr.Expr(nil)

@@ -1,0 +1,223 @@
+package batch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Batch is an immutable columnar record batch: a schema plus one column per
+// field, all of equal length. Batches are the engine's unit of data exchange.
+type Batch struct {
+	Schema *Schema
+	Cols   []*Column
+}
+
+// New creates a batch from a schema and columns. It validates that column
+// count, types and lengths are consistent.
+func New(schema *Schema, cols []*Column) (*Batch, error) {
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("batch: %d columns for schema of %d fields", len(cols), schema.Len())
+	}
+	n := -1
+	for i, c := range cols {
+		if err := c.validateType(schema.Fields[i].Type); err != nil {
+			return nil, fmt.Errorf("batch: field %q: %w", schema.Fields[i].Name, err)
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("batch: field %q has %d rows, want %d", schema.Fields[i].Name, c.Len(), n)
+		}
+	}
+	return &Batch{Schema: schema, Cols: cols}, nil
+}
+
+// MustNew is New but panics on error; for construction sites where
+// inconsistency is a programming error.
+func MustNew(schema *Schema, cols []*Column) *Batch {
+	b, err := New(schema, cols)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Empty returns a zero-row batch with the given schema.
+func Empty(schema *Schema) *Batch {
+	cols := make([]*Column, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = NewColumn(f.Type, 0)
+	}
+	return &Batch{Schema: schema, Cols: cols}
+}
+
+// NumRows returns the number of rows in the batch.
+func (b *Batch) NumRows() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Col returns the column for the named field.
+func (b *Batch) Col(name string) *Column { return b.Cols[b.Schema.MustIndex(name)] }
+
+// ByteSize returns the approximate payload size of the batch in bytes.
+func (b *Batch) ByteSize() int64 {
+	var n int64
+	for _, c := range b.Cols {
+		n += c.ByteSize()
+	}
+	return n
+}
+
+// Gather returns a new batch with the rows at the given indexes.
+func (b *Batch) Gather(idx []int) *Batch {
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Gather(idx)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols}
+}
+
+// Slice returns a view of rows [lo, hi). Underlying arrays are shared.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols}
+}
+
+// Select returns a batch with only the named columns, in the given order.
+func (b *Batch) Select(names ...string) *Batch {
+	cols := make([]*Column, len(names))
+	fields := make([]Field, len(names))
+	for i, n := range names {
+		j := b.Schema.MustIndex(n)
+		cols[i] = b.Cols[j]
+		fields[i] = b.Schema.Fields[j]
+	}
+	return &Batch{Schema: NewSchema(fields...), Cols: cols}
+}
+
+// Concat concatenates batches with identical schemas into one. A nil result
+// with nil error means the input was empty.
+func Concat(batches []*Batch) (*Batch, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	schema := batches[0].Schema
+	total := 0
+	for _, b := range batches {
+		if !b.Schema.Equal(schema) {
+			return nil, fmt.Errorf("batch: concat schema mismatch: %s vs %s", b.Schema, schema)
+		}
+		total += b.NumRows()
+	}
+	cols := make([]*Column, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = NewColumn(f.Type, total)
+		for _, b := range batches {
+			cols[i].AppendAll(b.Cols[i])
+		}
+	}
+	return &Batch{Schema: schema, Cols: cols}, nil
+}
+
+// SplitRows cuts the batch into chunks of at most n rows each.
+func (b *Batch) SplitRows(n int) []*Batch {
+	rows := b.NumRows()
+	if rows == 0 {
+		return nil
+	}
+	if n <= 0 || rows <= n {
+		return []*Batch{b}
+	}
+	out := make([]*Batch, 0, (rows+n-1)/n)
+	for lo := 0; lo < rows; lo += n {
+		hi := lo + n
+		if hi > rows {
+			hi = rows
+		}
+		out = append(out, b.Slice(lo, hi))
+	}
+	return out
+}
+
+// HashPartition splits the batch into p partitions by hashing the named key
+// columns. Rows with equal keys always land in the same partition, which is
+// the contract shuffles rely on. Deterministic across runs.
+func (b *Batch) HashPartition(keys []string, p int) []*Batch {
+	if p <= 1 {
+		return []*Batch{b}
+	}
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		keyIdx[i] = b.Schema.MustIndex(k)
+	}
+	rows := b.NumRows()
+	part := make([][]int, p)
+	var scratch [8]byte
+	for r := 0; r < rows; r++ {
+		h := fnv.New64a()
+		for _, ci := range keyIdx {
+			c := b.Cols[ci]
+			switch c.Type {
+			case Int64, Date:
+				putUint64(scratch[:], uint64(c.Ints[r]))
+				h.Write(scratch[:])
+			case Float64:
+				putUint64(scratch[:], math.Float64bits(c.Floats[r]))
+				h.Write(scratch[:])
+			case String:
+				h.Write([]byte(c.Strings[r]))
+			case Bool:
+				if c.Bools[r] {
+					h.Write([]byte{1})
+				} else {
+					h.Write([]byte{0})
+				}
+			}
+		}
+		k := int(h.Sum64() % uint64(p))
+		part[k] = append(part[k], r)
+	}
+	out := make([]*Batch, p)
+	for k := 0; k < p; k++ {
+		if len(part[k]) == 0 {
+			out[k] = Empty(b.Schema)
+			continue
+		}
+		out[k] = b.Gather(part[k])
+	}
+	return out
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// String renders up to 10 rows for debugging.
+func (b *Batch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Batch%s %d rows\n", b.Schema, b.NumRows())
+	n := b.NumRows()
+	if n > 10 {
+		n = 10
+	}
+	for r := 0; r < n; r++ {
+		for i, c := range b.Cols {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%v", c.Value(r))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package batch
+
+// Builder accumulates rows column-by-column and produces a Batch. It is the
+// convenient way to materialize operator outputs whose size is not known
+// up front.
+type Builder struct {
+	schema *Schema
+	cols   []*Column
+}
+
+// NewBuilder creates a builder for the schema with a row-capacity hint.
+func NewBuilder(schema *Schema, capHint int) *Builder {
+	cols := make([]*Column, schema.Len())
+	for i, f := range schema.Fields {
+		cols[i] = NewColumn(f.Type, capHint)
+	}
+	return &Builder{schema: schema, cols: cols}
+}
+
+// AppendRowFrom copies row j of src into the builder. src must have the same
+// column layout as the builder's schema.
+func (bl *Builder) AppendRowFrom(src *Batch, j int) {
+	for i, c := range bl.cols {
+		c.AppendFrom(src.Cols[i], j)
+	}
+}
+
+// Col exposes builder column i for direct appends (hot paths).
+func (bl *Builder) Col(i int) *Column { return bl.cols[i] }
+
+// Len returns the number of rows appended so far.
+func (bl *Builder) Len() int {
+	if len(bl.cols) == 0 {
+		return 0
+	}
+	return bl.cols[0].Len()
+}
+
+// Build finalizes the builder into a Batch. The builder must not be reused.
+func (bl *Builder) Build() *Batch {
+	return &Batch{Schema: bl.schema, Cols: bl.cols}
+}

@@ -1,0 +1,188 @@
+package batch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire format is a simple length-prefixed columnar layout:
+//
+//	magic   uint32 "QBA1"
+//	nfields uint32
+//	per field: nameLen uint32, name, type uint8
+//	nrows   uint32
+//	per column: payload (fixed-width arrays, or length-prefixed strings)
+//
+// It is deliberately self-describing so that replayed partitions can be
+// validated against the consumer's expected schema.
+
+const codecMagic = 0x51424131 // "QBA1"
+
+// Encode serializes the batch into a fresh byte slice.
+func Encode(b *Batch) []byte {
+	size := 12
+	for _, f := range b.Schema.Fields {
+		size += 5 + len(f.Name)
+	}
+	rows := b.NumRows()
+	for _, c := range b.Cols {
+		switch c.Type {
+		case Int64, Date, Float64:
+			size += rows * 8
+		case String:
+			size += rows * 4
+			for _, s := range c.Strings {
+				size += len(s)
+			}
+		case Bool:
+			size += rows
+		}
+	}
+	out := make([]byte, 0, size)
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		out = append(out, u32[:]...)
+	}
+	var u64 [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		out = append(out, u64[:]...)
+	}
+	put32(codecMagic)
+	put32(uint32(b.Schema.Len()))
+	for _, f := range b.Schema.Fields {
+		put32(uint32(len(f.Name)))
+		out = append(out, f.Name...)
+		out = append(out, byte(f.Type))
+	}
+	put32(uint32(rows))
+	for _, c := range b.Cols {
+		switch c.Type {
+		case Int64, Date:
+			for _, v := range c.Ints {
+				put64(uint64(v))
+			}
+		case Float64:
+			for _, v := range c.Floats {
+				put64(math.Float64bits(v))
+			}
+		case String:
+			for _, s := range c.Strings {
+				put32(uint32(len(s)))
+				out = append(out, s...)
+			}
+		case Bool:
+			for _, v := range c.Bools {
+				if v {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Decode parses a batch from bytes produced by Encode.
+func Decode(data []byte) (*Batch, error) {
+	pos := 0
+	get32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("batch: truncated at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("batch: bad magic %#x", magic)
+	}
+	nf, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]Field, nf)
+	for i := range fields {
+		nl, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(nl)+1 > len(data) {
+			return nil, fmt.Errorf("batch: truncated field name at offset %d", pos)
+		}
+		fields[i].Name = string(data[pos : pos+int(nl)])
+		pos += int(nl)
+		fields[i].Type = Type(data[pos])
+		pos++
+	}
+	nr, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	rows := int(nr)
+	schema := NewSchema(fields...)
+	cols := make([]*Column, nf)
+	for i, f := range fields {
+		c := &Column{Type: f.Type}
+		switch f.Type {
+		case Int64, Date:
+			if pos+rows*8 > len(data) {
+				return nil, fmt.Errorf("batch: truncated int column %q", f.Name)
+			}
+			v := make([]int64, rows)
+			for r := 0; r < rows; r++ {
+				v[r] = int64(binary.LittleEndian.Uint64(data[pos:]))
+				pos += 8
+			}
+			c.Ints = v
+		case Float64:
+			if pos+rows*8 > len(data) {
+				return nil, fmt.Errorf("batch: truncated float column %q", f.Name)
+			}
+			v := make([]float64, rows)
+			for r := 0; r < rows; r++ {
+				v[r] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+				pos += 8
+			}
+			c.Floats = v
+		case String:
+			v := make([]string, rows)
+			for r := 0; r < rows; r++ {
+				sl, err := get32()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(sl) > len(data) {
+					return nil, fmt.Errorf("batch: truncated string column %q", f.Name)
+				}
+				v[r] = string(data[pos : pos+int(sl)])
+				pos += int(sl)
+			}
+			c.Strings = v
+		case Bool:
+			if pos+rows > len(data) {
+				return nil, fmt.Errorf("batch: truncated bool column %q", f.Name)
+			}
+			v := make([]bool, rows)
+			for r := 0; r < rows; r++ {
+				v[r] = data[pos] != 0
+				pos++
+			}
+			c.Bools = v
+		default:
+			return nil, fmt.Errorf("batch: unknown column type %d", f.Type)
+		}
+		cols[i] = c
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("batch: %d trailing bytes", len(data)-pos)
+	}
+	return New(schema, cols)
+}

@@ -1,0 +1,115 @@
+// Package cluster simulates the worker fleet the engine runs on: each
+// worker owns a Flight mailbox and a local NVMe disk and can be killed at
+// any time, losing both — the failure model of spot pre-emptions and pod
+// evictions the paper targets. The head node (GCS, coordinator, result
+// collection) is assumed reliable, as in the paper.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"quokka/internal/flight"
+	"quokka/internal/gcs"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+// WorkerID identifies a worker.
+type WorkerID int
+
+// Worker is one simulated machine.
+type Worker struct {
+	ID     WorkerID
+	Flight *flight.Server
+	Disk   *storage.LocalDisk
+
+	alive atomic.Bool
+	kill  chan struct{} // closed on Kill; task loops select on it
+	once  sync.Once
+}
+
+// Alive reports whether the worker is still up.
+func (w *Worker) Alive() bool { return w.alive.Load() }
+
+// Killed returns a channel closed when the worker dies.
+func (w *Worker) Killed() <-chan struct{} { return w.kill }
+
+// Kill simulates the machine failing: its mailbox and disk are destroyed
+// and any in-flight tasks observe the closed Killed channel. Idempotent.
+func (w *Worker) Kill() {
+	w.once.Do(func() {
+		w.alive.Store(false)
+		w.Flight.Fail()
+		w.Disk.Wipe()
+		close(w.kill)
+	})
+}
+
+// Cluster is the set of workers plus the shared services: the GCS on the
+// head node and the durable object store.
+type Cluster struct {
+	Workers  []*Worker
+	GCS      *gcs.Store
+	ObjStore *storage.ObjectStore
+	Cost     storage.CostModel
+	Metrics  *metrics.Collector
+}
+
+// Options configures cluster construction.
+type Options struct {
+	Workers  int
+	Cost     storage.CostModel
+	Profile  storage.Profile // object store profile (default S3)
+	Metrics  *metrics.Collector
+	ObjStore *storage.ObjectStore // optional: share a pre-loaded store
+}
+
+// New builds a cluster of n live workers.
+func New(opt Options) (*Cluster, error) {
+	if opt.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", opt.Workers)
+	}
+	met := opt.Metrics
+	if met == nil {
+		met = &metrics.Collector{}
+	}
+	c := &Cluster{
+		GCS:      gcs.New(opt.Cost, met),
+		ObjStore: opt.ObjStore,
+		Cost:     opt.Cost,
+		Metrics:  met,
+	}
+	if c.ObjStore == nil {
+		c.ObjStore = storage.NewObjectStore(opt.Cost, opt.Profile, met)
+	}
+	for i := 0; i < opt.Workers; i++ {
+		w := &Worker{
+			ID:     WorkerID(i),
+			Flight: flight.NewServer(opt.Cost, met),
+			Disk:   storage.NewLocalDisk(opt.Cost, met),
+			kill:   make(chan struct{}),
+		}
+		w.alive.Store(true)
+		c.Workers = append(c.Workers, w)
+	}
+	return c, nil
+}
+
+// Worker returns the worker with the given id.
+func (c *Cluster) Worker(id WorkerID) *Worker { return c.Workers[id] }
+
+// Alive returns the ids of live workers, in order.
+func (c *Cluster) Alive() []WorkerID {
+	var out []WorkerID
+	for _, w := range c.Workers {
+		if w.Alive() {
+			out = append(out, w.ID)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of live workers.
+func (c *Cluster) AliveCount() int { return len(c.Alive()) }

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/expr"
+	"quokka/internal/metrics"
+	"quokka/internal/ops"
+)
+
+// killAfterTasks kills the given worker once the cluster has executed at
+// least n tasks, from a background goroutine. It returns a done channel.
+func killAfterTasks(cl *cluster.Cluster, victim int, n int64) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if cl.Metrics.Get(metrics.TasksExecuted) >= n {
+				cl.Worker(cluster.WorkerID(victim)).Kill()
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	return done
+}
+
+func runWithFailure(t *testing.T, cl *cluster.Cluster, p *Plan, cfg Config, victim int, afterTasks int64) (*batch.Batch, *Report, error) {
+	t.Helper()
+	r, err := NewRunner(cl, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := killAfterTasks(cl, victim, afterTasks)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, rep, runErr := r.Run(ctx)
+	<-killed
+	return out, rep, runErr
+}
+
+func TestRecoveryScanAggregate(t *testing.T) {
+	const n = 2000
+	cl := testCluster(t, 4, map[string][]*batch.Batch{"numbers": numbersTable(n, 24)})
+	out, rep, err := runWithFailure(t, cl, scanFilterAggPlan(0), DefaultConfig(), 1, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(2 * i)
+	}
+	checkSumCount(t, out, want, n)
+	if rep.Recoveries == 0 {
+		t.Error("expected at least one recovery")
+	}
+}
+
+func TestRecoveryJoin(t *testing.T) {
+	const nFact = 1000
+	cl := testCluster(t, 4, joinTables(nFact))
+	out, rep, err := runWithFailure(t, cl, joinPlan(), DefaultConfig(), 2, 6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out == nil || out.NumRows() != 10 {
+		t.Fatalf("result: %v", out)
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		if out.Col("c").Ints[i] != nFact/10 {
+			t.Errorf("group %q count = %d, want %d",
+				out.Col("name").Strings[i], out.Col("c").Ints[i], nFact/10)
+		}
+	}
+	if rep.Recoveries == 0 {
+		t.Error("expected a recovery")
+	}
+}
+
+// The core correctness property of write-ahead lineage: the query result
+// with a failure equals the result without one (channels that did not fail
+// are never rewound, and replays regenerate identical partitions).
+func TestFailureResultEqualsFailureFreeResult(t *testing.T) {
+	tables := joinTables(800)
+	clean := testCluster(t, 4, tables)
+	wantOut, _ := runPlan(t, clean, joinPlan(), DefaultConfig())
+
+	faulty := testCluster(t, 4, tables)
+	gotOut, _, err := runWithFailure(t, faulty, joinPlan(), DefaultConfig(), 1, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantEnc := batch.Encode(wantOut)
+	gotEnc := batch.Encode(gotOut)
+	if string(wantEnc) != string(gotEnc) {
+		t.Fatalf("results differ:\nwant %v\ngot  %v", wantOut, gotOut)
+	}
+}
+
+func TestRecoverySparkMode(t *testing.T) {
+	cl := testCluster(t, 4, joinTables(600))
+	out, rep, err := runWithFailure(t, cl, joinPlan(), SparkConfig(), 3, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out == nil || out.NumRows() != 10 {
+		t.Fatalf("result: %v", out)
+	}
+	if rep.Recoveries == 0 {
+		t.Error("expected a recovery")
+	}
+}
+
+func TestRecoverySpoolMode(t *testing.T) {
+	cl := testCluster(t, 4, joinTables(600))
+	cfg := TrinoConfig()
+	out, rep, err := runWithFailure(t, cl, joinPlan(), cfg, 1, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out == nil || out.NumRows() != 10 {
+		t.Fatalf("result: %v", out)
+	}
+	if rep.Metrics[metrics.SpoolWriteBytes] == 0 {
+		t.Error("spool mode should write spool bytes")
+	}
+	if rep.Recoveries == 0 {
+		t.Error("expected a recovery")
+	}
+}
+
+func TestRecoveryCheckpointMode(t *testing.T) {
+	cl := testCluster(t, 4, joinTables(800))
+	cfg := DefaultConfig()
+	cfg.FT = FTCheckpoint
+	cfg.CheckpointEveryTasks = 2
+	out, rep, err := runWithFailure(t, cl, joinPlan(), cfg, 2, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out == nil || out.NumRows() != 10 {
+		t.Fatalf("result: %v", out)
+	}
+	var total int64
+	for i := 0; i < out.NumRows(); i++ {
+		total += out.Col("c").Ints[i]
+	}
+	if total != 800 {
+		t.Errorf("total = %d, want 800", total)
+	}
+	if rep.Metrics[metrics.CheckpointBytes] == 0 {
+		t.Error("checkpoint mode should persist state bytes")
+	}
+}
+
+func TestNoFaultToleranceFailsQuery(t *testing.T) {
+	cl := testCluster(t, 4, map[string][]*batch.Batch{"numbers": numbersTable(2000, 24)})
+	cfg := DefaultConfig()
+	cfg.FT = FTNone
+	_, _, err := runWithFailure(t, cl, scanFilterAggPlan(0), cfg, 1, 5)
+	if !errors.Is(err, ErrQueryFailed) {
+		t.Fatalf("err = %v, want ErrQueryFailed", err)
+	}
+}
+
+func TestNestedFailures(t *testing.T) {
+	const nFact = 1500
+	cl := testCluster(t, 5, joinTables(nFact))
+	r, err := NewRunner(cl, joinPlan(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := killAfterTasks(cl, 1, 4)
+	k2 := killAfterTasks(cl, 3, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, rep, runErr := r.Run(ctx)
+	<-k1
+	<-k2
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	if out == nil || out.NumRows() != 10 {
+		t.Fatalf("result: %v", out)
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		if out.Col("c").Ints[i] != nFact/10 {
+			t.Errorf("group %q count = %d", out.Col("name").Strings[i], out.Col("c").Ints[i])
+		}
+	}
+	// Both kills may land within one heartbeat tick, in which case a
+	// single reconciliation pass handles them together — also correct.
+	if rep.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1", rep.Recoveries)
+	}
+}
+
+func TestAllWorkersDead(t *testing.T) {
+	cl := testCluster(t, 2, map[string][]*batch.Batch{"numbers": numbersTable(4000, 40)})
+	r, err := NewRunner(cl, scanFilterAggPlan(0), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for cl.Metrics.Get(metrics.TasksExecuted) < 3 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cl.Worker(0).Kill()
+		cl.Worker(1).Kill()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, runErr := r.Run(ctx)
+	if !errors.Is(runErr, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", runErr)
+	}
+}
+
+// scanMapAggPlan inserts a narrow map stage between scan and aggregate, so
+// spool-mode recovery must cascade through a non-spooled stage.
+func scanMapAggPlan() *Plan {
+	return MustPlan(
+		&Stage{ID: 0, Name: "read", Reader: &ReaderSpec{Table: "numbers"}},
+		&Stage{ID: 1, Name: "map",
+			Op:     ops.NewFilterProjectSpec(nil, ops.NE("v", expr.C("v"))),
+			Inputs: []StageInput{{Stage: 0, Part: Direct()}}},
+		&Stage{ID: 2, Name: "agg", Parallelism: 1,
+			Op:     ops.NewHashAggSpec(nil, ops.Sum("s", expr.C("v")), ops.CountStar("c")),
+			Inputs: []StageInput{{Stage: 1, Part: Single()}}},
+	)
+}
+
+func TestRecoverySpoolModeWithNarrowStage(t *testing.T) {
+	const n = 2500
+	cl := testCluster(t, 4, map[string][]*batch.Batch{"numbers": numbersTable(n, 30)})
+	cfg := DefaultConfig()
+	cfg.FT = FTSpool
+	out, rep, err := runWithFailure(t, cl, scanMapAggPlan(), cfg, 2, 6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(2 * i)
+	}
+	checkSumCount(t, out, want, n)
+	if rep.Recoveries == 0 {
+		t.Error("expected a recovery")
+	}
+}

@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+// ErrQueryFailed is returned when a worker failure cannot be recovered
+// (fault tolerance disabled). Callers may restart the query from scratch —
+// the paper's restart baseline.
+var ErrQueryFailed = errors.New("engine: query failed due to worker failure (no fault tolerance)")
+
+// ErrNoWorkers is returned when every worker has died.
+var ErrNoWorkers = errors.New("engine: all workers failed")
+
+// Report summarizes one query execution.
+type Report struct {
+	Duration      time.Duration
+	Recoveries    int
+	TasksExecuted int64
+	TasksReplayed int64
+	Metrics       map[string]int64
+}
+
+// Runner executes one plan on one cluster under one configuration.
+type Runner struct {
+	cl   *cluster.Cluster
+	plan *Plan
+	cfg  Config
+
+	spool *storage.ObjectStore // durable target for FTSpool/FTCheckpoint
+	met   *metrics.Collector
+
+	out     int    // output stage
+	par     []int  // parallelism per stage
+	spooled []bool // per stage: FTSpool persists its outputs (wide edges)
+
+	collector *collector
+	recovered int
+	failCh    chan error
+
+	placeMu sync.RWMutex
+	place   map[lineage.ChannelID]int // cached placement
+	gep     int
+}
+
+// NewRunner validates the plan against the cluster and prepares a runner.
+func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := plan.OutputStage()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxTake <= 0 {
+		cfg.MaxTake = 64
+	}
+	if cfg.MinTake <= 0 {
+		cfg.MinTake = 1
+	}
+	if cfg.MinTake > cfg.MaxTake {
+		cfg.MinTake = cfg.MaxTake
+	}
+	if cfg.ThreadsPerWorker <= 0 {
+		cfg.ThreadsPerWorker = 8
+	}
+	if cfg.CPUPerWorker <= 0 {
+		cfg.CPUPerWorker = 2
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Microsecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Millisecond
+	}
+	if !cfg.Dynamic && cfg.StaticBatch <= 0 {
+		return nil, fmt.Errorf("engine: static dependency mode requires StaticBatch > 0")
+	}
+	r := &Runner{
+		cl:    cl,
+		plan:  plan,
+		cfg:   cfg,
+		met:   cl.Metrics,
+		out:   out,
+		spool: storage.NewObjectStore(cl.Cost, cfg.SpoolProfile, cl.Metrics),
+	}
+	r.par = make([]int, len(plan.Stages))
+	for i := range plan.Stages {
+		r.par[i] = plan.Parallelism(i, len(cl.Workers))
+	}
+	// Spooling persists shuffle partitions: outputs that cross a wide
+	// (exchange) edge. Narrow Direct edges are pipeline-fused, as in
+	// Trino, and never materialize durably.
+	r.spooled = make([]bool, len(plan.Stages))
+	for i := range plan.Stages {
+		for _, e := range plan.Consumers(i) {
+			if e.Part.Kind != PartitionDirect {
+				r.spooled[i] = true
+			}
+		}
+	}
+	r.collector = newCollector()
+	r.place = make(map[lineage.ChannelID]int)
+	r.failCh = make(chan error, 1)
+	return r, nil
+}
+
+// Spool exposes the durable spool store (tests and benches inspect it).
+func (r *Runner) Spool() *storage.ObjectStore { return r.spool }
+
+// Run executes the query to completion, returning the concatenated output
+// and a report. It blocks until the query finishes, fails, or ctx is
+// cancelled.
+func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
+	start := time.Now()
+	if err := r.seed(); err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, w := range r.cl.Workers {
+		if !w.Alive() {
+			continue
+		}
+		t := newTaskManager(r, w)
+		for i := 0; i < r.cfg.ThreadsPerWorker; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t.loop(ctx)
+			}()
+		}
+	}
+
+	err := r.coordinate(ctx)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	result, err := r.assembleResult()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Duration:      time.Since(start),
+		Recoveries:    r.recovered,
+		TasksExecuted: r.met.Get(metrics.TasksExecuted),
+		TasksReplayed: r.met.Get(metrics.TasksReplayed),
+		Metrics:       r.met.Snapshot(),
+	}
+	return result, rep, nil
+}
+
+// seed writes the initial execution state into the GCS: placement of every
+// channel, zero cursors and epochs. Channel c of every stage starts on
+// worker c mod W, so each worker hosts one channel of each data-parallel
+// stage, as in §IV-A.
+func (r *Runner) seed() error {
+	alive := r.cl.Alive()
+	if len(alive) == 0 {
+		return ErrNoWorkers
+	}
+	return r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		// Purge any previous query's execution state: the GCS outlives
+		// queries (it is the cluster's control store), but lineage and
+		// cursors are per-query.
+		for _, prefix := range []string{
+			"lin/", "cur/", "wm/", "done/", "pd/", "pl/", "cep/",
+			"rp/", "rpi/", "ck/", "ack/",
+		} {
+			for _, k := range tx.List(prefix) {
+				tx.Delete(k)
+			}
+		}
+		tx.Delete(keyBarrier())
+		for s := range r.plan.Stages {
+			for c := 0; c < r.par[s]; c++ {
+				id := lineage.ChannelID{Stage: s, Channel: c}
+				w := alive[c%len(alive)]
+				txPutInt(tx, keyPlacement(id), int(w))
+				txPutInt(tx, keyCursor(id), 0)
+				txPutInt(tx, keyChanEpoch(id), 0)
+			}
+		}
+		txPutInt(tx, keyGlobalEpoch(), txGetInt(tx, keyGlobalEpoch(), 0)+1)
+		return nil
+	})
+}
+
+// coordinate is the head-node loop: it watches worker liveness, triggers
+// recovery, and detects query completion.
+func (r *Runner) coordinate(ctx context.Context) error {
+	aliveBefore := r.cl.AliveCount()
+	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case err := <-r.failCh:
+			return err
+		case <-ticker.C:
+		}
+		aliveNow := r.cl.AliveCount()
+		if aliveNow == 0 {
+			return ErrNoWorkers
+		}
+		if aliveNow < aliveBefore {
+			if r.cfg.FT == FTNone {
+				return ErrQueryFailed
+			}
+			if err := r.recover(ctx); err != nil {
+				return err
+			}
+			aliveBefore = aliveNow
+			continue
+		}
+		done, err := r.queryDone()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// queryDone reports whether every output-stage channel has finished and
+// the collector holds all of their partitions.
+func (r *Runner) queryDone() (bool, error) {
+	counts := make([]int, r.par[r.out])
+	complete := true
+	err := r.cl.GCS.View(func(tx *gcs.Txn) error {
+		for c := 0; c < r.par[r.out]; c++ {
+			id := lineage.ChannelID{Stage: r.out, Channel: c}
+			n := txGetInt(tx, keyDone(id), -1)
+			if n < 0 {
+				complete = false
+				return nil
+			}
+			counts[c] = n
+		}
+		return nil
+	})
+	if err != nil || !complete {
+		return false, err
+	}
+	for c := 0; c < r.par[r.out]; c++ {
+		for q := 0; q < counts[c]; q++ {
+			if !r.collector.has(lineage.TaskName{Stage: r.out, Channel: c, Seq: q}) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// assembleResult decodes and concatenates the collected output partitions
+// in (channel, seq) order.
+func (r *Runner) assembleResult() (*batch.Batch, error) {
+	parts := r.collector.snapshot()
+	names := make([]lineage.TaskName, 0, len(parts))
+	for n := range parts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Channel != names[j].Channel {
+			return names[i].Channel < names[j].Channel
+		}
+		return names[i].Seq < names[j].Seq
+	})
+	var batches []*batch.Batch
+	for _, n := range names {
+		data := parts[n]
+		if len(data) == 0 {
+			continue
+		}
+		b, err := batch.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("engine: corrupt result partition %s: %w", n, err)
+		}
+		if b.NumRows() > 0 {
+			batches = append(batches, b)
+		}
+	}
+	return batch.Concat(batches)
+}
+
+// placement returns the worker currently hosting a channel, from a cache
+// refreshed whenever the global epoch changes.
+func (r *Runner) placement(id lineage.ChannelID) (int, error) {
+	r.placeMu.RLock()
+	w, ok := r.place[id]
+	r.placeMu.RUnlock()
+	if ok {
+		return w, nil
+	}
+	var got int
+	err := r.cl.GCS.View(func(tx *gcs.Txn) error {
+		got = txGetInt(tx, keyPlacement(id), -1)
+		return nil
+	})
+	if err != nil {
+		return -1, err
+	}
+	if got < 0 {
+		return -1, fmt.Errorf("engine: no placement for channel %s", id)
+	}
+	r.placeMu.Lock()
+	r.place[id] = got
+	r.placeMu.Unlock()
+	return got, nil
+}
+
+// reportFailure surfaces a fatal task error (bad plan, corrupt data) to
+// the coordinator, failing the query instead of retrying forever.
+// Transient conditions (dead consumers, missing replays) are never
+// reported here.
+func (r *Runner) reportFailure(err error) {
+	select {
+	case r.failCh <- err:
+	default:
+	}
+}
+
+// invalidatePlacement clears the placement cache (after recovery).
+func (r *Runner) invalidatePlacement() {
+	r.placeMu.Lock()
+	r.place = make(map[lineage.ChannelID]int)
+	r.placeMu.Unlock()
+}
+
+// collector receives the output stage's partitions on the head node. It
+// deduplicates retransmissions by task name, so recovery replays are
+// harmless.
+type collector struct {
+	mu    sync.Mutex
+	parts map[lineage.TaskName][]byte
+}
+
+func newCollector() *collector {
+	return &collector{parts: make(map[lineage.TaskName][]byte)}
+}
+
+func (c *collector) deliver(t lineage.TaskName, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.parts[t] = data
+}
+
+func (c *collector) has(t lineage.TaskName) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.parts[t]
+	return ok
+}
+
+func (c *collector) snapshot() map[lineage.TaskName][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[lineage.TaskName][]byte, len(c.parts))
+	for k, v := range c.parts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+)
+
+// GCS key schema. Everything the engine coordinates through lives in the
+// GCS under these prefixes (§IV-B: "the single source of truth for the
+// execution state of the entire system"):
+//
+//	pl/<s>.<c>      channel placement: worker id
+//	cep/<s>.<c>     channel epoch; bumped on rewind so TaskManagers drop
+//	                cached operator state
+//	cur/<s>.<c>     task cursor: next sequence number == number of
+//	                committed tasks. Consumers use it as the "lineage is
+//	                committed" check of Algorithm 1.
+//	lin/<s>.<c>.<q> committed lineage record of task (s,c,q)
+//	wm/<s>.<c>      consumption watermark vector of channel (s,c)
+//	done/<s>.<c>    set when the channel finished; value = task count
+//	pd/<s>.<c>.<q>  partition directory: worker holding the task's backup
+//	bar             recovery barrier flag (value = barrier generation)
+//	ack/<w>         TaskManager w's acknowledgment of the barrier
+//	gep             global placement epoch; bumped when recovery ends
+//	rp/<w>/<s>.<c>.<q>   replay task: worker w re-reads its backed-up
+//	                partition (s,c,q) once and re-pushes a piece to each
+//	                consumer channel in the entry's value ("ds.dc;...")
+//	rpi/<w>/<s>.<c>.<q>  input replay: re-read the split of reader task
+//	                (s,c,q) from the object store; same value format
+//	recn            recovery generation; replay queues are only scanned
+//	                after it becomes non-zero
+//	ck/<s>.<c>      checkpoint marker: "<seq> <objkey> <wm>"
+type keys struct{}
+
+func keyPlacement(c lineage.ChannelID) string { return "pl/" + c.String() }
+func keyChanEpoch(c lineage.ChannelID) string { return "cep/" + c.String() }
+func keyCursor(c lineage.ChannelID) string    { return "cur/" + c.String() }
+func keyLineage(t lineage.TaskName) string    { return "lin/" + t.String() }
+func keyWatermark(c lineage.ChannelID) string { return "wm/" + c.String() }
+func keyDone(c lineage.ChannelID) string      { return "done/" + c.String() }
+func keyPartDir(t lineage.TaskName) string    { return "pd/" + t.String() }
+func keyBarrier() string                      { return "bar" }
+func keyAck(w int) string                     { return fmt.Sprintf("ack/%d", w) }
+func keyGlobalEpoch() string                  { return "gep" }
+func keyRecoveries() string                   { return "recn" }
+func keyCheckpoint(c lineage.ChannelID) string {
+	return "ck/" + c.String()
+}
+
+func keyReplay(w int, t lineage.TaskName) string {
+	return fmt.Sprintf("rp/%d/%s", w, t)
+}
+
+func keyInputReplay(w int, t lineage.TaskName) string {
+	return fmt.Sprintf("rpi/%d/%s", w, t)
+}
+
+// addReplayDest appends a consumer channel to a replay entry's destination
+// list, deduplicating. One replay entry per (worker, task) re-reads the
+// backup once and re-pushes a piece to every rewound consumer.
+func addReplayDest(tx *gcs.Txn, key string, dest lineage.ChannelID) {
+	v, _ := tx.Get(key)
+	ds := string(v)
+	for _, d := range strings.Split(ds, ";") {
+		if d == dest.String() {
+			return
+		}
+	}
+	if ds != "" {
+		ds += ";"
+	}
+	tx.Put(key, []byte(ds+dest.String()))
+}
+
+// parseReplayDests decodes a replay entry's destination list.
+func parseReplayDests(v []byte) ([]lineage.ChannelID, error) {
+	var out []lineage.ChannelID
+	for _, part := range strings.Split(string(v), ";") {
+		if part == "" {
+			continue
+		}
+		d, err := lineage.ParseChannelID(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Typed accessors over a gcs.Txn.
+
+func txGetInt(tx *gcs.Txn, key string, def int) int {
+	v, ok := tx.Get(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(string(v))
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func txPutInt(tx *gcs.Txn, key string, v int) {
+	tx.Put(key, []byte(strconv.Itoa(v)))
+}
+
+func txHas(tx *gcs.Txn, key string) bool {
+	_, ok := tx.Get(key)
+	return ok
+}
+
+func txGetWatermark(tx *gcs.Txn, c lineage.ChannelID) (lineage.Watermark, error) {
+	v, _ := tx.Get(keyWatermark(c))
+	return lineage.DecodeWatermark(v)
+}
+
+func txPutWatermark(tx *gcs.Txn, c lineage.ChannelID, w lineage.Watermark) {
+	tx.Put(keyWatermark(c), w.Encode())
+}
+
+// checkpointMark is the decoded ck/ value.
+type checkpointMark struct {
+	Seq    int
+	ObjKey string
+	WM     lineage.Watermark
+}
+
+func encodeCheckpoint(m checkpointMark) []byte {
+	return []byte(fmt.Sprintf("%d %s %s", m.Seq, m.ObjKey, m.WM.Encode()))
+}
+
+func decodeCheckpoint(data []byte) (checkpointMark, error) {
+	var m checkpointMark
+	parts := strings.SplitN(string(data), " ", 3)
+	if len(parts) < 2 {
+		return m, fmt.Errorf("engine: bad checkpoint marker %q", data)
+	}
+	seq, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return m, fmt.Errorf("engine: bad checkpoint seq %q", data)
+	}
+	m.Seq = seq
+	m.ObjKey = parts[1]
+	if len(parts) == 3 && parts[2] != "" {
+		wm, err := lineage.DecodeWatermark([]byte(parts[2]))
+		if err != nil {
+			return m, err
+		}
+		m.WM = wm
+	} else {
+		m.WM = lineage.Watermark{}
+	}
+	return m, nil
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+func TestKeySchema(t *testing.T) {
+	c := lineage.ChannelID{Stage: 2, Channel: 5}
+	n := lineage.TaskName{Stage: 2, Channel: 5, Seq: 9}
+	for key, want := range map[string]string{
+		keyPlacement(c):  "pl/2.5",
+		keyChanEpoch(c):  "cep/2.5",
+		keyCursor(c):     "cur/2.5",
+		keyLineage(n):    "lin/2.5.9",
+		keyWatermark(c):  "wm/2.5",
+		keyDone(c):       "done/2.5",
+		keyPartDir(n):    "pd/2.5.9",
+		keyCheckpoint(c): "ck/2.5",
+		keyReplay(3, n):  "rp/3/2.5.9",
+	} {
+		if key != want {
+			t.Errorf("key = %q, want %q", key, want)
+		}
+	}
+}
+
+func TestReplayDestRoundTrip(t *testing.T) {
+	store := gcs.New(storage.TestCostModel(), &metrics.Collector{})
+	task := lineage.TaskName{Stage: 1, Channel: 2, Seq: 3}
+	d1 := lineage.ChannelID{Stage: 4, Channel: 0}
+	d2 := lineage.ChannelID{Stage: 5, Channel: 7}
+	store.Update(func(tx *gcs.Txn) error {
+		addReplayDest(tx, keyReplay(0, task), d1)
+		addReplayDest(tx, keyReplay(0, task), d2)
+		addReplayDest(tx, keyReplay(0, task), d1) // dedup
+		return nil
+	})
+	store.View(func(tx *gcs.Txn) error {
+		v, ok := tx.Get(keyReplay(0, task))
+		if !ok {
+			t.Fatal("replay entry missing")
+		}
+		dests, err := parseReplayDests(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dests, []lineage.ChannelID{d1, d2}) {
+			t.Errorf("dests = %v", dests)
+		}
+		return nil
+	})
+	if _, err := parseReplayDests([]byte("garbage")); err == nil {
+		t.Error("want error for malformed dests")
+	}
+	if got, err := parseReplayDests(nil); err != nil || got != nil {
+		t.Errorf("empty dests = %v, %v", got, err)
+	}
+}
+
+func TestCheckpointMarkRoundTrip(t *testing.T) {
+	m := checkpointMark{
+		Seq:    7,
+		ObjKey: "ckpt/1.2/7",
+		WM:     lineage.Watermark{{Input: 0, UpChannel: 3}: 11},
+	}
+	got, err := decodeCheckpoint(encodeCheckpoint(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != m.Seq || got.ObjKey != m.ObjKey || !reflect.DeepEqual(got.WM, m.WM) {
+		t.Errorf("round trip: %+v vs %+v", got, m)
+	}
+	// Empty watermark form.
+	m2 := checkpointMark{Seq: 1, ObjKey: "k", WM: lineage.Watermark{}}
+	got2, err := decodeCheckpoint(encodeCheckpoint(m2))
+	if err != nil || got2.Seq != 1 || len(got2.WM) != 0 {
+		t.Errorf("empty wm round trip: %+v, %v", got2, err)
+	}
+	for _, bad := range []string{"", "x", "notanint key"} {
+		if _, err := decodeCheckpoint([]byte(bad)); err == nil {
+			t.Errorf("decodeCheckpoint(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTxHelpers(t *testing.T) {
+	store := gcs.New(storage.TestCostModel(), &metrics.Collector{})
+	store.Update(func(tx *gcs.Txn) error {
+		txPutInt(tx, "n", 42)
+		tx.Put("bad", []byte("not-a-number"))
+		return nil
+	})
+	store.View(func(tx *gcs.Txn) error {
+		if got := txGetInt(tx, "n", -1); got != 42 {
+			t.Errorf("txGetInt = %d", got)
+		}
+		if got := txGetInt(tx, "missing", 7); got != 7 {
+			t.Errorf("default = %d", got)
+		}
+		if got := txGetInt(tx, "bad", 9); got != 9 {
+			t.Errorf("malformed should yield default, got %d", got)
+		}
+		if !txHas(tx, "n") || txHas(tx, "missing") {
+			t.Error("txHas wrong")
+		}
+		return nil
+	})
+}

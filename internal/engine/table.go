@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"quokka/internal/batch"
+	"quokka/internal/storage"
+)
+
+// Tables live in the object store as numbered splits of encoded batches:
+//
+//	tbl/<name>/meta  number of splits
+//	tbl/<name>/<i>   encoded batch for split i
+//
+// Splits are the reader stages' unit of work, like Parquet row groups on
+// S3 in the paper's setup.
+
+func tableMetaKey(name string) string         { return "tbl/" + name + "/meta" }
+func tableSplitKey(name string, i int) string { return fmt.Sprintf("tbl/%s/%d", name, i) }
+
+// WriteTable stores batches as the splits of a table, without I/O cost
+// (dataset preparation is not part of the measured query).
+func WriteTable(store *storage.ObjectStore, name string, splits []*batch.Batch) {
+	for i, b := range splits {
+		store.PutFree(tableSplitKey(name, i), batch.Encode(b))
+	}
+	store.PutFree(tableMetaKey(name), []byte(strconv.Itoa(len(splits))))
+}
+
+// TableSplits returns the number of splits of a table.
+func TableSplits(store *storage.ObjectStore, name string) (int, error) {
+	v, err := store.Get(tableMetaKey(name))
+	if err != nil {
+		return 0, fmt.Errorf("engine: table %q not found: %w", name, err)
+	}
+	n, err := strconv.Atoi(string(v))
+	if err != nil {
+		return 0, fmt.Errorf("engine: bad meta for table %q: %w", name, err)
+	}
+	return n, nil
+}
+
+// ReadSplit reads and decodes one split, paying the object-store read cost.
+func ReadSplit(store *storage.ObjectStore, name string, i int) (*batch.Batch, error) {
+	v, err := store.Get(tableSplitKey(name, i))
+	if err != nil {
+		return nil, fmt.Errorf("engine: split %d of table %q: %w", i, name, err)
+	}
+	return batch.Decode(v)
+}

@@ -1,0 +1,1018 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/flight"
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/ops"
+)
+
+// taskManager runs the channels placed on one worker. It is the paper's
+// TaskManager (§IV-A): a stateless poller of the GCS executing Algorithm 1
+// steps. All inter-component coordination flows through the GCS; the only
+// state a TaskManager keeps in memory is the operator state of its
+// channels, which is reconstructable from the lineage log.
+type taskManager struct {
+	r *Runner
+	w *cluster.Worker
+
+	mu       sync.Mutex
+	channels map[lineage.ChannelID]*chanState
+	gep      int // global epoch the channel set was loaded at
+	ackedBar int // last barrier generation acknowledged
+
+	// cpu bounds concurrently modelled kernel work on this worker: I/O
+	// waits (S3 reads, shuffle pushes, disk writes) do not hold a slot,
+	// so compute overlaps I/O exactly as in an engine with async reads.
+	cpu chan struct{}
+
+	// doneIDs caches channels known to have finished so idle polls skip
+	// their (and their upstreams') GCS reads. Cleared on epoch change.
+	doneMu  sync.Mutex
+	doneIDs map[lineage.ChannelID]bool
+
+	// replayGen is the last recovery generation whose replay queue this
+	// TaskManager has fully drained; prefix scans of the replay queue
+	// only happen after a recovery, never in steady state. replayLock
+	// ensures a single thread drains the queue at a time.
+	replayGen  int
+	replayLock sync.Mutex
+}
+
+// chanState is the in-memory execution state of one channel: the operator
+// instance (the paper's "state variable"), plus caches of the channel's
+// GCS coordinates.
+type chanState struct {
+	claimed sync.Mutex // one executor thread at a time
+
+	id    lineage.ChannelID
+	stage *Stage
+
+	cep      int // channel epoch this state is valid for
+	cursor   int
+	wm       lineage.Watermark
+	done     bool
+	op       ops.Operator
+	splits   int // reader stages: total splits of the table
+	pending  *pendingTask
+	lastCkpt int
+	stepGep  int // global epoch observed at step start; fences commits
+}
+
+// pendingTask is a task that executed but whose pushes failed (a consumer
+// worker died). Algorithm 1 returns without committing; the outputs are
+// kept so the retry re-pushes without re-running the operator, preserving
+// exactly-once state mutation.
+type pendingTask struct {
+	seq      int
+	rec      lineage.Record
+	out      *batch.Batch // nil if the task produced no rows
+	finalize bool
+}
+
+func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
+	return &taskManager{
+		r: r, w: w,
+		channels: map[lineage.ChannelID]*chanState{},
+		gep:      -1,
+		cpu:      make(chan struct{}, r.cfg.CPUPerWorker),
+		doneIDs:  map[lineage.ChannelID]bool{},
+	}
+}
+
+// loop is one executor thread. Multiple threads of the same TaskManager
+// share the channel map; the per-channel claim lock keeps a channel's
+// tasks sequential, as the execution model requires.
+func (t *taskManager) loop(ctx context.Context) {
+	idle := t.r.cfg.PollInterval
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.w.Killed():
+			return
+		default:
+		}
+		progressed, barrier := t.poll()
+		if barrier {
+			t.ackBarrier()
+			time.Sleep(t.r.cfg.PollInterval)
+			continue
+		}
+		if progressed {
+			idle = t.r.cfg.PollInterval
+			continue
+		}
+		// Exponential idle backoff keeps control-store pressure bounded
+		// on wide clusters while staying responsive under load.
+		time.Sleep(idle)
+		if idle < 16*t.r.cfg.PollInterval {
+			idle *= 2
+		}
+	}
+}
+
+// poll runs one round over the worker's channels and replay queue. All
+// channels' coordination state is read in a single GCS view per round —
+// one head-node round trip, not one per channel — keeping the control
+// plane cost per task negligible, as the paper reports for its optimized
+// naming scheme (§IV-B).
+func (t *taskManager) poll() (progressed, barrier bool) {
+	var bar, gep, recn int
+	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		bar = txGetInt(tx, keyBarrier(), 0)
+		gep = txGetInt(tx, keyGlobalEpoch(), 0)
+		recn = txGetInt(tx, keyRecoveries(), 0)
+		return nil
+	})
+	if bar != 0 {
+		return false, true
+	}
+	t.refreshChannels(gep)
+
+	// Replay queues are only populated by recovery; skip the prefix scans
+	// entirely in steady state and once this generation's queue drained.
+	t.mu.Lock()
+	needReplays := recn > 0 && t.replayGen < recn
+	t.mu.Unlock()
+	if needReplays && t.replayLock.TryLock() {
+		ran, drained := t.runReplays()
+		t.replayLock.Unlock()
+		if ran {
+			progressed = true
+		}
+		if drained && !ran {
+			t.mu.Lock()
+			if recn > t.replayGen {
+				t.replayGen = recn
+			}
+			t.mu.Unlock()
+		}
+	}
+	t.mu.Lock()
+	states := make([]*chanState, 0, len(t.channels))
+	for _, cs := range t.channels {
+		if !t.isDone(cs.id) {
+			states = append(states, cs)
+		}
+	}
+	t.mu.Unlock()
+	if len(states) == 0 {
+		return progressed, false
+	}
+	metas, err := t.loadMetas(states)
+	if err != nil {
+		if t.w.Alive() {
+			t.r.reportFailure(err)
+		}
+		return false, false
+	}
+	for i, cs := range states {
+		if !cs.claimed.TryLock() {
+			continue
+		}
+		cs.stepGep = gep
+		ok, err := t.step(cs, metas[i])
+		cs.claimed.Unlock()
+		if err != nil {
+			// Errors from a dying worker are expected; anything else is a
+			// fatal plan or data error that retrying cannot fix.
+			if t.w.Alive() {
+				t.r.reportFailure(err)
+			}
+			continue
+		}
+		if ok {
+			progressed = true
+		}
+	}
+	return progressed, false
+}
+
+// ackBarrier records that this TaskManager has quiesced under the current
+// barrier generation, implementing the GCS-level lock of §IV-B.
+func (t *taskManager) ackBarrier() {
+	var gen int
+	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		gen = txGetInt(tx, keyBarrier(), 0)
+		return nil
+	})
+	t.mu.Lock()
+	already := gen == 0 || gen == t.ackedBar
+	if !already {
+		t.ackedBar = gen
+	}
+	t.mu.Unlock()
+	if already {
+		return
+	}
+	t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		txPutInt(tx, keyAck(int(t.w.ID)), gen)
+		return nil
+	})
+}
+
+// refreshChannels reloads the set of channels placed on this worker when
+// the global epoch changes (initially and after each recovery).
+func (t *taskManager) refreshChannels(gep int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if gep == t.gep {
+		return
+	}
+	mine := make(map[lineage.ChannelID]bool)
+	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		for s := range t.r.plan.Stages {
+			for c := 0; c < t.r.par[s]; c++ {
+				id := lineage.ChannelID{Stage: s, Channel: c}
+				if txGetInt(tx, keyPlacement(id), -1) == int(t.w.ID) {
+					mine[id] = true
+				}
+			}
+		}
+		return nil
+	})
+	for id := range t.channels {
+		if !mine[id] {
+			delete(t.channels, id)
+		}
+	}
+	for id := range mine {
+		if _, ok := t.channels[id]; !ok {
+			t.channels[id] = &chanState{id: id, stage: t.r.plan.Stages[id.Stage], cep: -1}
+		}
+	}
+	t.doneMu.Lock()
+	t.doneIDs = map[lineage.ChannelID]bool{}
+	t.doneMu.Unlock()
+	t.gep = gep
+}
+
+func (t *taskManager) markDone(id lineage.ChannelID) {
+	t.doneMu.Lock()
+	t.doneIDs[id] = true
+	t.doneMu.Unlock()
+}
+
+func (t *taskManager) isDone(id lineage.ChannelID) bool {
+	t.doneMu.Lock()
+	defer t.doneMu.Unlock()
+	return t.doneIDs[id]
+}
+
+// chanMeta is the per-step snapshot of a channel's GCS coordinates plus
+// everything needed to pick inputs.
+type chanMeta struct {
+	cep        int
+	cursor     int
+	replayRec  *lineage.Record
+	upCursor   map[lineage.EdgeChannel]int // committed task count per upstream channel
+	upDone     map[lineage.EdgeChannel]int // done marker (-1 if absent)
+	stageDone  map[int]bool                // upstream stage fully done (stagewise gating)
+	checkpoint *checkpointMark
+}
+
+// step attempts one Algorithm 1 task step for a channel. It returns
+// whether progress was made.
+func (t *taskManager) step(cs *chanState, meta *chanMeta) (bool, error) {
+	if meta.cep != cs.cep {
+		if err := t.resetChannel(cs, meta); err != nil {
+			return false, err
+		}
+	}
+	if cs.done {
+		return false, nil
+	}
+	if cs.op == nil && cs.stage.Op != nil {
+		cs.op = cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
+		if meta.checkpoint != nil && meta.checkpoint.Seq == cs.cursor && cs.cursor > 0 {
+			if err := t.restoreCheckpoint(cs, meta.checkpoint); err != nil {
+				return false, err
+			}
+		}
+	}
+	// Retry a pending task whose pushes previously failed.
+	if p := cs.pending; p != nil {
+		if p.seq != cs.cursor {
+			cs.pending = nil
+		} else {
+			return t.finishTask(cs, p, meta.replayRec != nil)
+		}
+	}
+	if meta.replayRec != nil {
+		return t.replayStep(cs, *meta.replayRec)
+	}
+	return t.normalStep(cs, meta)
+}
+
+// loadMetas reads every channel's coordination state in one GCS view.
+func (t *taskManager) loadMetas(states []*chanState) ([]*chanMeta, error) {
+	out := make([]*chanMeta, len(states))
+	err := t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		for i, cs := range states {
+			m := &chanMeta{
+				upCursor:  make(map[lineage.EdgeChannel]int),
+				upDone:    make(map[lineage.EdgeChannel]int),
+				stageDone: make(map[int]bool),
+			}
+			m.cep = txGetInt(tx, keyChanEpoch(cs.id), 0)
+			m.cursor = txGetInt(tx, keyCursor(cs.id), 0)
+			tn := lineage.TaskName{Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: m.cursor}
+			if v, ok := tx.Get(keyLineage(tn)); ok {
+				rec, err := lineage.DecodeRecord(v)
+				if err != nil {
+					return err
+				}
+				m.replayRec = &rec
+			}
+			for e, in := range cs.stage.Inputs {
+				up := in.Stage
+				allDone := true
+				for uc := 0; uc < t.r.par[up]; uc++ {
+					ec := lineage.EdgeChannel{Input: e, UpChannel: uc}
+					uid := lineage.ChannelID{Stage: up, Channel: uc}
+					m.upCursor[ec] = txGetInt(tx, keyCursor(uid), 0)
+					d := txGetInt(tx, keyDone(uid), -1)
+					m.upDone[ec] = d
+					if d < 0 {
+						allDone = false
+					}
+				}
+				m.stageDone[up] = allDone
+			}
+			if t.r.cfg.FT == FTCheckpoint {
+				if v, ok := tx.Get(keyCheckpoint(cs.id)); ok {
+					ck, err := decodeCheckpoint(v)
+					if err != nil {
+						return err
+					}
+					m.checkpoint = &ck
+				}
+			}
+			out[i] = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resetChannel synchronizes in-memory state with the GCS after a rewind
+// (or on first touch): fresh operator, cursor and watermark from the GCS.
+func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
+	cs.cep = meta.cep
+	cs.cursor = meta.cursor
+	cs.op = nil
+	cs.pending = nil
+	cs.done = false
+	cs.lastCkpt = meta.cursor
+	var wmErr error
+	var done int
+	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		cs.wm, wmErr = txGetWatermark(tx, cs.id)
+		done = txGetInt(tx, keyDone(cs.id), -1)
+		return nil
+	})
+	if wmErr != nil {
+		return wmErr
+	}
+	cs.done = done >= 0 && done == cs.cursor && cs.cursor > 0
+	if cs.done {
+		t.markDone(cs.id)
+	}
+	if cs.stage.Reader != nil {
+		n, err := TableSplits(t.r.cl.ObjStore, cs.stage.Reader.Table)
+		if err != nil {
+			return err
+		}
+		cs.splits = n
+	}
+	return nil
+}
+
+// restoreCheckpoint loads the operator state snapshot referenced by the
+// checkpoint marker.
+func (t *taskManager) restoreCheckpoint(cs *chanState, ck *checkpointMark) error {
+	sn, ok := cs.op.(ops.Snapshotter)
+	if !ok {
+		return fmt.Errorf("engine: channel %s has checkpoint but operator cannot restore", cs.id)
+	}
+	data, err := t.r.spool.Get(ck.ObjKey)
+	if err != nil {
+		return err
+	}
+	if err := sn.Restore(data); err != nil {
+		return err
+	}
+	cs.wm = ck.WM.Clone()
+	cs.lastCkpt = ck.Seq
+	return nil
+}
+
+// normalStep executes a task whose lineage is not yet determined: pick
+// inputs dynamically (or per the static policy), run the operator, push,
+// back up, and commit the write-ahead lineage.
+func (t *taskManager) normalStep(cs *chanState, meta *chanMeta) (bool, error) {
+	if cs.stage.Reader != nil {
+		return t.readerStep(cs)
+	}
+	choice, exhausted := t.chooseInput(cs, meta)
+	if choice == nil && !exhausted {
+		return false, nil // nothing consumable yet; task "exits without executing"
+	}
+	var p *pendingTask
+	if choice == nil {
+		// All inputs exhausted: the channel's final task.
+		outs, err := cs.op.Finalize()
+		if err != nil {
+			return false, fmt.Errorf("engine: finalize %s: %w", cs.id, err)
+		}
+		out, err := batch.Concat(outs)
+		if err != nil {
+			return false, err
+		}
+		if out != nil {
+			t.chargeCompute(out.ByteSize())
+		}
+		p = &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), out: out, finalize: true}
+	} else {
+		rec := lineage.Consume(choice.ec.Input, choice.ec.UpChannel, choice.from, choice.count)
+		out, err := t.consume(cs, rec)
+		if err != nil {
+			return false, err
+		}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out}
+	}
+	cs.pending = p
+	return t.finishTask(cs, p, false)
+}
+
+// inputChoice is the selected upstream range for one task.
+type inputChoice struct {
+	ec    lineage.EdgeChannel
+	from  int
+	count int
+}
+
+// chooseInput implements the consumption policy. It returns nil with
+// exhausted=true when every input edge is fully consumed (time to
+// finalize), or nil with exhausted=false when the task should wait.
+func (t *taskManager) chooseInput(cs *chanState, meta *chanMeta) (*inputChoice, bool) {
+	// Establish the current phase: the smallest phase with an unexhausted
+	// edge. Later-phase inputs are not consumable yet (build before probe).
+	curPhase := -1
+	allExhausted := true
+	for e, in := range cs.stage.Inputs {
+		done := true
+		for uc := 0; uc < t.r.par[in.Stage]; uc++ {
+			ec := lineage.EdgeChannel{Input: e, UpChannel: uc}
+			if meta.upDone[ec] < 0 || cs.wm[ec] < meta.upDone[ec] {
+				done = false
+				break
+			}
+		}
+		if !done {
+			allExhausted = false
+			if curPhase == -1 || in.Phase < curPhase {
+				curPhase = in.Phase
+			}
+		}
+	}
+	if allExhausted {
+		return nil, true
+	}
+
+	var best *inputChoice
+	for e, in := range cs.stage.Inputs {
+		if in.Phase != curPhase {
+			continue
+		}
+		// Stagewise execution: Spark-style barrier at shuffle boundaries —
+		// consume nothing across a wide edge until the entire upstream
+		// stage has finished. Narrow (Direct) edges fuse into the same
+		// Spark stage and keep streaming, the way Spark fuses chains of
+		// narrow dependencies.
+		if t.r.cfg.Execution == Stagewise && in.Part.Kind != PartitionDirect && !meta.stageDone[in.Stage] {
+			continue
+		}
+		for uc := 0; uc < t.r.par[in.Stage]; uc++ {
+			ec := lineage.EdgeChannel{Input: e, UpChannel: uc}
+			wm := cs.wm[ec]
+			// Clear retransmissions below the watermark.
+			t.w.Flight.DropBelow(cs.id, e, uc, wm)
+			committed := meta.upCursor[ec]
+			avail := t.w.Flight.ContiguousFrom(cs.id, e, uc, wm)
+			if committed-wm < avail {
+				avail = committed - wm // only lineage-committed inputs count
+			}
+			if avail <= 0 {
+				continue
+			}
+			upFinished := meta.upDone[ec] >= 0
+			var take int
+			if t.r.cfg.Dynamic {
+				// Consume as much as is available, but don't wake up for
+				// dribbles while the producer is still running: tiny tasks
+				// would drown the pipeline in per-task overhead. Once the
+				// producer finishes, any remainder is consumed.
+				if !upFinished && avail < t.r.cfg.MinTake {
+					continue
+				}
+				take = avail
+				if take > t.r.cfg.MaxTake {
+					take = t.r.cfg.MaxTake
+				}
+			} else {
+				k := t.r.cfg.StaticBatch
+				switch {
+				case avail >= k:
+					take = k
+				case upFinished && wm+avail == meta.upDone[ec]:
+					take = avail // final short batch
+				default:
+					continue // static policy: wait for a full batch
+				}
+			}
+			c := &inputChoice{ec: ec, from: wm, count: take}
+			if best == nil || c.count > best.count {
+				best = c
+			}
+		}
+	}
+	return best, false
+}
+
+// consume runs the operator over the chosen inputs and returns the
+// concatenated output (nil if no rows).
+func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, error) {
+	datas, err := t.w.Flight.Take(cs.id, rec.Input, rec.UpChannel, rec.FromSeq, rec.Count)
+	if err != nil {
+		return nil, err
+	}
+	var outs []*batch.Batch
+	for _, d := range datas {
+		if len(d) == 0 {
+			continue // empty partition: counts for the watermark only
+		}
+		b, err := batch.Decode(d)
+		if err != nil {
+			return nil, fmt.Errorf("engine: corrupt partition for %s: %w", cs.id, err)
+		}
+		if b.NumRows() == 0 {
+			continue
+		}
+		t.chargeCompute(b.ByteSize())
+		o, err := cs.op.Consume(rec.Input, b)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s consume: %w", cs.id, err)
+		}
+		outs = append(outs, o...)
+	}
+	return batch.Concat(outs)
+}
+
+// chargeCompute applies the modelled operator-kernel cost for processing
+// the given payload, adjusted by the configured kernel efficiency.
+func (t *taskManager) chargeCompute(bytes int64) {
+	link := t.r.cl.Cost.Compute
+	if s := t.r.cfg.ComputeScale; s > 0 && s != 1 {
+		link.BytesPerS *= s
+		link.Latency = time.Duration(float64(link.Latency) / s)
+	}
+	// Hold a CPU slot for the duration of the modelled kernel work.
+	t.cpu <- struct{}{}
+	t.r.cl.Cost.Apply(link, bytes)
+	<-t.cpu
+}
+
+// readerStep executes one input-reader task: read the channel's next
+// split from the object store.
+func (t *taskManager) readerStep(cs *chanState) (bool, error) {
+	p := t.r.par[cs.id.Stage]
+	split := cs.id.Channel + cs.cursor*p
+	if split >= cs.splits {
+		pend := &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), finalize: true}
+		cs.pending = pend
+		return t.finishTask(cs, pend, false)
+	}
+	b, err := ReadSplit(t.r.cl.ObjStore, cs.stage.Reader.Table, split)
+	if err != nil {
+		return false, err
+	}
+	pend := &pendingTask{seq: cs.cursor, rec: lineage.Read(split), out: b}
+	cs.pending = pend
+	return t.finishTask(cs, pend, false)
+}
+
+// replayStep re-executes a task under its committed lineage: the task is
+// "retracing its footsteps" (§IV-C) and may not choose inputs dynamically.
+func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error) {
+	var p *pendingTask
+	switch rec.Kind {
+	case lineage.KindRead:
+		b, err := ReadSplit(t.r.cl.ObjStore, cs.stage.Reader.Table, rec.Split)
+		if err != nil {
+			return false, err
+		}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: b}
+	case lineage.KindConsume:
+		// All replayed inputs must be present; if replays are still in
+		// flight, wait.
+		if got := t.w.Flight.ContiguousFrom(cs.id, rec.Input, rec.UpChannel, rec.FromSeq); got < rec.Count {
+			return false, nil
+		}
+		out, err := t.consume(cs, rec)
+		if err != nil {
+			return false, err
+		}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out}
+	case lineage.KindFinalize:
+		var outs []*batch.Batch
+		var err error
+		if cs.op != nil {
+			outs, err = cs.op.Finalize()
+			if err != nil {
+				return false, err
+			}
+		}
+		out, err := batch.Concat(outs)
+		if err != nil {
+			return false, err
+		}
+		if out != nil {
+			t.chargeCompute(out.ByteSize())
+		}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, finalize: true}
+	}
+	cs.pending = p
+	t.r.met.Add(metrics.TasksReplayed, 1)
+	return t.finishTask(cs, p, true)
+}
+
+// finishTask pushes a task's outputs, persists the upstream backup, and
+// commits the write-ahead lineage in a single GCS transaction — the core
+// of Algorithm 1. isReplay skips re-writing lineage that is already
+// committed.
+func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (bool, error) {
+	task := lineage.TaskName{Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: p.seq}
+	var encoded []byte
+	if p.out != nil && p.out.NumRows() > 0 {
+		encoded = batch.Encode(p.out)
+	}
+
+	// Spool mode: persist the partition durably before it can be consumed.
+	// Only exchange (wide-edge) outputs spool; fused narrow pipelines
+	// don't materialize, which is why the paper's category I queries see
+	// little spooling after aggregation pushdown (§V-C).
+	if t.r.cfg.FT == FTSpool && t.r.spooled[cs.id.Stage] && !isReplay {
+		spoolKey := "spool/" + task.String()
+		if !t.r.spool.Has(spoolKey) {
+			if err := t.r.spool.Put(spoolKey, encoded); err != nil {
+				return false, err
+			}
+			t.r.met.Add(metrics.SpoolWriteBytes, int64(len(encoded)))
+		}
+	}
+
+	// Push results downstream. Per Algorithm 1, a failed push (dead
+	// consumer) aborts the task without committing; the pending outputs
+	// are retried after recovery re-places the consumer. Push failures
+	// are transient by construction, never fatal.
+	if err := t.pushOutputs(cs, task, p.out, encoded); err != nil {
+		return false, nil
+	}
+
+	// Upstream backup: store outputs on local disk so consumers can be
+	// re-fed after someone else's failure. Reader outputs are backed up
+	// too (Figure 5 shows stage-0 partitions replayed from TaskManagers);
+	// only partitions whose backup died with its worker fall back to
+	// Algorithm 2's "input task" S3 re-read.
+	needBackup := t.r.cfg.FT == FTWriteAheadLineage || t.r.cfg.FT == FTCheckpoint
+	if needBackup {
+		if err := t.w.Disk.Write("bk/"+task.String(), encoded); err != nil {
+			return false, err
+		}
+		t.r.met.Add(metrics.BackupWriteBytes, int64(len(encoded)))
+	}
+
+	// Commit: lineage + cursor + watermark (+ done marker) atomically.
+	wmAfter := cs.wm
+	if p.rec.Kind == lineage.KindConsume {
+		wmAfter = cs.wm.Clone()
+		wmAfter[lineage.EdgeChannel{Input: p.rec.Input, UpChannel: p.rec.UpChannel}] += p.rec.Count
+	}
+	err := t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		if !t.w.Alive() {
+			return gcs.ErrAborted
+		}
+		if txGetInt(tx, keyBarrier(), 0) != 0 {
+			return gcs.ErrAborted // recovery holds the GCS lock
+		}
+		if txGetInt(tx, keyChanEpoch(cs.id), 0) != cs.cep {
+			return gcs.ErrAborted // channel was rewound under us
+		}
+		if txGetInt(tx, keyGlobalEpoch(), 0) != cs.stepGep {
+			// Placement may have changed since our pushes; retry with a
+			// fresh view so no partition lands on a stale worker.
+			return gcs.ErrAborted
+		}
+		if !isReplay && t.r.cfg.FT != FTNone {
+			tx.Put(keyLineage(task), p.rec.Encode())
+			t.r.met.Add(metrics.LineageRecords, 1)
+		}
+		txPutInt(tx, keyCursor(cs.id), p.seq+1)
+		txPutWatermark(tx, cs.id, wmAfter)
+		txPutInt(tx, keyPartDir(task), int(t.w.ID))
+		if p.finalize {
+			txPutInt(tx, keyDone(cs.id), p.seq+1)
+		}
+		return nil
+	})
+	if err != nil {
+		if err == gcs.ErrAborted {
+			return false, nil // keep pending; retried after barrier/rewind
+		}
+		return false, err
+	}
+
+	// Post-commit bookkeeping.
+	if p.rec.Kind == lineage.KindConsume {
+		t.w.Flight.Drop(cs.id, p.rec.Input, p.rec.UpChannel, p.rec.FromSeq, p.rec.Count)
+	}
+	cs.wm = wmAfter
+	cs.cursor = p.seq + 1
+	cs.pending = nil
+	if p.finalize {
+		cs.done = true
+		t.markDone(cs.id)
+	}
+	t.r.met.Add(metrics.TasksExecuted, 1)
+
+	if t.r.cfg.FT == FTCheckpoint && !p.finalize {
+		t.maybeCheckpoint(cs)
+	}
+	return true, nil
+}
+
+// pushOutputs partitions a task's output per consumer edge and pushes the
+// pieces to the Flight servers of the consuming channels' workers. Output-
+// stage tasks deliver to the head-node collector instead. Empty partitions
+// are still pushed: watermarks count them.
+func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *batch.Batch, encoded []byte) error {
+	edges := t.r.plan.Consumers(cs.id.Stage)
+	if len(edges) == 0 {
+		t.r.collector.deliver(task, encoded)
+		return nil
+	}
+	for _, e := range edges {
+		pieces, err := t.partitionFor(out, e, cs.id.Channel)
+		if err != nil {
+			return err
+		}
+		for cc, data := range pieces {
+			dest := lineage.ChannelID{Stage: e.To, Channel: cc}
+			wid, err := t.r.placement(dest)
+			if err != nil {
+				return err
+			}
+			dw := t.r.cl.Worker(cluster.WorkerID(wid))
+			if err := dw.Flight.Push(flight.Partition{
+				From: task, Dest: dest, Input: e.Input, Data: data,
+				Local: dw.ID == t.w.ID || len(data) == 0,
+			}); err != nil {
+				return err
+			}
+			t.r.met.Add(metrics.PartitionsMoved, 1)
+		}
+	}
+	return nil
+}
+
+// partitionFor splits an output batch for one consumer edge, returning one
+// encoded payload per consumer channel (nil payload = empty partition).
+// prodChannel is the producing channel (used by direct edges).
+func (t *taskManager) partitionFor(out *batch.Batch, e Edge, prodChannel int) ([][]byte, error) {
+	n := t.r.par[e.To]
+	pieces := make([][]byte, n)
+	if out == nil || out.NumRows() == 0 {
+		return pieces, nil
+	}
+	switch e.Part.Kind {
+	case PartitionSingle:
+		pieces[0] = batch.Encode(out)
+	case PartitionDirect:
+		pieces[prodChannel%n] = batch.Encode(out)
+	case PartitionBroadcast:
+		enc := batch.Encode(out)
+		for i := range pieces {
+			pieces[i] = enc
+		}
+	case PartitionHash:
+		for _, k := range e.Part.Keys {
+			if out.Schema.Index(k) < 0 {
+				return nil, fmt.Errorf("engine: partition key %q missing from output schema %s", k, out.Schema)
+			}
+		}
+		parts := out.HashPartition(e.Part.Keys, n)
+		for i, pb := range parts {
+			if pb.NumRows() > 0 {
+				pieces[i] = batch.Encode(pb)
+			}
+		}
+	}
+	return pieces, nil
+}
+
+// maybeCheckpoint snapshots the operator state every CheckpointEveryTasks
+// committed tasks (FTCheckpoint). The snapshot goes to durable storage —
+// this is exactly the growing-state cost §V-C measures.
+func (t *taskManager) maybeCheckpoint(cs *chanState) {
+	if cs.op == nil {
+		return
+	}
+	sn, ok := cs.op.(ops.Snapshotter)
+	if !ok {
+		return
+	}
+	every := t.r.cfg.CheckpointEveryTasks
+	if every <= 0 {
+		every = 4
+	}
+	if cs.cursor-cs.lastCkpt < every {
+		return
+	}
+	data, err := sn.Snapshot()
+	if err != nil || len(data) == 0 {
+		return
+	}
+	objKey := fmt.Sprintf("ckpt/%s/%d", cs.id, cs.cursor)
+	if err := t.r.spool.Put(objKey, data); err != nil {
+		return
+	}
+	t.r.met.Add(metrics.CheckpointBytes, int64(len(data)))
+	mark := checkpointMark{Seq: cs.cursor, ObjKey: objKey, WM: cs.wm}
+	t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		if txGetInt(tx, keyChanEpoch(cs.id), 0) != cs.cep {
+			return gcs.ErrAborted
+		}
+		tx.Put(keyCheckpoint(cs.id), encodeCheckpoint(mark))
+		return nil
+	})
+	cs.lastCkpt = cs.cursor
+}
+
+// runReplays drains this worker's replay queue: re-pushing backed-up
+// partitions (rp/) and re-reading input splits (rpi/) for rewound
+// consumers. These are the light-blue recovery tasks of Figure 5.
+func (t *taskManager) runReplays() (ran, drained bool) {
+	prefixRp := fmt.Sprintf("rp/%d/", t.w.ID)
+	prefixRpi := fmt.Sprintf("rpi/%d/", t.w.ID)
+	var rp, rpi []string
+	dests := make(map[string][]byte)
+	var gep int
+	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		gep = txGetInt(tx, keyGlobalEpoch(), 0)
+		rp = tx.List(prefixRp)
+		rpi = tx.List(prefixRpi)
+		for _, k := range append(append([]string(nil), rp...), rpi...) {
+			if v, ok := tx.Get(k); ok {
+				dests[k] = v
+			}
+		}
+		return nil
+	})
+	for _, k := range rp {
+		if t.runOneReplay(k, strings.TrimPrefix(k, prefixRp), dests[k], false, gep) {
+			ran = true
+		}
+	}
+	for _, k := range rpi {
+		if t.runOneReplay(k, strings.TrimPrefix(k, prefixRpi), dests[k], true, gep) {
+			ran = true
+		}
+	}
+	return ran, len(rp)+len(rpi) == 0
+}
+
+// runOneReplay executes a single replay entry and removes it from the GCS.
+func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSource bool, gep int) bool {
+	task, err := lineage.ParseTaskName(rest)
+	if err != nil {
+		return false
+	}
+	dests, err := parseReplayDests(destsRaw)
+	if err != nil || len(dests) == 0 {
+		return false
+	}
+	var out *batch.Batch
+	if fromSource {
+		// Re-read the split named by the committed lineage.
+		var rec lineage.Record
+		found := false
+		t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+			if v, ok := tx.Get(keyLineage(task)); ok {
+				if r2, err := lineage.DecodeRecord(v); err == nil {
+					rec, found = r2, true
+				}
+			}
+			return nil
+		})
+		if !found {
+			return false
+		}
+		switch rec.Kind {
+		case lineage.KindRead:
+			st := t.r.plan.Stages[task.Stage]
+			if st.Reader == nil {
+				return false
+			}
+			b, err := ReadSplit(t.r.cl.ObjStore, st.Reader.Table, rec.Split)
+			if err != nil {
+				return false
+			}
+			out = b
+		case lineage.KindFinalize:
+			// A reader's final task produced an empty partition; re-push
+			// the emptiness so the consumer's watermark can pass it.
+			out = nil
+		default:
+			return false
+		}
+	} else if t.r.cfg.FT == FTSpool {
+		data, err := t.r.spool.Get("spool/" + task.String())
+		if err != nil {
+			return false
+		}
+		if len(data) > 0 {
+			b, err := batch.Decode(data)
+			if err != nil {
+				return false
+			}
+			out = b
+		}
+	} else {
+		data, err := t.w.Disk.Read("bk/" + task.String())
+		if err != nil {
+			return false // disk lost; the next recovery pass reroutes
+		}
+		if len(data) > 0 {
+			b, err := batch.Decode(data)
+			if err != nil {
+				return false
+			}
+			out = b
+		}
+	}
+
+	// Push only the pieces destined for the rewound consumers (one per
+	// input edge feeding each destination stage), re-reading the backup
+	// once for all of them.
+	pushed := false
+	for _, dest := range dests {
+		for _, e := range t.r.plan.Consumers(task.Stage) {
+			if e.To != dest.Stage {
+				continue
+			}
+			pieces, err := t.partitionFor(out, e, task.Channel)
+			if err != nil {
+				return false
+			}
+			wid, err := t.r.placement(dest)
+			if err != nil {
+				return false
+			}
+			dw := t.r.cl.Worker(cluster.WorkerID(wid))
+			data := pieces[dest.Channel]
+			if err := dw.Flight.Push(flight.Partition{
+				From: task, Dest: dest, Input: e.Input, Data: data,
+				Local: dw.ID == t.w.ID || len(data) == 0,
+			}); err != nil {
+				return false
+			}
+			pushed = true
+		}
+	}
+	if !pushed {
+		return false
+	}
+	t.r.met.Add(metrics.RecoveryReplays, 1)
+	err = t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		if txGetInt(tx, keyGlobalEpoch(), 0) != gep {
+			return gcs.ErrAborted // placement changed; redo with a fresh view
+		}
+		tx.Delete(fullKey)
+		return nil
+	})
+	return err == nil
+}

@@ -1,0 +1,226 @@
+package expr
+
+import (
+	"fmt"
+
+	"quokka/internal/batch"
+)
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith is a binary arithmetic expression. Integer operands stay integral
+// for +,-,* when both sides are integral; division and mixed operands
+// promote to float64, matching SQL numeric semantics closely enough for
+// TPC-H's decimal arithmetic.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Add returns l + r.
+func Add(l, r Expr) Arith { return Arith{OpAdd, l, r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Arith { return Arith{OpSub, l, r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Arith { return Arith{OpMul, l, r} }
+
+// Div returns l / r, always in float64.
+func Div(l, r Expr) Arith { return Arith{OpDiv, l, r} }
+
+// Eval implements Expr.
+func (a Arith) Eval(b *batch.Batch) (*batch.Column, error) {
+	lc, err := a.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := a.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if isIntLike(lc.Type) && isIntLike(rc.Type) && a.Op != OpDiv {
+		out := make([]int64, len(lc.Ints))
+		switch a.Op {
+		case OpAdd:
+			for i := range out {
+				out[i] = lc.Ints[i] + rc.Ints[i]
+			}
+		case OpSub:
+			for i := range out {
+				out[i] = lc.Ints[i] - rc.Ints[i]
+			}
+		case OpMul:
+			for i := range out {
+				out[i] = lc.Ints[i] * rc.Ints[i]
+			}
+		}
+		return batch.NewIntColumn(out), nil
+	}
+	lf, err := asFloats(lc)
+	if err != nil {
+		return nil, fmt.Errorf("expr: %s: %w", a, err)
+	}
+	rf, err := asFloats(rc)
+	if err != nil {
+		return nil, fmt.Errorf("expr: %s: %w", a, err)
+	}
+	out := make([]float64, len(lf))
+	switch a.Op {
+	case OpAdd:
+		for i := range out {
+			out[i] = lf[i] + rf[i]
+		}
+	case OpSub:
+		for i := range out {
+			out[i] = lf[i] - rf[i]
+		}
+	case OpMul:
+		for i := range out {
+			out[i] = lf[i] * rf[i]
+		}
+	case OpDiv:
+		for i := range out {
+			out[i] = lf[i] / rf[i]
+		}
+	}
+	return batch.NewFloatColumn(out), nil
+}
+
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// ExtractYear evaluates to the calendar year of a Date column.
+type ExtractYear struct{ Of Expr }
+
+// Year returns extract(year from e).
+func Year(e Expr) ExtractYear { return ExtractYear{Of: e} }
+
+// Eval implements Expr.
+func (y ExtractYear) Eval(b *batch.Batch) (*batch.Column, error) {
+	c, err := y.Of.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if !isIntLike(c.Type) {
+		return nil, fmt.Errorf("expr: year() over %s column", c.Type)
+	}
+	out := make([]int64, len(c.Ints))
+	for i, d := range c.Ints {
+		out[i] = int64(YearOfDays(d))
+	}
+	return batch.NewIntColumn(out), nil
+}
+
+func (y ExtractYear) String() string { return fmt.Sprintf("year(%s)", y.Of) }
+
+// YearOfDays converts days-since-epoch to a calendar year using the civil
+// calendar algorithm (no time.Time allocation on the hot path).
+func YearOfDays(days int64) int {
+	// Shift epoch from 1970-01-01 to 0000-03-01 era-based math.
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	m := mp + 3
+	if mp >= 10 {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y)
+}
+
+// DaysOfDate converts a calendar date to days since the Unix epoch.
+// It is the inverse of the algorithm in YearOfDays.
+func DaysOfDate(year, month, day int) int64 {
+	y := int64(year)
+	m := int64(month)
+	d := int64(day)
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400
+	mp := m + 9
+	if m > 2 {
+		mp = m - 3
+	}
+	doy := (153*mp+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+// Substr evaluates to a substring of a string column: 1-based Start with
+// the given Length, as in SQL substring(col from start for length).
+type Substr struct {
+	Of     Expr
+	Start  int
+	Length int
+}
+
+// Substring returns substring(e, start, length) with 1-based start.
+func Substring(e Expr, start, length int) Substr { return Substr{e, start, length} }
+
+// Eval implements Expr.
+func (s Substr) Eval(b *batch.Batch) (*batch.Column, error) {
+	c, err := s.Of.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type != batch.String {
+		return nil, fmt.Errorf("expr: substring over %s column", c.Type)
+	}
+	out := make([]string, len(c.Strings))
+	for i, v := range c.Strings {
+		lo := s.Start - 1
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > len(v) {
+			lo = len(v)
+		}
+		hi := lo + s.Length
+		if hi > len(v) {
+			hi = len(v)
+		}
+		out[i] = v[lo:hi]
+	}
+	return batch.NewStringColumn(out), nil
+}
+
+func (s Substr) String() string {
+	return fmt.Sprintf("substr(%s,%d,%d)", s.Of, s.Start, s.Length)
+}

@@ -1,0 +1,130 @@
+// Package expr implements vectorised scalar expressions over columnar
+// batches: column references, literals, arithmetic, comparisons, boolean
+// logic, CASE, LIKE-style string matching, IN lists and date helpers.
+// It provides everything the TPC-H query plans need from a scalar kernel
+// library (the role DuckDB/Polars play for the paper's Quokka).
+//
+// Expressions are pure: Eval never mutates its input batch, which keeps
+// replayed tasks deterministic.
+package expr
+
+import (
+	"fmt"
+
+	"quokka/internal/batch"
+)
+
+// Expr is a vectorised scalar expression. Eval returns one value per input
+// row. Implementations must be deterministic and side-effect free.
+type Expr interface {
+	// Eval computes the expression over all rows of b.
+	Eval(b *batch.Batch) (*batch.Column, error)
+	// String renders the expression for plans and error messages.
+	String() string
+}
+
+// Col references a column of the input batch by name.
+type Col struct{ Name string }
+
+// C is shorthand for a column reference.
+func C(name string) Col { return Col{Name: name} }
+
+// Eval implements Expr.
+func (c Col) Eval(b *batch.Batch) (*batch.Column, error) {
+	i := b.Schema.Index(c.Name)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: no column %q in %s", c.Name, b.Schema)
+	}
+	return b.Cols[i], nil
+}
+
+func (c Col) String() string { return c.Name }
+
+// Lit is a literal constant broadcast to the batch length.
+type Lit struct {
+	Type  batch.Type
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Int64 constructs an int64 literal.
+func Int64(v int64) Lit { return Lit{Type: batch.Int64, Int: v} }
+
+// Float64 constructs a float64 literal.
+func Float64(v float64) Lit { return Lit{Type: batch.Float64, Float: v} }
+
+// Str constructs a string literal.
+func Str(v string) Lit { return Lit{Type: batch.String, Str: v} }
+
+// Boolean constructs a bool literal.
+func Boolean(v bool) Lit { return Lit{Type: batch.Bool, Bool: v} }
+
+// DateLit constructs a date literal from days since the Unix epoch.
+func DateLit(days int64) Lit { return Lit{Type: batch.Date, Int: days} }
+
+// Eval implements Expr.
+func (l Lit) Eval(b *batch.Batch) (*batch.Column, error) {
+	n := b.NumRows()
+	switch l.Type {
+	case batch.Int64, batch.Date:
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = l.Int
+		}
+		return &batch.Column{Type: l.Type, Ints: v}, nil
+	case batch.Float64:
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = l.Float
+		}
+		return batch.NewFloatColumn(v), nil
+	case batch.String:
+		v := make([]string, n)
+		for i := range v {
+			v[i] = l.Str
+		}
+		return batch.NewStringColumn(v), nil
+	case batch.Bool:
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = l.Bool
+		}
+		return batch.NewBoolColumn(v), nil
+	}
+	return nil, fmt.Errorf("expr: bad literal type %s", l.Type)
+}
+
+func (l Lit) String() string {
+	switch l.Type {
+	case batch.Int64:
+		return fmt.Sprintf("%d", l.Int)
+	case batch.Date:
+		return fmt.Sprintf("date(%d)", l.Int)
+	case batch.Float64:
+		return fmt.Sprintf("%g", l.Float)
+	case batch.String:
+		return fmt.Sprintf("%q", l.Str)
+	case batch.Bool:
+		return fmt.Sprintf("%t", l.Bool)
+	}
+	return "lit(?)"
+}
+
+// asFloats converts an int/float/date column to a float64 view.
+func asFloats(c *batch.Column) ([]float64, error) {
+	switch c.Type {
+	case batch.Float64:
+		return c.Floats, nil
+	case batch.Int64, batch.Date:
+		v := make([]float64, len(c.Ints))
+		for i, x := range c.Ints {
+			v[i] = float64(x)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("expr: cannot treat %s column as numeric", c.Type)
+}
+
+func isIntLike(t batch.Type) bool { return t == batch.Int64 || t == batch.Date }

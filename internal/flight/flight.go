@@ -1,0 +1,196 @@
+// Package flight implements the per-worker shuffle transport — the role
+// the Apache Arrow Flight server plays in the paper's Quokka (§IV-A).
+//
+// Producers push encoded partitions directly to the Flight server of each
+// downstream consumer's worker. A partition is addressed by its producer
+// task name plus the consuming channel and input edge. Contents live in
+// worker memory and die with the worker; durability comes from the
+// producer-side upstream backup, not from the mailbox.
+//
+// Pushes are idempotent (retransmissions during recovery overwrite), and
+// the consumer-side API exposes exactly what Algorithm 1 needs: which
+// contiguous producer sequence numbers are available for a channel.
+package flight
+
+import (
+	"fmt"
+	"sync"
+
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+// Partition is one pushed shuffle piece: the bytes of an encoded batch,
+// produced by task From, destined for consumer channel Dest on its input
+// edge Input.
+type Partition struct {
+	From  lineage.TaskName
+	Dest  lineage.ChannelID
+	Input int
+	Data  []byte
+	// Local marks a same-worker delivery (producer and consumer channels
+	// share the machine): no network transfer is charged, like Arrow
+	// Flight's local IPC path.
+	Local bool
+}
+
+// edgeKey identifies a consumer's view of one upstream channel.
+type edgeKey struct {
+	dest      lineage.ChannelID
+	input     int
+	upChannel int
+}
+
+// Server is one worker's mailbox. The zero value is not usable; create
+// with NewServer.
+type Server struct {
+	cost storage.CostModel
+	met  *metrics.Collector
+
+	mu     sync.Mutex
+	failed bool
+	// boxes[edge][producerSeq] = encoded batch
+	boxes map[edgeKey]map[int][]byte
+	bytes int64
+}
+
+// NewServer creates an empty mailbox.
+func NewServer(cost storage.CostModel, met *metrics.Collector) *Server {
+	return &Server{cost: cost, met: met, boxes: make(map[edgeKey]map[int][]byte)}
+}
+
+// ErrServerDown is returned when pushing to a failed worker; per
+// Algorithm 1 the producer must then abort without committing.
+var ErrServerDown = fmt.Errorf("flight: server down (worker failed)")
+
+// Push delivers a partition, applying the network transfer cost. It is
+// idempotent: re-pushing the same partition replaces it; partitions the
+// consumer has already dropped simply reappear and will be ignored by the
+// watermark. Push fails if the hosting worker has failed.
+func (s *Server) Push(p Partition) error {
+	if !p.Local {
+		s.cost.Apply(s.cost.Network, int64(len(p.Data)))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrServerDown
+	}
+	k := edgeKey{p.Dest, p.Input, p.From.Channel}
+	box := s.boxes[k]
+	if box == nil {
+		box = make(map[int][]byte)
+		s.boxes[k] = box
+	}
+	if old, ok := box[p.From.Seq]; ok {
+		s.bytes -= int64(len(old))
+	}
+	box[p.From.Seq] = p.Data
+	s.bytes += int64(len(p.Data))
+	if !p.Local {
+		s.met.Add(metrics.NetworkBytes, int64(len(p.Data)))
+		s.met.Add(metrics.NetworkPushes, 1)
+	}
+	return nil
+}
+
+// ContiguousFrom reports how many consecutive producer sequence numbers
+// starting at from are present for the given consumer edge. This is what
+// lets a task decide how many outputs of one upstream channel it can
+// consume (its inputs must be taken in order, §III-A).
+func (s *Server) ContiguousFrom(dest lineage.ChannelID, input, upChannel, from int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.boxes[edgeKey{dest, input, upChannel}]
+	n := 0
+	for {
+		if _, ok := box[from+n]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Take returns the partitions [from, from+count) for the consumer edge
+// without removing them. It fails if any is missing.
+func (s *Server) Take(dest lineage.ChannelID, input, upChannel, from, count int) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return nil, ErrServerDown
+	}
+	box := s.boxes[edgeKey{dest, input, upChannel}]
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		d, ok := box[from+i]
+		if !ok {
+			return nil, fmt.Errorf("flight: partition %d.%d.%d for %s input %d missing",
+				dest.Stage, upChannel, from+i, dest, input)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Drop removes consumed partitions [from, from+count), freeing memory.
+func (s *Server) Drop(dest lineage.ChannelID, input, upChannel, from, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.boxes[edgeKey{dest, input, upChannel}]
+	for i := 0; i < count; i++ {
+		if d, ok := box[from+i]; ok {
+			s.bytes -= int64(len(d))
+			delete(box, from+i)
+		}
+	}
+}
+
+// DropBelow removes every partition with producer sequence below wm for
+// the consumer edge. During recovery a rewound producer retransmits its
+// whole history; consumers discard what their watermark says they already
+// consumed (the paper's "ignore the recovered task's re-transmitted
+// output", §III).
+func (s *Server) DropBelow(dest lineage.ChannelID, input, upChannel, wm int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.boxes[edgeKey{dest, input, upChannel}]
+	for seq, d := range box {
+		if seq < wm {
+			s.bytes -= int64(len(d))
+			delete(box, seq)
+		}
+	}
+}
+
+// DropChannel clears every partition buffered for a consumer channel; the
+// coordinator uses it when that channel is rewound elsewhere.
+func (s *Server) DropChannel(dest lineage.ChannelID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, box := range s.boxes {
+		if k.dest == dest {
+			for _, d := range box {
+				s.bytes -= int64(len(d))
+			}
+			delete(s.boxes, k)
+		}
+	}
+}
+
+// Fail marks the worker dead: contents are dropped and all subsequent
+// operations error, exactly like a crashed Flight server.
+func (s *Server) Fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed = true
+	s.boxes = make(map[edgeKey]map[int][]byte)
+	s.bytes = 0
+}
+
+// BufferedBytes returns the current mailbox payload size.
+func (s *Server) BufferedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -1,0 +1,125 @@
+package flight
+
+import (
+	"testing"
+
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+func newServer() *Server {
+	return NewServer(storage.TestCostModel(), &metrics.Collector{})
+}
+
+func part(stage, ch, seq int, dest lineage.ChannelID, input int, data string) Partition {
+	return Partition{
+		From:  lineage.TaskName{Stage: stage, Channel: ch, Seq: seq},
+		Dest:  dest,
+		Input: input,
+		Data:  []byte(data),
+	}
+}
+
+func TestPushTakeDrop(t *testing.T) {
+	s := newServer()
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	for seq := 0; seq < 3; seq++ {
+		if err := s.Push(part(0, 2, seq, dest, 0, "data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ContiguousFrom(dest, 0, 2, 0); got != 3 {
+		t.Errorf("ContiguousFrom(0) = %d, want 3", got)
+	}
+	if got := s.ContiguousFrom(dest, 0, 2, 1); got != 2 {
+		t.Errorf("ContiguousFrom(1) = %d, want 2", got)
+	}
+	data, err := s.Take(dest, 0, 2, 0, 2)
+	if err != nil || len(data) != 2 {
+		t.Fatalf("Take: %v, %v", data, err)
+	}
+	s.Drop(dest, 0, 2, 0, 2)
+	if got := s.ContiguousFrom(dest, 0, 2, 0); got != 0 {
+		t.Errorf("after drop ContiguousFrom(0) = %d", got)
+	}
+	if got := s.ContiguousFrom(dest, 0, 2, 2); got != 1 {
+		t.Errorf("seq 2 should remain: %d", got)
+	}
+}
+
+func TestContiguityGap(t *testing.T) {
+	s := newServer()
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	s.Push(part(0, 0, 0, dest, 0, "a"))
+	s.Push(part(0, 0, 2, dest, 0, "c")) // gap at 1
+	if got := s.ContiguousFrom(dest, 0, 0, 0); got != 1 {
+		t.Errorf("ContiguousFrom with gap = %d, want 1", got)
+	}
+	if _, err := s.Take(dest, 0, 0, 0, 3); err == nil {
+		t.Error("Take across gap must fail")
+	}
+}
+
+func TestPushIdempotent(t *testing.T) {
+	s := newServer()
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	s.Push(part(0, 0, 0, dest, 0, "first"))
+	s.Push(part(0, 0, 0, dest, 0, "retransmit"))
+	if s.BufferedBytes() != int64(len("retransmit")) {
+		t.Errorf("BufferedBytes = %d after overwrite", s.BufferedBytes())
+	}
+	data, err := s.Take(dest, 0, 0, 0, 1)
+	if err != nil || string(data[0]) != "retransmit" {
+		t.Fatalf("Take after overwrite: %q, %v", data, err)
+	}
+}
+
+func TestEdgesAreIsolated(t *testing.T) {
+	s := newServer()
+	d1 := lineage.ChannelID{Stage: 1, Channel: 0}
+	d2 := lineage.ChannelID{Stage: 2, Channel: 0}
+	s.Push(part(0, 0, 0, d1, 0, "x"))
+	s.Push(part(0, 0, 0, d2, 0, "y"))
+	s.Push(part(0, 0, 0, d1, 1, "z")) // same dest, different input edge
+	if got := s.ContiguousFrom(d1, 0, 0, 0); got != 1 {
+		t.Errorf("d1 input0 = %d", got)
+	}
+	if got := s.ContiguousFrom(d1, 1, 0, 0); got != 1 {
+		t.Errorf("d1 input1 = %d", got)
+	}
+	s.DropChannel(d1)
+	if got := s.ContiguousFrom(d1, 0, 0, 0); got != 0 {
+		t.Error("DropChannel should clear all d1 edges")
+	}
+	if got := s.ContiguousFrom(d2, 0, 0, 0); got != 1 {
+		t.Error("DropChannel must not touch other channels")
+	}
+}
+
+func TestFailDropsAndRejects(t *testing.T) {
+	s := newServer()
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	s.Push(part(0, 0, 0, dest, 0, "x"))
+	s.Fail()
+	if err := s.Push(part(0, 0, 1, dest, 0, "y")); err != ErrServerDown {
+		t.Errorf("Push after fail = %v", err)
+	}
+	if _, err := s.Take(dest, 0, 0, 0, 1); err != ErrServerDown {
+		t.Errorf("Take after fail = %v", err)
+	}
+	if s.BufferedBytes() != 0 {
+		t.Error("failed server should hold nothing")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	met := &metrics.Collector{}
+	s := NewServer(storage.TestCostModel(), met)
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	s.Push(part(0, 0, 0, dest, 0, "12345"))
+	if met.Get(metrics.NetworkBytes) != 5 || met.Get(metrics.NetworkPushes) != 1 {
+		t.Errorf("metrics: %d bytes, %d pushes",
+			met.Get(metrics.NetworkBytes), met.Get(metrics.NetworkPushes))
+	}
+}

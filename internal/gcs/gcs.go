@@ -1,0 +1,198 @@
+// Package gcs implements the Global Control Store: the transactional
+// key-value store at the heart of the paper's design (§IV-B). In the paper
+// it is a Redis server on the head node; here it is an in-memory store
+// with serializable multi-key transactions, prefix scans and a version
+// counter that lets pollers wait efficiently for changes.
+//
+// Everything coordinated in Quokka — committed lineage, outstanding tasks,
+// channel placement, done markers, the recovery barrier flag — lives here.
+// The head node (and hence the GCS) is assumed not to fail, as in the
+// paper; workers may fail at any time without corrupting it.
+package gcs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+// Store is the Global Control Store. It is safe for concurrent use.
+// Transactions are serializable: a global commit lock orders them.
+type Store struct {
+	cost storage.CostModel
+	met  *metrics.Collector
+
+	mu      sync.Mutex
+	data    map[string][]byte
+	version uint64
+	cond    *sync.Cond
+}
+
+// New creates an empty store with the given cost model; each transaction
+// is charged one head-node round trip plus payload transfer.
+func New(cost storage.CostModel, met *metrics.Collector) *Store {
+	s := &Store{cost: cost, met: met, data: make(map[string][]byte)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Txn is the handle passed to transaction bodies. All reads observe the
+// state as of transaction start; all writes apply atomically at commit.
+// Txn methods must only be used inside the transaction body.
+type Txn struct {
+	s      *Store
+	writes map[string][]byte // nil value means delete
+	bytes  int64
+}
+
+// ErrAborted is returned when a transaction body asks to abort.
+var ErrAborted = fmt.Errorf("gcs: transaction aborted")
+
+// Update runs fn as a serializable read-write transaction. If fn returns
+// an error the transaction is discarded and the error returned. Each
+// committed transaction is charged one GCS round trip.
+func (s *Store) Update(fn func(tx *Txn) error) error {
+	s.mu.Lock()
+	tx := &Txn{s: s, writes: make(map[string][]byte)}
+	err := fn(tx)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for k, v := range tx.writes {
+		if v == nil {
+			delete(s.data, k)
+		} else {
+			s.data[k] = v
+		}
+	}
+	s.version++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.met.Add(metrics.GCSTxns, 1)
+	s.met.Add(metrics.GCSBytes, tx.bytes)
+	s.cost.Apply(s.cost.GCS, tx.bytes)
+	return nil
+}
+
+// View runs fn as a read-only transaction (one round trip, no payload).
+func (s *Store) View(fn func(tx *Txn) error) error {
+	s.mu.Lock()
+	tx := &Txn{s: s}
+	err := fn(tx)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.met.Add(metrics.GCSTxns, 1)
+	s.cost.Apply(s.cost.GCS, 0)
+	return err
+}
+
+// Get returns the value for key, observing earlier writes in the same
+// transaction. ok is false when the key is absent.
+func (tx *Txn) Get(key string) (val []byte, ok bool) {
+	if tx.writes != nil {
+		if v, written := tx.writes[key]; written {
+			if v == nil {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	v, ok := tx.s.data[key]
+	return v, ok
+}
+
+// Put stores value under key at commit.
+func (tx *Txn) Put(key string, value []byte) {
+	if tx.writes == nil {
+		panic("gcs: Put inside read-only transaction")
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	tx.writes[key] = cp
+	tx.bytes += int64(len(key) + len(value))
+}
+
+// Delete removes key at commit.
+func (tx *Txn) Delete(key string) {
+	if tx.writes == nil {
+		panic("gcs: Delete inside read-only transaction")
+	}
+	tx.writes[key] = nil
+	tx.bytes += int64(len(key))
+}
+
+// List returns the sorted keys having the given prefix, reflecting
+// uncommitted writes of this transaction.
+func (tx *Txn) List(prefix string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for k := range tx.s.data {
+		if strings.HasPrefix(k, prefix) {
+			if tx.writes != nil {
+				if v, written := tx.writes[k]; written && v == nil {
+					continue
+				}
+			}
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	if tx.writes != nil {
+		for k, v := range tx.writes {
+			if v != nil && strings.HasPrefix(k, prefix) && !seen[k] {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the store's commit counter. It increases on every
+// committed update; pollers use it with WaitChange.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// WaitChange blocks until the store version exceeds since or the timeout
+// elapses, returning the current version. TaskManagers use it to poll the
+// GCS without busy-waiting, preserving the paper's "stateless pollers"
+// design at reasonable CPU cost.
+func (s *Store) WaitChange(since uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.version <= since {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		// Wake the waiter when the deadline passes even if no commit
+		// happens; sync.Cond has no timed wait, so arm a timer.
+		done := make(chan struct{})
+		t := time.AfterFunc(remain, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			close(done)
+		})
+		s.cond.Wait()
+		t.Stop()
+		select {
+		case <-done:
+		default:
+		}
+	}
+	return s.version
+}

@@ -1,0 +1,112 @@
+// Package metrics provides lightweight atomic counters shared by the
+// simulated services (network, disks, object store, GCS). The benchmark
+// harness reads them to report the quantities the paper discusses: bytes
+// spooled, bytes backed up, GCS transactions, lineage log size, recovery
+// work.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector is a set of named monotonic counters. The zero value is ready
+// to use. It is safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+}
+
+// Counter names used across the engine. Keeping them centralized makes the
+// benchmark reports consistent.
+const (
+	NetworkBytes     = "network.bytes"    // shuffle traffic between workers
+	NetworkPushes    = "network.pushes"   // partition pushes
+	DiskWriteBytes   = "disk.write.bytes" // upstream backup writes
+	DiskReadBytes    = "disk.read.bytes"  // replay reads
+	ObjWriteBytes    = "objstore.write.bytes"
+	ObjReadBytes     = "objstore.read.bytes"
+	ObjWrites        = "objstore.writes"
+	ObjReads         = "objstore.reads"
+	GCSTxns          = "gcs.txns"
+	GCSBytes         = "gcs.bytes" // bytes written into the GCS (lineage log size)
+	TasksExecuted    = "tasks.executed"
+	TasksReplayed    = "tasks.replayed"
+	PartitionsMoved  = "partitions.moved"
+	CheckpointBytes  = "checkpoint.bytes"
+	RecoveryTasks    = "recovery.tasks"
+	RecoveryReplays  = "recovery.replays"
+	RecoveryRewinds  = "recovery.rewinds"
+	LineageRecords   = "lineage.records"
+	SpoolWriteBytes  = "spool.write.bytes"
+	BackupWriteBytes = "backup.write.bytes"
+)
+
+func (c *Collector) counter(name string) *atomic.Int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counters == nil {
+		c.counters = make(map[string]*atomic.Int64)
+	}
+	v, ok := c.counters[name]
+	if !ok {
+		v = new(atomic.Int64)
+		c.counters[name] = v
+	}
+	return v
+}
+
+// Add increments the named counter by delta. A nil Collector is a no-op,
+// so services can be constructed without metrics.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.counter(name).Add(delta)
+}
+
+// Get returns the current value of the named counter.
+func (c *Collector) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	v, ok := c.counters[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return v.Load()
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Collector) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Collector) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-24s %d\n", k, snap[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	c := &Collector{}
+	c.Add(NetworkBytes, 10)
+	c.Add(NetworkBytes, 5)
+	if got := c.Get(NetworkBytes); got != 15 {
+		t.Errorf("Get = %d, want 15", got)
+	}
+	if got := c.Get("never.touched"); got != 0 {
+		t.Errorf("untouched counter = %d", got)
+	}
+}
+
+func TestNilCollectorIsNoop(t *testing.T) {
+	var c *Collector
+	c.Add(DiskWriteBytes, 1) // must not panic
+	if c.Get(DiskWriteBytes) != 0 {
+		t.Error("nil collector should read 0")
+	}
+	if c.Snapshot() != nil {
+		t.Error("nil collector snapshot should be nil")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	c := &Collector{}
+	c.Add(GCSTxns, 3)
+	snap := c.Snapshot()
+	c.Add(GCSTxns, 4)
+	if snap[GCSTxns] != 3 {
+		t.Errorf("snapshot mutated: %d", snap[GCSTxns])
+	}
+	if c.Get(GCSTxns) != 7 {
+		t.Errorf("counter = %d", c.Get(GCSTxns))
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(TasksExecuted, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(TasksExecuted); got != 8000 {
+		t.Errorf("lost updates: %d", got)
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	c := &Collector{}
+	c.Add("z.last", 1)
+	c.Add("a.first", 2)
+	s := c.String()
+	if !strings.Contains(s, "a.first") || !strings.Contains(s, "z.last") {
+		t.Fatalf("String() missing counters: %q", s)
+	}
+	if strings.Index(s, "a.first") > strings.Index(s, "z.last") {
+		t.Error("String() not sorted")
+	}
+}

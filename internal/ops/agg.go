@@ -1,0 +1,364 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"quokka/internal/batch"
+	"quokka/internal/expr"
+)
+
+// AggKind enumerates aggregate functions. Avg is expressed in plans as
+// Sum/Sum of partials followed by a projection, so the kernel only needs
+// the decomposable aggregates.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggCountStar
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggCountStar:
+		return "count(*)"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "?"
+}
+
+// AggExpr is one aggregate output: Kind applied to Of (ignored for
+// count(*)), emitted under Name.
+type AggExpr struct {
+	Name string
+	Kind AggKind
+	Of   expr.Expr
+}
+
+// Sum returns sum(e) as name.
+func Sum(name string, e expr.Expr) AggExpr { return AggExpr{name, AggSum, e} }
+
+// Count returns count(e) as name.
+func Count(name string, e expr.Expr) AggExpr { return AggExpr{name, AggCount, e} }
+
+// CountStar returns count(*) as name.
+func CountStar(name string) AggExpr { return AggExpr{Name: name, Kind: AggCountStar} }
+
+// Min returns min(e) as name.
+func Min(name string, e expr.Expr) AggExpr { return AggExpr{name, AggMin, e} }
+
+// Max returns max(e) as name.
+func Max(name string, e expr.Expr) AggExpr { return AggExpr{name, AggMax, e} }
+
+// aggState holds the running value of one aggregate for one group.
+type aggState struct {
+	f     float64 // sum, or min/max for numeric
+	i     int64   // counts; min/max for ints
+	s     string  // min/max for strings
+	seen  bool
+	isInt bool
+	isStr bool
+}
+
+// groupState is one group's key values plus aggregate states.
+type groupState struct {
+	keyRow *batch.Batch // single-row batch holding the group key values
+	aggs   []aggState
+}
+
+// HashAgg is a hash aggregation grouped by the GroupBy columns. With an
+// empty GroupBy it computes a single global group and always emits exactly
+// one row. The hash table of groups is the channel's state variable.
+type HashAgg struct {
+	GroupBy []string
+	Aggs    []AggExpr
+
+	groups     map[string]*groupState
+	order      []string // insertion order for determinism pre-sort
+	stateBytes int64
+	keySchema  *batch.Schema
+}
+
+// NewHashAggSpec builds a Spec for a hash aggregation.
+func NewHashAggSpec(groupBy []string, aggs ...AggExpr) Spec {
+	return SpecFunc{
+		Label: fmt.Sprintf("agg[by %v, %d aggs]", groupBy, len(aggs)),
+		Factory: func(_, _ int) Operator {
+			return &HashAgg{GroupBy: groupBy, Aggs: aggs}
+		},
+	}
+}
+
+// Consume implements Operator.
+func (a *HashAgg) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	if a.groups == nil {
+		a.groups = make(map[string]*groupState)
+	}
+	keyIdx, err := keyIndexes(b.Schema, a.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	if a.keySchema == nil {
+		fields := make([]batch.Field, len(keyIdx))
+		for i, ci := range keyIdx {
+			fields[i] = b.Schema.Fields[ci]
+		}
+		a.keySchema = batch.NewSchema(fields...)
+	}
+	// Evaluate aggregate input expressions once per batch.
+	inputs := make([]*batch.Column, len(a.Aggs))
+	for i, ag := range a.Aggs {
+		if ag.Kind == AggCountStar {
+			continue
+		}
+		c, err := ag.Of.Eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("ops: agg %q: %w", ag.Name, err)
+		}
+		inputs[i] = c
+	}
+	n := b.NumRows()
+	var key []byte
+	for r := 0; r < n; r++ {
+		key = appendKey(key[:0], b, keyIdx, r)
+		g, ok := a.groups[string(key)]
+		if !ok {
+			bl := batch.NewBuilder(a.keySchema, 1)
+			for i, ci := range keyIdx {
+				bl.Col(i).AppendFrom(b.Cols[ci], r)
+			}
+			g = &groupState{keyRow: bl.Build(), aggs: make([]aggState, len(a.Aggs))}
+			a.groups[string(key)] = g
+			a.order = append(a.order, string(key))
+			a.stateBytes += int64(len(key)) + int64(len(a.Aggs))*24 + g.keyRow.ByteSize()
+		}
+		for i := range a.Aggs {
+			updateAgg(&g.aggs[i], a.Aggs[i].Kind, inputs[i], r)
+		}
+	}
+	return nil, nil
+}
+
+func updateAgg(st *aggState, kind AggKind, in *batch.Column, r int) {
+	switch kind {
+	case AggCountStar:
+		st.i++
+		return
+	case AggCount:
+		st.i++
+		return
+	}
+	switch in.Type {
+	case batch.Int64, batch.Date:
+		v := in.Ints[r]
+		switch kind {
+		case AggSum:
+			st.i += v
+			st.isInt = true
+		case AggMin:
+			if !st.seen || v < st.i {
+				st.i = v
+			}
+			st.isInt = true
+		case AggMax:
+			if !st.seen || v > st.i {
+				st.i = v
+			}
+			st.isInt = true
+		}
+	case batch.Float64:
+		v := in.Floats[r]
+		switch kind {
+		case AggSum:
+			st.f += v
+		case AggMin:
+			if !st.seen || v < st.f {
+				st.f = v
+			}
+		case AggMax:
+			if !st.seen || v > st.f {
+				st.f = v
+			}
+		}
+	case batch.String:
+		v := in.Strings[r]
+		st.isStr = true
+		switch kind {
+		case AggMin:
+			if !st.seen || v < st.s {
+				st.s = v
+			}
+		case AggMax:
+			if !st.seen || v > st.s {
+				st.s = v
+			}
+		default:
+			// sum over strings is a plan bug; keep zero.
+		}
+	}
+	st.seen = true
+}
+
+// aggOutType decides the output column type of an aggregate from its state.
+func aggOutType(kind AggKind, st *aggState) batch.Type {
+	switch kind {
+	case AggCount, AggCountStar:
+		return batch.Int64
+	}
+	if st.isStr {
+		return batch.String
+	}
+	if st.isInt {
+		return batch.Int64
+	}
+	return batch.Float64
+}
+
+// Finalize implements Operator. It emits one row per group, sorted by the
+// group key encoding so output is deterministic regardless of input order
+// interleaving across batches with equal multiset content.
+func (a *HashAgg) Finalize() ([]*batch.Batch, error) {
+	if len(a.GroupBy) == 0 {
+		// Global aggregate: exactly one row even with no input.
+		if a.groups == nil {
+			a.groups = map[string]*groupState{"": {keyRow: batch.Empty(batch.NewSchema()), aggs: make([]aggState, len(a.Aggs))}}
+			a.order = []string{""}
+			a.keySchema = batch.NewSchema()
+		}
+	}
+	if len(a.groups) == 0 {
+		return nil, nil
+	}
+	keys := append([]string(nil), a.order...)
+	sort.Strings(keys)
+
+	first := a.groups[keys[0]]
+	fields := append([]batch.Field(nil), a.keySchema.Fields...)
+	for i, ag := range a.Aggs {
+		fields = append(fields, batch.Field{Name: ag.Name, Type: aggOutType(ag.Kind, &first.aggs[i])})
+	}
+	schema := batch.NewSchema(fields...)
+	bl := batch.NewBuilder(schema, len(keys))
+	nk := a.keySchema.Len()
+	for _, k := range keys {
+		g := a.groups[k]
+		for c := 0; c < nk; c++ {
+			bl.Col(c).AppendFrom(g.keyRow.Cols[c], 0)
+		}
+		for i := range a.Aggs {
+			st := &g.aggs[i]
+			col := bl.Col(nk + i)
+			switch col.Type {
+			case batch.Int64:
+				col.Ints = append(col.Ints, st.i)
+			case batch.Float64:
+				col.Floats = append(col.Floats, st.f)
+			case batch.String:
+				col.Strings = append(col.Strings, st.s)
+			}
+		}
+	}
+	return single(bl.Build()), nil
+}
+
+// StateBytes implements Snapshotter.
+func (a *HashAgg) StateBytes() int64 { return a.stateBytes }
+
+// Snapshot implements Snapshotter by serializing groups as a batch of key
+// columns plus per-aggregate state columns.
+func (a *HashAgg) Snapshot() ([]byte, error) {
+	if len(a.groups) == 0 {
+		return nil, nil
+	}
+	fields := append([]batch.Field(nil), a.keySchema.Fields...)
+	for i := range a.Aggs {
+		fields = append(fields,
+			batch.F(fmt.Sprintf("__f%d", i), batch.Float64),
+			batch.F(fmt.Sprintf("__i%d", i), batch.Int64),
+			batch.F(fmt.Sprintf("__s%d", i), batch.String),
+			batch.F(fmt.Sprintf("__b%d", i), batch.Bool),
+			batch.F(fmt.Sprintf("__n%d", i), batch.Bool),
+			batch.F(fmt.Sprintf("__t%d", i), batch.Bool),
+		)
+	}
+	schema := batch.NewSchema(fields...)
+	bl := batch.NewBuilder(schema, len(a.order))
+	nk := a.keySchema.Len()
+	for _, k := range a.order {
+		g := a.groups[k]
+		for c := 0; c < nk; c++ {
+			bl.Col(c).AppendFrom(g.keyRow.Cols[c], 0)
+		}
+		for i := range a.Aggs {
+			st := &g.aggs[i]
+			base := nk + i*6
+			bl.Col(base).Floats = append(bl.Col(base).Floats, st.f)
+			bl.Col(base + 1).Ints = append(bl.Col(base+1).Ints, st.i)
+			bl.Col(base + 2).Strings = append(bl.Col(base+2).Strings, st.s)
+			bl.Col(base + 3).Bools = append(bl.Col(base+3).Bools, st.seen)
+			bl.Col(base + 4).Bools = append(bl.Col(base+4).Bools, st.isInt)
+			bl.Col(base + 5).Bools = append(bl.Col(base+5).Bools, st.isStr)
+		}
+	}
+	return batch.Encode(bl.Build()), nil
+}
+
+// Restore implements Snapshotter.
+func (a *HashAgg) Restore(data []byte) error {
+	a.groups = make(map[string]*groupState)
+	a.order = nil
+	a.stateBytes = 0
+	a.keySchema = nil
+	if len(data) == 0 {
+		return nil
+	}
+	b, err := batch.Decode(data)
+	if err != nil {
+		return err
+	}
+	nk := b.Schema.Len() - len(a.Aggs)*6
+	if nk < 0 {
+		return fmt.Errorf("ops: agg snapshot has %d columns for %d aggs", b.Schema.Len(), len(a.Aggs))
+	}
+	a.keySchema = batch.NewSchema(b.Schema.Fields[:nk]...)
+	keyIdx := make([]int, nk)
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	n := b.NumRows()
+	var key []byte
+	for r := 0; r < n; r++ {
+		key = appendKey(key[:0], b, keyIdx, r)
+		bl := batch.NewBuilder(a.keySchema, 1)
+		for c := 0; c < nk; c++ {
+			bl.Col(c).AppendFrom(b.Cols[c], r)
+		}
+		g := &groupState{keyRow: bl.Build(), aggs: make([]aggState, len(a.Aggs))}
+		for i := range a.Aggs {
+			base := nk + i*6
+			g.aggs[i] = aggState{
+				f:     b.Cols[base].Floats[r],
+				i:     b.Cols[base+1].Ints[r],
+				s:     b.Cols[base+2].Strings[r],
+				seen:  b.Cols[base+3].Bools[r],
+				isInt: b.Cols[base+4].Bools[r],
+				isStr: b.Cols[base+5].Bools[r],
+			}
+		}
+		a.groups[string(key)] = g
+		a.order = append(a.order, string(key))
+		a.stateBytes += int64(len(key)) + int64(len(a.Aggs))*24 + g.keyRow.ByteSize()
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package ops
+
+import (
+	"strings"
+
+	"quokka/internal/batch"
+)
+
+// Chain composes operators into one: each Consume output flows through the
+// rest of the chain; Finalize flushes operators front to back, feeding each
+// operator's final output through its successors. A Chain is stateful iff
+// any member is, and snapshots by concatenating member snapshots.
+//
+// Chains let one pipeline stage fuse e.g. final-aggregate -> project(avg) ->
+// sort without extra shuffle hops, the way a query engine fuses operators
+// within a pipeline fragment.
+type Chain struct {
+	Ops []Operator
+}
+
+// NewChainSpec composes specs into a chained Spec.
+func NewChainSpec(specs ...Spec) Spec {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name()
+	}
+	return SpecFunc{
+		Label: "chain[" + strings.Join(names, " -> ") + "]",
+		Factory: func(channel, channels int) Operator {
+			ops := make([]Operator, len(specs))
+			for i, s := range specs {
+				ops[i] = s.New(channel, channels)
+			}
+			return &Chain{Ops: ops}
+		},
+	}
+}
+
+// Consume implements Operator.
+func (c *Chain) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
+	return c.feed(0, input, []*batch.Batch{b})
+}
+
+// feed pushes batches into the chain starting at operator i.
+func (c *Chain) feed(i, input int, batches []*batch.Batch) ([]*batch.Batch, error) {
+	cur := batches
+	for ; i < len(c.Ops); i++ {
+		var next []*batch.Batch
+		for _, b := range cur {
+			out, err := c.Ops[i].Consume(input, b)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+		}
+		input = 0 // downstream links are single-input
+		cur = next
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// Finalize implements Operator.
+func (c *Chain) Finalize() ([]*batch.Batch, error) {
+	var tail []*batch.Batch
+	for i, op := range c.Ops {
+		fin, err := op.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		if len(fin) > 0 {
+			out, err := c.feed(i+1, 0, fin)
+			if err != nil {
+				return nil, err
+			}
+			tail = out // later finalizers supersede (they absorbed earlier output)
+		}
+	}
+	return tail, nil
+}
+
+// StateBytes implements Snapshotter.
+func (c *Chain) StateBytes() int64 {
+	var n int64
+	for _, op := range c.Ops {
+		if s, ok := op.(Snapshotter); ok {
+			n += s.StateBytes()
+		}
+	}
+	return n
+}
+
+// Snapshot implements Snapshotter by length-prefixing member snapshots.
+func (c *Chain) Snapshot() ([]byte, error) {
+	var out []byte
+	for _, op := range c.Ops {
+		var data []byte
+		if s, ok := op.(Snapshotter); ok {
+			d, err := s.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			data = d
+		}
+		var hdr [4]byte
+		n := len(data)
+		hdr[0] = byte(n)
+		hdr[1] = byte(n >> 8)
+		hdr[2] = byte(n >> 16)
+		hdr[3] = byte(n >> 24)
+		out = append(out, hdr[:]...)
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Restore implements Snapshotter.
+func (c *Chain) Restore(data []byte) error {
+	for _, op := range c.Ops {
+		if len(data) < 4 {
+			return nil
+		}
+		n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+		payload := data[4 : 4+n]
+		data = data[4+n:]
+		if s, ok := op.(Snapshotter); ok && n > 0 {
+			if err := s.Restore(payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package ops
+
+import (
+	"fmt"
+
+	"quokka/internal/batch"
+	"quokka/internal/expr"
+)
+
+// Filter keeps the rows for which the predicate evaluates to true. It is
+// stateless and streams.
+type Filter struct {
+	Pred expr.Expr
+}
+
+// NewFilterSpec builds a Spec for a Filter with the given predicate.
+func NewFilterSpec(pred expr.Expr) Spec {
+	return SpecFunc{
+		Label:   fmt.Sprintf("filter[%s]", pred),
+		Factory: func(_, _ int) Operator { return &Filter{Pred: pred} },
+	}
+}
+
+// Consume implements Operator.
+func (f *Filter) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	c, err := f.Pred.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type != batch.Bool {
+		return nil, fmt.Errorf("ops: filter predicate %s yields %s, want bool", f.Pred, c.Type)
+	}
+	n := b.NumRows()
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if c.Bools[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == n {
+		return single(b), nil
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	return single(b.Gather(idx)), nil
+}
+
+// Finalize implements Operator.
+func (f *Filter) Finalize() ([]*batch.Batch, error) { return nil, nil }
+
+// NamedExpr pairs an output column name with the expression producing it.
+type NamedExpr struct {
+	Name string
+	Expr expr.Expr
+}
+
+// NE is shorthand for a NamedExpr.
+func NE(name string, e expr.Expr) NamedExpr { return NamedExpr{Name: name, Expr: e} }
+
+// KeepCols builds identity projections for the named pass-through columns.
+func KeepCols(names ...string) []NamedExpr {
+	out := make([]NamedExpr, len(names))
+	for i, n := range names {
+		out[i] = NamedExpr{Name: n, Expr: expr.C(n)}
+	}
+	return out
+}
+
+// Project computes a new batch with one column per expression. It is
+// stateless and streams.
+type Project struct {
+	Exprs []NamedExpr
+}
+
+// NewProjectSpec builds a Spec for a Project.
+func NewProjectSpec(exprs ...NamedExpr) Spec {
+	return SpecFunc{
+		Label:   fmt.Sprintf("project[%d cols]", len(exprs)),
+		Factory: func(_, _ int) Operator { return &Project{Exprs: exprs} },
+	}
+}
+
+// Consume implements Operator.
+func (p *Project) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	out, err := p.Apply(b)
+	if err != nil {
+		return nil, err
+	}
+	return single(out), nil
+}
+
+// Apply projects a single batch; exposed for reuse by fused operators.
+func (p *Project) Apply(b *batch.Batch) (*batch.Batch, error) {
+	cols := make([]*batch.Column, len(p.Exprs))
+	fields := make([]batch.Field, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		c, err := ne.Expr.Eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("ops: project %q: %w", ne.Name, err)
+		}
+		cols[i] = c
+		fields[i] = batch.Field{Name: ne.Name, Type: c.Type}
+	}
+	return batch.New(batch.NewSchema(fields...), cols)
+}
+
+// Finalize implements Operator.
+func (p *Project) Finalize() ([]*batch.Batch, error) { return nil, nil }
+
+// FilterProject fuses a predicate with a projection, the common shape of
+// TPC-H scan pipelines. Pred may be nil (project only).
+type FilterProject struct {
+	Pred  expr.Expr
+	Exprs []NamedExpr
+}
+
+// NewFilterProjectSpec builds a Spec for a fused filter+project.
+func NewFilterProjectSpec(pred expr.Expr, exprs ...NamedExpr) Spec {
+	label := "map"
+	if pred != nil {
+		label = fmt.Sprintf("map[%s]", pred)
+	}
+	return SpecFunc{
+		Label: label,
+		Factory: func(_, _ int) Operator {
+			return &FilterProject{Pred: pred, Exprs: exprs}
+		},
+	}
+}
+
+// Consume implements Operator.
+func (fp *FilterProject) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	if fp.Pred != nil {
+		f := Filter{Pred: fp.Pred}
+		filtered, err := f.Consume(0, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(filtered) == 0 {
+			return nil, nil
+		}
+		b = filtered[0]
+	}
+	p := Project{Exprs: fp.Exprs}
+	return p.Consume(0, b)
+}
+
+// Finalize implements Operator.
+func (fp *FilterProject) Finalize() ([]*batch.Batch, error) { return nil, nil }
+
+// Limit passes through the first N rows it sees and drops the rest. It is
+// stateful (a counter) but cheap; used for LIMIT queries.
+type Limit struct {
+	N    int
+	seen int
+}
+
+// NewLimitSpec builds a Spec for Limit n.
+func NewLimitSpec(n int) Spec {
+	return SpecFunc{
+		Label:   fmt.Sprintf("limit[%d]", n),
+		Factory: func(_, _ int) Operator { return &Limit{N: n} },
+	}
+}
+
+// Consume implements Operator.
+func (l *Limit) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	remain := l.N - l.seen
+	if b.NumRows() <= remain {
+		l.seen += b.NumRows()
+		return single(b), nil
+	}
+	l.seen = l.N
+	return single(b.Slice(0, remain)), nil
+}
+
+// Finalize implements Operator.
+func (l *Limit) Finalize() ([]*batch.Batch, error) { return nil, nil }

@@ -1,0 +1,301 @@
+package ops
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"quokka/internal/batch"
+)
+
+// JoinType enumerates the supported join semantics.
+type JoinType uint8
+
+// Join types. LeftOuter appends a "__matched" bool column instead of NULLs
+// (the engine's type system has no nulls); unmatched probe rows carry zero
+// values in build columns and __matched=false.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	SemiJoin
+	AntiJoin
+)
+
+// String returns the join type name.
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "inner"
+	case LeftOuterJoin:
+		return "left"
+	case SemiJoin:
+		return "semi"
+	case AntiJoin:
+		return "anti"
+	}
+	return "?"
+}
+
+// HashJoin is a build/probe hash join. Input 0 is the build side, input 1
+// the probe side; the engine guarantees the build side is exhausted before
+// any probe batch arrives (consumption phases, §IV-A). The hash table over
+// the build side is the channel's state variable — exactly the state the
+// paper's Figure 1 depicts and recovery must reconstruct.
+//
+// Output columns are probe columns followed by build columns (minus the
+// build keys when key names collide with probe keys).
+type HashJoin struct {
+	Type      JoinType
+	BuildKeys []string
+	ProbeKeys []string
+
+	build      []*batch.Batch // retained build batches (state)
+	stateBytes int64
+	index      map[string][]rowRef // built lazily at first probe
+	buildProj  []int               // build column indexes carried to output
+	outSchema  *batch.Schema
+	probeKeyIx []int
+	buildKeyIx []int
+}
+
+type rowRef struct {
+	batch int32
+	row   int32
+}
+
+// NewHashJoinSpec builds a Spec for a hash join.
+func NewHashJoinSpec(t JoinType, buildKeys, probeKeys []string) Spec {
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		panic("ops: join key lists must be equal length and non-empty")
+	}
+	return SpecFunc{
+		Label: fmt.Sprintf("join[%s on %v=%v]", t, buildKeys, probeKeys),
+		Factory: func(_, _ int) Operator {
+			return &HashJoin{Type: t, BuildKeys: buildKeys, ProbeKeys: probeKeys}
+		},
+	}
+}
+
+// appendKey appends the binary encoding of row r's key columns to dst.
+func appendKey(dst []byte, b *batch.Batch, keyIdx []int, r int) []byte {
+	var u [8]byte
+	for _, ci := range keyIdx {
+		c := b.Cols[ci]
+		switch c.Type {
+		case batch.Int64, batch.Date:
+			binary.LittleEndian.PutUint64(u[:], uint64(c.Ints[r]))
+			dst = append(dst, u[:]...)
+		case batch.Float64:
+			binary.LittleEndian.PutUint64(u[:], math.Float64bits(c.Floats[r]))
+			dst = append(dst, u[:]...)
+		case batch.String:
+			binary.LittleEndian.PutUint32(u[:4], uint32(len(c.Strings[r])))
+			dst = append(dst, u[:4]...)
+			dst = append(dst, c.Strings[r]...)
+		case batch.Bool:
+			if c.Bools[r] {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	return dst
+}
+
+func keyIndexes(s *batch.Schema, keys []string) ([]int, error) {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		j := s.Index(k)
+		if j < 0 {
+			return nil, fmt.Errorf("ops: join key %q not in schema %s", k, s)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// Consume implements Operator.
+func (j *HashJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
+	switch input {
+	case 0:
+		j.build = append(j.build, b)
+		j.stateBytes += b.ByteSize()
+		return nil, nil
+	case 1:
+		return j.probe(b)
+	default:
+		return nil, fmt.Errorf("ops: join input %d out of range", input)
+	}
+}
+
+// buildIndex constructs the hash table once the build side is complete.
+func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
+	j.index = make(map[string][]rowRef)
+	var buildSchema *batch.Schema
+	if len(j.build) > 0 {
+		buildSchema = j.build[0].Schema
+	}
+	if buildSchema != nil {
+		ix, err := keyIndexes(buildSchema, j.BuildKeys)
+		if err != nil {
+			return err
+		}
+		j.buildKeyIx = ix
+		var key []byte
+		for bi, bb := range j.build {
+			n := bb.NumRows()
+			for r := 0; r < n; r++ {
+				key = appendKey(key[:0], bb, ix, r)
+				j.index[string(key)] = append(j.index[string(key)], rowRef{int32(bi), int32(r)})
+			}
+		}
+	}
+	pix, err := keyIndexes(probeSchema, j.ProbeKeys)
+	if err != nil {
+		return err
+	}
+	j.probeKeyIx = pix
+
+	// Output schema: probe columns, then non-key build columns, then for
+	// left-outer the __matched marker. Build key columns are dropped (they
+	// equal the probe keys on matched rows).
+	if j.Type == SemiJoin || j.Type == AntiJoin {
+		j.outSchema = probeSchema
+		return nil
+	}
+	fields := append([]batch.Field(nil), probeSchema.Fields...)
+	if buildSchema != nil {
+		isKey := make(map[int]bool, len(j.buildKeyIx))
+		for _, k := range j.buildKeyIx {
+			isKey[k] = true
+		}
+		for ci, f := range buildSchema.Fields {
+			if isKey[ci] {
+				continue
+			}
+			if probeSchema.Index(f.Name) >= 0 {
+				return fmt.Errorf("ops: join output column %q collides; project before joining", f.Name)
+			}
+			j.buildProj = append(j.buildProj, ci)
+			fields = append(fields, f)
+		}
+	}
+	if j.Type == LeftOuterJoin {
+		fields = append(fields, batch.Field{Name: "__matched", Type: batch.Bool})
+	}
+	j.outSchema = batch.NewSchema(fields...)
+	return nil
+}
+
+func (j *HashJoin) probe(pb *batch.Batch) ([]*batch.Batch, error) {
+	if j.index == nil {
+		if err := j.buildIndex(pb.Schema); err != nil {
+			return nil, err
+		}
+	}
+	n := pb.NumRows()
+	var key []byte
+	switch j.Type {
+	case SemiJoin, AntiJoin:
+		idx := make([]int, 0, n)
+		for r := 0; r < n; r++ {
+			key = appendKey(key[:0], pb, j.probeKeyIx, r)
+			_, hit := j.index[string(key)]
+			if hit == (j.Type == SemiJoin) {
+				idx = append(idx, r)
+			}
+		}
+		if len(idx) == 0 {
+			return nil, nil
+		}
+		return single(pb.Gather(idx)), nil
+	}
+
+	bl := batch.NewBuilder(j.outSchema, n)
+	np := pb.Schema.Len()
+	appendOut := func(probeRow int, ref *rowRef) {
+		for c := 0; c < np; c++ {
+			bl.Col(c).AppendFrom(pb.Cols[c], probeRow)
+		}
+		oc := np
+		for _, bc := range j.buildProj {
+			col := bl.Col(oc)
+			if ref != nil {
+				col.AppendFrom(j.build[ref.batch].Cols[bc], int(ref.row))
+			} else {
+				appendZero(col)
+			}
+			oc++
+		}
+		if j.Type == LeftOuterJoin {
+			bl.Col(oc).Bools = append(bl.Col(oc).Bools, ref != nil)
+		}
+	}
+	for r := 0; r < n; r++ {
+		key = appendKey(key[:0], pb, j.probeKeyIx, r)
+		refs := j.index[string(key)]
+		if len(refs) == 0 {
+			if j.Type == LeftOuterJoin {
+				appendOut(r, nil)
+			}
+			continue
+		}
+		for i := range refs {
+			appendOut(r, &refs[i])
+		}
+	}
+	if bl.Len() == 0 {
+		return nil, nil
+	}
+	return single(bl.Build()), nil
+}
+
+func appendZero(c *batch.Column) {
+	switch c.Type {
+	case batch.Int64, batch.Date:
+		c.Ints = append(c.Ints, 0)
+	case batch.Float64:
+		c.Floats = append(c.Floats, 0)
+	case batch.String:
+		c.Strings = append(c.Strings, "")
+	case batch.Bool:
+		c.Bools = append(c.Bools, false)
+	}
+}
+
+// Finalize implements Operator.
+func (j *HashJoin) Finalize() ([]*batch.Batch, error) { return nil, nil }
+
+// StateBytes implements Snapshotter: the retained build side.
+func (j *HashJoin) StateBytes() int64 { return j.stateBytes }
+
+// Snapshot implements Snapshotter by serializing the buffered build side.
+// The index is rebuilt on Restore.
+func (j *HashJoin) Snapshot() ([]byte, error) {
+	merged, err := batch.Concat(j.build)
+	if err != nil {
+		return nil, err
+	}
+	if merged == nil {
+		return nil, nil
+	}
+	return batch.Encode(merged), nil
+}
+
+// Restore implements Snapshotter.
+func (j *HashJoin) Restore(data []byte) error {
+	j.build = nil
+	j.stateBytes = 0
+	j.index = nil
+	if len(data) == 0 {
+		return nil
+	}
+	b, err := batch.Decode(data)
+	if err != nil {
+		return err
+	}
+	j.build = []*batch.Batch{b}
+	j.stateBytes = b.ByteSize()
+	return nil
+}

@@ -1,0 +1,186 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quokka/internal/batch"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Asc returns an ascending sort key.
+func Asc(col string) SortKey { return SortKey{Col: col} }
+
+// Desc returns a descending sort key.
+func Desc(col string) SortKey { return SortKey{Col: col, Desc: true} }
+
+// Sort buffers its whole input and emits it sorted at Finalize. It is the
+// final, single-channel stage of ORDER BY queries. Optional Limit truncates
+// the output (top-k).
+type Sort struct {
+	Keys  []SortKey
+	Limit int // 0 means no limit
+
+	buf        []*batch.Batch
+	stateBytes int64
+}
+
+// NewSortSpec builds a Spec for a full sort.
+func NewSortSpec(keys ...SortKey) Spec {
+	return SpecFunc{
+		Label:   fmt.Sprintf("sort[%s]", keyLabel(keys)),
+		Factory: func(_, _ int) Operator { return &Sort{Keys: keys} },
+	}
+}
+
+// NewTopKSpec builds a Spec for sort-with-limit (ORDER BY ... LIMIT k).
+func NewTopKSpec(k int, keys ...SortKey) Spec {
+	return SpecFunc{
+		Label:   fmt.Sprintf("topk[%d, %s]", k, keyLabel(keys)),
+		Factory: func(_, _ int) Operator { return &Sort{Keys: keys, Limit: k} },
+	}
+}
+
+func keyLabel(keys []SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Col
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Consume implements Operator.
+func (s *Sort) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	s.buf = append(s.buf, b)
+	s.stateBytes += b.ByteSize()
+	return nil, nil
+}
+
+// Finalize implements Operator.
+func (s *Sort) Finalize() ([]*batch.Batch, error) {
+	all, err := batch.Concat(s.buf)
+	if err != nil {
+		return nil, err
+	}
+	if all == nil || all.NumRows() == 0 {
+		return nil, nil
+	}
+	out, err := SortBatch(all, s.Keys)
+	if err != nil {
+		return nil, err
+	}
+	if s.Limit > 0 && out.NumRows() > s.Limit {
+		out = out.Slice(0, s.Limit)
+	}
+	return single(out), nil
+}
+
+// StateBytes implements Snapshotter.
+func (s *Sort) StateBytes() int64 { return s.stateBytes }
+
+// Snapshot implements Snapshotter.
+func (s *Sort) Snapshot() ([]byte, error) {
+	all, err := batch.Concat(s.buf)
+	if err != nil {
+		return nil, err
+	}
+	if all == nil {
+		return nil, nil
+	}
+	return batch.Encode(all), nil
+}
+
+// Restore implements Snapshotter.
+func (s *Sort) Restore(data []byte) error {
+	s.buf = nil
+	s.stateBytes = 0
+	if len(data) == 0 {
+		return nil
+	}
+	b, err := batch.Decode(data)
+	if err != nil {
+		return err
+	}
+	s.buf = []*batch.Batch{b}
+	s.stateBytes = b.ByteSize()
+	return nil
+}
+
+// SortBatch returns b's rows reordered by the sort keys. The sort is
+// stable, so ties preserve input order (which lineage replay makes
+// deterministic).
+func SortBatch(b *batch.Batch, keys []SortKey) (*batch.Batch, error) {
+	type keyCol struct {
+		col  *batch.Column
+		desc bool
+	}
+	kcs := make([]keyCol, len(keys))
+	for i, k := range keys {
+		j := b.Schema.Index(k.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("ops: sort key %q not in schema %s", k.Col, b.Schema)
+		}
+		kcs[i] = keyCol{col: b.Cols[j], desc: k.Desc}
+	}
+	n := b.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		rx, ry := idx[x], idx[y]
+		for _, kc := range kcs {
+			c := compareAt(kc.col, rx, ry)
+			if c == 0 {
+				continue
+			}
+			if kc.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return b.Gather(idx), nil
+}
+
+func compareAt(c *batch.Column, i, j int) int {
+	switch c.Type {
+	case batch.Int64, batch.Date:
+		a, b := c.Ints[i], c.Ints[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+	case batch.Float64:
+		a, b := c.Floats[i], c.Floats[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+	case batch.String:
+		return strings.Compare(c.Strings[i], c.Strings[j])
+	case batch.Bool:
+		a, b := c.Bools[i], c.Bools[j]
+		switch {
+		case !a && b:
+			return -1
+		case a && !b:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"quokka/internal/metrics"
+)
+
+// LocalDisk simulates a worker's instance-attached NVMe drive. Contents
+// are volatile: when the worker fails, Wipe destroys everything, exactly
+// like losing a spot instance. This is the substrate for the paper's
+// "upstream backup" of task outputs.
+type LocalDisk struct {
+	cost CostModel
+	met  *metrics.Collector
+
+	mu    sync.RWMutex
+	data  map[string][]byte
+	wiped bool
+}
+
+// NewLocalDisk creates an empty disk with the given cost model.
+func NewLocalDisk(cost CostModel, met *metrics.Collector) *LocalDisk {
+	return &LocalDisk{cost: cost, met: met, data: make(map[string][]byte)}
+}
+
+// ErrWiped is returned for any access to a failed worker's disk.
+var ErrWiped = fmt.Errorf("storage: disk wiped (worker failed)")
+
+// Write stores value under key, applying the NVMe write cost.
+func (d *LocalDisk) Write(key string, value []byte) error {
+	d.cost.Apply(d.cost.Disk, int64(len(value)))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wiped {
+		return ErrWiped
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	d.data[key] = cp
+	d.met.Add(metrics.DiskWriteBytes, int64(len(value)))
+	return nil
+}
+
+// Read returns the value stored under key.
+func (d *LocalDisk) Read(key string) ([]byte, error) {
+	d.mu.RLock()
+	v, ok := d.data[key]
+	wiped := d.wiped
+	d.mu.RUnlock()
+	if wiped {
+		return nil, ErrWiped
+	}
+	if !ok {
+		return nil, fmt.Errorf("storage: disk key %q not found", key)
+	}
+	d.cost.Apply(d.cost.Disk, int64(len(v)))
+	d.met.Add(metrics.DiskReadBytes, int64(len(v)))
+	return v, nil
+}
+
+// Has reports whether key exists (no cost; a directory lookup).
+func (d *LocalDisk) Has(key string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return false
+	}
+	_, ok := d.data[key]
+	return ok
+}
+
+// Delete removes a key; absent keys are ignored.
+func (d *LocalDisk) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.data, key)
+}
+
+// List returns the sorted keys with the given prefix.
+func (d *LocalDisk) List(prefix string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return nil
+	}
+	var out []string
+	for k := range d.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Wipe simulates the disk being lost with its worker. Subsequent access
+// fails with ErrWiped.
+func (d *LocalDisk) Wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wiped = true
+	d.data = make(map[string][]byte)
+}
+
+// UsedBytes returns the total stored payload size.
+func (d *LocalDisk) UsedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, v := range d.data {
+		n += int64(len(v))
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"quokka/internal/metrics"
+)
+
+// Durability profiles for the object store, selecting which cost link is
+// charged per operation.
+type Profile uint8
+
+// Object store profiles.
+const (
+	ProfileS3 Profile = iota
+	ProfileHDFS
+)
+
+func (p Profile) String() string {
+	if p == ProfileHDFS {
+		return "hdfs"
+	}
+	return "s3"
+}
+
+// ObjectStore simulates durable shared storage (S3 or HDFS). It survives
+// worker failures. Input tables live here, and the spooling/checkpointing
+// fault-tolerance baselines write here — which is exactly why they are
+// expensive (Figure 9 of the paper).
+type ObjectStore struct {
+	cost    CostModel
+	profile Profile
+	met     *metrics.Collector
+
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// NewObjectStore creates an empty durable store with the given profile.
+func NewObjectStore(cost CostModel, profile Profile, met *metrics.Collector) *ObjectStore {
+	return &ObjectStore{cost: cost, profile: profile, met: met, data: make(map[string][]byte)}
+}
+
+func (s *ObjectStore) link() LinkCost {
+	if s.profile == ProfileHDFS {
+		return s.cost.HDFS
+	}
+	return s.cost.S3
+}
+
+// Put durably stores value under key.
+func (s *ObjectStore) Put(key string, value []byte) error {
+	s.cost.Apply(s.link(), int64(len(value)))
+	s.mu.Lock()
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.data[key] = cp
+	s.mu.Unlock()
+	s.met.Add(metrics.ObjWriteBytes, int64(len(value)))
+	s.met.Add(metrics.ObjWrites, 1)
+	return nil
+}
+
+// PutFree stores value without applying I/O cost. The TPC-H loader uses it
+// so that dataset preparation is not billed to the query under test.
+func (s *ObjectStore) PutFree(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.data[key] = cp
+}
+
+// Get retrieves the value under key.
+func (s *ObjectStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: object %q not found", key)
+	}
+	s.cost.Apply(s.link(), int64(len(v)))
+	s.met.Add(metrics.ObjReadBytes, int64(len(v)))
+	s.met.Add(metrics.ObjReads, 1)
+	return v, nil
+}
+
+// Has reports whether key exists, without I/O cost.
+func (s *ObjectStore) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[key]
+	return ok
+}
+
+// Delete removes a key; absent keys are ignored.
+func (s *ObjectStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// List returns the sorted keys with the given prefix.
+func (s *ObjectStore) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the stored size of key, or -1 if absent. No I/O cost.
+func (s *ObjectStore) Size(key string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return -1
+	}
+	return int64(len(v))
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"quokka/internal/metrics"
+)
+
+func TestLinkCostDuration(t *testing.T) {
+	l := LinkCost{Latency: time.Millisecond, BytesPerS: 1e6}
+	if got := l.Duration(0); got != time.Millisecond {
+		t.Errorf("Duration(0) = %v", got)
+	}
+	if got := l.Duration(1e6); got != time.Millisecond+time.Second {
+		t.Errorf("Duration(1MB) = %v", got)
+	}
+	zero := LinkCost{}
+	if got := zero.Duration(100); got != 0 {
+		t.Errorf("zero link duration = %v", got)
+	}
+}
+
+func TestCostModelApplyScales(t *testing.T) {
+	cm := CostModel{TimeScale: 0}
+	start := time.Now()
+	cm.Apply(LinkCost{Latency: time.Hour}, 0)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("TimeScale 0 must not sleep")
+	}
+	cm = CostModel{TimeScale: 0.001}
+	start = time.Now()
+	cm.Apply(LinkCost{Latency: 2 * time.Second}, 0)
+	el := time.Since(start)
+	if el < time.Millisecond || el > 500*time.Millisecond {
+		t.Errorf("scaled sleep = %v, want ~2ms", el)
+	}
+}
+
+func TestLocalDisk(t *testing.T) {
+	met := &metrics.Collector{}
+	d := NewLocalDisk(TestCostModel(), met)
+	if err := d.Write("p/1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("p/2", []byte("world!")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read("p/1")
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("Read = %q, %v", v, err)
+	}
+	if !d.Has("p/2") || d.Has("nope") {
+		t.Error("Has wrong")
+	}
+	if got := d.List("p/"); len(got) != 2 || got[0] != "p/1" {
+		t.Errorf("List = %v", got)
+	}
+	if d.UsedBytes() != 11 {
+		t.Errorf("UsedBytes = %d", d.UsedBytes())
+	}
+	if met.Get(metrics.DiskWriteBytes) != 11 {
+		t.Errorf("metric = %d", met.Get(metrics.DiskWriteBytes))
+	}
+	d.Delete("p/1")
+	if d.Has("p/1") {
+		t.Error("Delete failed")
+	}
+	if _, err := d.Read("p/1"); err == nil {
+		t.Error("want error reading deleted key")
+	}
+}
+
+func TestLocalDiskWipe(t *testing.T) {
+	d := NewLocalDisk(TestCostModel(), nil)
+	d.Write("k", []byte("v"))
+	d.Wipe()
+	if _, err := d.Read("k"); err != ErrWiped {
+		t.Errorf("Read after wipe = %v, want ErrWiped", err)
+	}
+	if err := d.Write("k2", nil); err != ErrWiped {
+		t.Errorf("Write after wipe = %v, want ErrWiped", err)
+	}
+	if d.Has("k") || d.List("") != nil {
+		t.Error("wiped disk should be empty")
+	}
+}
+
+func TestObjectStore(t *testing.T) {
+	met := &metrics.Collector{}
+	s := NewObjectStore(TestCostModel(), ProfileS3, met)
+	if err := s.Put("tbl/0", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	s.PutFree("tbl/1", []byte("defg"))
+	v, err := s.Get("tbl/1")
+	if err != nil || string(v) != "defg" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if got := s.List("tbl/"); len(got) != 2 {
+		t.Errorf("List = %v", got)
+	}
+	if s.Size("tbl/0") != 3 || s.Size("none") != -1 {
+		t.Error("Size wrong")
+	}
+	// PutFree must not be billed.
+	if met.Get(metrics.ObjWriteBytes) != 3 {
+		t.Errorf("billed bytes = %d, want 3", met.Get(metrics.ObjWriteBytes))
+	}
+	s.Delete("tbl/0")
+	if s.Has("tbl/0") {
+		t.Error("Delete failed")
+	}
+	if _, err := s.Get("tbl/0"); err == nil {
+		t.Error("want error on missing object")
+	}
+}
+
+func TestProfileSelectsLink(t *testing.T) {
+	cm := TestCostModel()
+	s3 := NewObjectStore(cm, ProfileS3, nil)
+	hdfs := NewObjectStore(cm, ProfileHDFS, nil)
+	if s3.link() != cm.S3 || hdfs.link() != cm.HDFS {
+		t.Error("profile link selection wrong")
+	}
+	if ProfileS3.String() != "s3" || ProfileHDFS.String() != "hdfs" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestWriteCopiesValue(t *testing.T) {
+	d := NewLocalDisk(TestCostModel(), nil)
+	buf := []byte("abc")
+	d.Write("k", buf)
+	buf[0] = 'X'
+	v, _ := d.Read("k")
+	if string(v) != "abc" {
+		t.Error("disk must copy values on write")
+	}
+}

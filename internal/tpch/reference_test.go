@@ -1,0 +1,266 @@
+package tpch
+
+// Independent reference implementations of several TPC-H queries, written
+// as naive loops over the generated tables. They share no code with the
+// engine's operators or plans, so agreement is strong evidence that the
+// distributed pipelined execution is computing the right answers.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"quokka/internal/engine"
+	"quokka/internal/expr"
+)
+
+// refQ4 computes Q4: orders in 1993Q3 with at least one late lineitem,
+// counted by priority.
+func refQ4() map[string]int64 {
+	lo := expr.DaysOfDate(1993, 7, 1)
+	hi := expr.DaysOfDate(1993, 10, 1)
+	late := make(map[int64]bool)
+	li := testData.Lineitem
+	lk := li.Col("l_orderkey").Ints
+	lc := li.Col("l_commitdate").Ints
+	lr := li.Col("l_receiptdate").Ints
+	for i := range lk {
+		if lc[i] < lr[i] {
+			late[lk[i]] = true
+		}
+	}
+	out := make(map[string]int64)
+	o := testData.Orders
+	ok := o.Col("o_orderkey").Ints
+	od := o.Col("o_orderdate").Ints
+	op := o.Col("o_orderpriority").Strings
+	for i := range ok {
+		if od[i] >= lo && od[i] < hi && late[ok[i]] {
+			out[op[i]]++
+		}
+	}
+	return out
+}
+
+func TestQ4MatchesReference(t *testing.T) {
+	cl := loadCluster(t, 4)
+	out := runQuery(t, cl, 4, engine.DefaultConfig())
+	want := refQ4()
+	if out.NumRows() != len(want) {
+		t.Fatalf("q4 rows = %d, want %d", out.NumRows(), len(want))
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		p := out.Col("o_orderpriority").Strings[i]
+		if got := out.Col("order_count").Ints[i]; got != want[p] {
+			t.Errorf("q4 %s = %d, want %d", p, got, want[p])
+		}
+	}
+}
+
+// refQ12 computes Q12: high/low priority lineitem counts for MAIL/SHIP
+// received in 1994 with the date sandwich predicate.
+func refQ12() map[string][2]int64 {
+	lo := expr.DaysOfDate(1994, 1, 1)
+	hi := expr.DaysOfDate(1995, 1, 1)
+	prio := make(map[int64]string)
+	o := testData.Orders
+	okeys := o.Col("o_orderkey").Ints
+	oprio := o.Col("o_orderpriority").Strings
+	for i := range okeys {
+		prio[okeys[i]] = oprio[i]
+	}
+	out := make(map[string][2]int64)
+	li := testData.Lineitem
+	lk := li.Col("l_orderkey").Ints
+	mode := li.Col("l_shipmode").Strings
+	sd := li.Col("l_shipdate").Ints
+	cd := li.Col("l_commitdate").Ints
+	rd := li.Col("l_receiptdate").Ints
+	for i := range lk {
+		if mode[i] != "MAIL" && mode[i] != "SHIP" {
+			continue
+		}
+		if !(cd[i] < rd[i] && sd[i] < cd[i] && rd[i] >= lo && rd[i] < hi) {
+			continue
+		}
+		v := out[mode[i]]
+		p := prio[lk[i]]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			v[0]++
+		} else {
+			v[1]++
+		}
+		out[mode[i]] = v
+	}
+	return out
+}
+
+func TestQ12MatchesReference(t *testing.T) {
+	cl := loadCluster(t, 4)
+	out := runQuery(t, cl, 12, engine.DefaultConfig())
+	want := refQ12()
+	if out.NumRows() != len(want) {
+		t.Fatalf("q12 rows = %d, want %d", out.NumRows(), len(want))
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		m := out.Col("l_shipmode").Strings[i]
+		if got := out.Col("high_line_count").Ints[i]; got != want[m][0] {
+			t.Errorf("q12 %s high = %d, want %d", m, got, want[m][0])
+		}
+		if got := out.Col("low_line_count").Ints[i]; got != want[m][1] {
+			t.Errorf("q12 %s low = %d, want %d", m, got, want[m][1])
+		}
+	}
+}
+
+// refQ14 computes the promo revenue percentage for 1995-09.
+func refQ14() float64 {
+	lo := expr.DaysOfDate(1995, 9, 1)
+	hi := expr.DaysOfDate(1995, 10, 1)
+	ptype := testData.Part.Col("p_type").Strings
+	li := testData.Lineitem
+	lp := li.Col("l_partkey").Ints
+	sd := li.Col("l_shipdate").Ints
+	price := li.Col("l_extendedprice").Floats
+	disc := li.Col("l_discount").Floats
+	var promo, total float64
+	for i := range lp {
+		if sd[i] < lo || sd[i] >= hi {
+			continue
+		}
+		rev := price[i] * (1 - disc[i])
+		total += rev
+		typ := ptype[lp[i]-1]
+		if len(typ) >= 5 && typ[:5] == "PROMO" {
+			promo += rev
+		}
+	}
+	return 100 * promo / total
+}
+
+func TestQ14MatchesReference(t *testing.T) {
+	cl := loadCluster(t, 4)
+	out := runQuery(t, cl, 14, engine.DefaultConfig())
+	if out == nil || out.NumRows() != 1 {
+		t.Fatalf("q14 result: %v", out)
+	}
+	got := out.Col("promo_revenue").Floats[0]
+	want := refQ14()
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Errorf("q14 = %v, want %v", got, want)
+	}
+}
+
+// refQ18 computes Q18's qualifying orders: sum(l_quantity) per order > 300,
+// returning the top order keys by (totalprice desc, orderdate, orderkey).
+func refQ18() []int64 {
+	sum := make(map[int64]float64)
+	li := testData.Lineitem
+	lk := li.Col("l_orderkey").Ints
+	q := li.Col("l_quantity").Floats
+	for i := range lk {
+		sum[lk[i]] += q[i]
+	}
+	type row struct {
+		key   int64
+		price float64
+		date  int64
+	}
+	var rows []row
+	o := testData.Orders
+	ok := o.Col("o_orderkey").Ints
+	tp := o.Col("o_totalprice").Floats
+	od := o.Col("o_orderdate").Ints
+	for i := range ok {
+		if sum[ok[i]] > 300 {
+			rows = append(rows, row{ok[i], tp[i], od[i]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].price != rows[j].price {
+			return rows[i].price > rows[j].price
+		}
+		if rows[i].date != rows[j].date {
+			return rows[i].date < rows[j].date
+		}
+		return rows[i].key < rows[j].key
+	})
+	if len(rows) > 100 {
+		rows = rows[:100]
+	}
+	keys := make([]int64, len(rows))
+	for i, r := range rows {
+		keys[i] = r.key
+	}
+	return keys
+}
+
+func TestQ18MatchesReference(t *testing.T) {
+	cl := loadCluster(t, 4)
+	out := runQuery(t, cl, 18, engine.DefaultConfig())
+	want := refQ18()
+	if out == nil {
+		if len(want) != 0 {
+			t.Fatalf("q18 empty, want %d rows", len(want))
+		}
+		return
+	}
+	if out.NumRows() != len(want) {
+		t.Fatalf("q18 rows = %d, want %d", out.NumRows(), len(want))
+	}
+	got := out.Col("o_orderkey").Ints
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("q18 row %d orderkey = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// refQ22 computes Q22's per-country-code counts of rich, order-less
+// customers.
+func refQ22() map[string]int64 {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	c := testData.Customer
+	phones := c.Col("c_phone").Strings
+	bals := c.Col("c_acctbal").Floats
+	keys := c.Col("c_custkey").Ints
+
+	var sum float64
+	var n int64
+	for i := range phones {
+		cc := phones[i][:2]
+		if codes[cc] && bals[i] > 0 {
+			sum += bals[i]
+			n++
+		}
+	}
+	avg := sum / float64(n)
+
+	hasOrder := make(map[int64]bool)
+	for _, ck := range testData.Orders.Col("o_custkey").Ints {
+		hasOrder[ck] = true
+	}
+	out := make(map[string]int64)
+	for i := range phones {
+		cc := phones[i][:2]
+		if codes[cc] && bals[i] > avg && !hasOrder[keys[i]] {
+			out[cc]++
+		}
+	}
+	return out
+}
+
+func TestQ22MatchesReference(t *testing.T) {
+	cl := loadCluster(t, 4)
+	out := runQuery(t, cl, 22, engine.DefaultConfig())
+	want := refQ22()
+	if out.NumRows() != len(want) {
+		t.Fatalf("q22 rows = %d, want %d", out.NumRows(), len(want))
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		cc := out.Col("cntrycode").Strings[i]
+		if got := out.Col("numcust").Ints[i]; got != want[cc] {
+			t.Errorf("q22 %s = %d, want %d", cc, got, want[cc])
+		}
+	}
+}

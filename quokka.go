@@ -1,0 +1,248 @@
+// Package quokka is the public API of this repository: a distributed
+// pipelined query engine with intra-query fault tolerance via write-ahead
+// lineage, reproducing "Efficient Fault Tolerance for Pipelined Query
+// Engines via Write-ahead Lineage" (ICDE 2024).
+//
+// The package exposes:
+//
+//   - Cluster: a simulated worker fleet with killable workers, per-worker
+//     NVMe disks and Flight mailboxes, a durable object store, and a
+//     transactional global control store (GCS).
+//   - Session / DataFrame: a Spark/Polars-style lazy DataFrame API that
+//     compiles to the engine's pipelined physical plans.
+//   - RunConfig: execution / fault-tolerance / recovery knobs, with
+//     presets for the paper's three systems (Quokka, SparkSQL-like,
+//     Trino-like).
+//   - TPC-H: the full deterministic data generator and all 22 query
+//     plans used by the paper's evaluation.
+//
+// Quickstart:
+//
+//	cl, _ := quokka.NewCluster(quokka.ClusterConfig{Workers: 4})
+//	quokka.LoadTPCH(cl, 0.01, 0)
+//	res, _ := quokka.RunTPCH(context.Background(), cl, 6, quokka.DefaultConfig())
+//	fmt.Println(res)
+package quokka
+
+import (
+	"fmt"
+
+	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/engine"
+	"quokka/internal/storage"
+)
+
+// RunConfig controls one query execution: pipelined vs stagewise
+// scheduling, dynamic vs static task dependencies, the fault-tolerance
+// strategy and the recovery placement policy.
+type RunConfig = engine.Config
+
+// Re-exported configuration presets matching the paper's three systems.
+var (
+	// DefaultConfig is the paper's Quokka: dynamic pipelined execution,
+	// write-ahead lineage, pipeline-parallel recovery.
+	DefaultConfig = engine.DefaultConfig
+	// SparkLikeConfig is the SparkSQL stand-in: stagewise execution,
+	// lineage + upstream backup, data-parallel recovery.
+	SparkLikeConfig = engine.SparkConfig
+	// TrinoLikeConfig is the Trino stand-in: static pipelined execution
+	// with durable HDFS spooling.
+	TrinoLikeConfig = engine.TrinoConfig
+)
+
+// FTMode selects the fault-tolerance strategy.
+type FTMode = engine.FTMode
+
+// Fault-tolerance modes (RunConfig.FT).
+const (
+	FTNone              = engine.FTNone
+	FTWriteAheadLineage = engine.FTWriteAheadLineage
+	FTSpool             = engine.FTSpool
+	FTCheckpoint        = engine.FTCheckpoint
+)
+
+// Execution modes (RunConfig.Execution).
+const (
+	Pipelined = engine.Pipelined
+	Stagewise = engine.Stagewise
+)
+
+// Recovery modes (RunConfig.Recovery).
+const (
+	RecoveryPipelineParallel = engine.RecoveryPipelineParallel
+	RecoveryDataParallel     = engine.RecoveryDataParallel
+)
+
+// ClusterConfig configures cluster construction.
+type ClusterConfig struct {
+	// Workers is the number of simulated worker machines.
+	Workers int
+	// TimeScale scales the simulated I/O service times. 0 uses the
+	// calibrated default (suitable for benchmarks); negative disables
+	// I/O cost simulation entirely (fastest, for tests).
+	TimeScale float64
+	// HDFSObjectStore selects the HDFS cost profile for the shared object
+	// store instead of S3.
+	HDFSObjectStore bool
+}
+
+// Cluster is a simulated cluster: workers (killable at any time), the
+// durable object store holding input tables, the head-node GCS, and the
+// metrics collector.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds a cluster of cfg.Workers live workers.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cost := storage.DefaultCostModel()
+	switch {
+	case cfg.TimeScale > 0:
+		cost.TimeScale = cfg.TimeScale
+	case cfg.TimeScale < 0:
+		cost.TimeScale = 0
+	}
+	profile := storage.ProfileS3
+	if cfg.HDFSObjectStore {
+		profile = storage.ProfileHDFS
+	}
+	inner, err := cluster.New(cluster.Options{
+		Workers: cfg.Workers,
+		Cost:    cost,
+		Profile: profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Workers returns the total number of workers (live or dead).
+func (c *Cluster) Workers() int { return len(c.inner.Workers) }
+
+// AliveWorkers returns the number of live workers.
+func (c *Cluster) AliveWorkers() int { return c.inner.AliveCount() }
+
+// KillWorker simulates worker i failing: its in-flight tasks, shuffle
+// mailbox and local disk are lost, exactly like a spot pre-emption.
+func (c *Cluster) KillWorker(i int) error {
+	if i < 0 || i >= len(c.inner.Workers) {
+		return fmt.Errorf("quokka: no worker %d", i)
+	}
+	c.inner.Worker(cluster.WorkerID(i)).Kill()
+	return nil
+}
+
+// Metrics returns a snapshot of the cluster's counters (bytes shuffled,
+// backed up, spooled, GCS transactions, tasks executed/replayed, ...).
+func (c *Cluster) Metrics() map[string]int64 { return c.inner.Metrics.Snapshot() }
+
+// Internal accessor for the benchmark harness.
+func (c *Cluster) internalCluster() *cluster.Cluster { return c.inner }
+
+// ColumnType enumerates the supported table column types.
+type ColumnType = batch.Type
+
+// Supported column types for CreateTable.
+const (
+	Int64   = batch.Int64
+	Float64 = batch.Float64
+	String  = batch.String
+	Bool    = batch.Bool
+	Date    = batch.Date
+)
+
+// ColumnDef defines one column of a user table.
+type ColumnDef struct {
+	Name string
+	Type ColumnType
+}
+
+// CreateTable ingests rows into the cluster's object store as a named
+// table, split into splitRows-row splits (default 1024). Row values must
+// match the declared column types (int64, float64, string, bool; Date
+// columns take int64 days since the Unix epoch).
+func (c *Cluster) CreateTable(name string, cols []ColumnDef, rows [][]any, splitRows int) error {
+	if splitRows <= 0 {
+		splitRows = 1024
+	}
+	fields := make([]batch.Field, len(cols))
+	for i, cd := range cols {
+		fields[i] = batch.Field{Name: cd.Name, Type: cd.Type}
+	}
+	schema := batch.NewSchema(fields...)
+	bl := batch.NewBuilder(schema, len(rows))
+	for ri, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("quokka: row %d has %d values, want %d", ri, len(row), len(cols))
+		}
+		for ci, v := range row {
+			col := bl.Col(ci)
+			var ok bool
+			switch cols[ci].Type {
+			case batch.Int64, batch.Date:
+				var x int64
+				x, ok = toInt64(v)
+				if ok {
+					col.Ints = append(col.Ints, x)
+				}
+			case batch.Float64:
+				var x float64
+				x, ok = toFloat64(v)
+				if ok {
+					col.Floats = append(col.Floats, x)
+				}
+			case batch.String:
+				var x string
+				x, ok = v.(string)
+				if ok {
+					col.Strings = append(col.Strings, x)
+				}
+			case batch.Bool:
+				var x bool
+				x, ok = v.(bool)
+				if ok {
+					col.Bools = append(col.Bools, x)
+				}
+			}
+			if !ok {
+				return fmt.Errorf("quokka: row %d column %q: value %v (%T) does not match type %s",
+					ri, cols[ci].Name, v, v, cols[ci].Type)
+			}
+		}
+	}
+	b := bl.Build()
+	splits := b.SplitRows(splitRows)
+	if splits == nil {
+		splits = []*batch.Batch{b}
+	}
+	engine.WriteTable(c.inner.ObjStore, name, splits)
+	return nil
+}
+
+func toInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+func toFloat64(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}

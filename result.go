@@ -1,0 +1,101 @@
+package quokka
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+)
+
+// Result holds a query's output rows and its execution report.
+type Result struct {
+	batch  *batch.Batch
+	report *engine.Report
+}
+
+// NumRows returns the number of output rows.
+func (r *Result) NumRows() int {
+	if r.batch == nil {
+		return 0
+	}
+	return r.batch.NumRows()
+}
+
+// Columns returns the output column names in order.
+func (r *Result) Columns() []string {
+	if r.batch == nil {
+		return nil
+	}
+	out := make([]string, r.batch.Schema.Len())
+	for i, f := range r.batch.Schema.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Rows materializes the output as generic values, row-major.
+func (r *Result) Rows() [][]any {
+	if r.batch == nil {
+		return nil
+	}
+	n := r.batch.NumRows()
+	out := make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(r.batch.Cols))
+		for c, col := range r.batch.Cols {
+			row[c] = col.Value(i)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Duration returns the query's wall-clock runtime.
+func (r *Result) Duration() time.Duration { return r.report.Duration }
+
+// Recoveries returns how many fault-recovery passes ran.
+func (r *Result) Recoveries() int { return r.report.Recoveries }
+
+// TasksExecuted returns the number of committed tasks (including
+// replays).
+func (r *Result) TasksExecuted() int64 { return r.report.TasksExecuted }
+
+// TasksReplayed returns the number of tasks re-executed under logged
+// lineage during recovery.
+func (r *Result) TasksReplayed() int64 { return r.report.TasksReplayed }
+
+// Metric returns one named counter from the run (see Cluster.Metrics for
+// the full set).
+func (r *Result) Metric(name string) int64 { return r.report.Metrics[name] }
+
+// String renders up to 25 rows as an aligned table.
+func (r *Result) String() string {
+	if r.batch == nil || r.batch.NumRows() == 0 {
+		return "(empty result)"
+	}
+	var b strings.Builder
+	cols := r.Columns()
+	b.WriteString(strings.Join(cols, " | "))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(strings.Join(cols, " | "))))
+	b.WriteByte('\n')
+	n := r.batch.NumRows()
+	shown := n
+	if shown > 25 {
+		shown = 25
+	}
+	for i := 0; i < shown; i++ {
+		parts := make([]string, len(r.batch.Cols))
+		for c, col := range r.batch.Cols {
+			parts[c] = fmt.Sprintf("%v", col.Value(i))
+		}
+		b.WriteString(strings.Join(parts, " | "))
+		b.WriteByte('\n')
+	}
+	if shown < n {
+		fmt.Fprintf(&b, "... (%d more rows)\n", n-shown)
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package quokka
+
+import (
+	"context"
+
+	"quokka/internal/tpch"
+)
+
+// LoadTPCH generates the eight TPC-H tables at the given scale factor and
+// loads them into the cluster's object store. splitRows controls the
+// split granularity (0 uses the default). Generation is deterministic.
+func LoadTPCH(c *Cluster, sf float64, splitRows int) {
+	tpch.Load(c.inner.ObjStore, tpch.Generate(sf), splitRows)
+}
+
+// RunTPCH executes TPC-H query q (1..22) on the cluster.
+func RunTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Result, error) {
+	plan, err := tpch.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return runPlan(ctx, c, plan, cfg)
+}
+
+// TPCHQueries lists the implemented TPC-H query numbers (1..22).
+func TPCHQueries() []int { return tpch.QueryNumbers() }
+
+// TPCHRepresentative lists the paper's eight ablation queries: simple
+// aggregations (1, 6), simple pipelined joins (3, 10) and multi-join
+// pipelines (5, 7, 8, 9).
+func TPCHRepresentative() []int {
+	return append([]int(nil), tpch.RepresentativeQueries...)
+}
