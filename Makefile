@@ -1,0 +1,34 @@
+# Local entry points mirroring .github/workflows/ci.yml — keep the two in
+# lockstep so "make ci" passing locally means the pipeline is green.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the race-detector job (stateful operator + engine concurrency).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/ops/...
+
+## bench: one iteration of every benchmark in short mode (CI smoke). For
+## real measurements use `go test -bench=<name> -benchtime=...` or
+## `go run ./cmd/quokka-bench`.
+bench:
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench

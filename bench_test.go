@@ -7,9 +7,13 @@ package quokka
 
 import (
 	"io"
+	"strconv"
 	"testing"
 
+	"quokka/internal/batch"
 	"quokka/internal/bench"
+	"quokka/internal/expr"
+	"quokka/internal/ops"
 )
 
 // benchParams returns a reduced configuration for in-test benchmarks.
@@ -42,6 +46,9 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig6 compares Quokka vs the SparkSQL- and Trino-like baselines
 // on a representative query subset (Figure 6).
 func BenchmarkFig6(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig6(4, []int{1, 3, 5, 9}); err != nil {
@@ -73,6 +80,9 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 measures fault-tolerance overhead: spooling vs
 // write-ahead lineage (Figure 9).
 func BenchmarkFig9(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig9(4); err != nil {
@@ -83,6 +93,9 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkCheckpointAblation measures checkpointing overhead (§V-C).
 func BenchmarkCheckpointAblation(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.CheckpointAblation(4); err != nil {
@@ -94,6 +107,9 @@ func BenchmarkCheckpointAblation(b *testing.B) {
 // BenchmarkFig10a measures recovery overhead with a worker killed at 50%
 // (Figure 10a), on a reduced cluster.
 func BenchmarkFig10a(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig10a(8); err != nil {
@@ -104,6 +120,9 @@ func BenchmarkFig10a(b *testing.B) {
 
 // BenchmarkFig10b runs the TPC-H Q9 failure-point case study (Figure 10b).
 func BenchmarkFig10b(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig10b(8); err != nil {
@@ -115,6 +134,9 @@ func BenchmarkFig10b(b *testing.B) {
 // BenchmarkFig11a measures speedups on a wider cluster (Figure 11a,
 // reduced from 32 to 16 workers for bench time).
 func BenchmarkFig11a(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig6(16, []int{1, 3, 5, 9}); err != nil {
@@ -126,6 +148,9 @@ func BenchmarkFig11a(b *testing.B) {
 // BenchmarkFig11b measures recovery overhead on the wider cluster
 // (Figure 11b).
 func BenchmarkFig11b(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping heavyweight figure benchmark in short mode (CI smoke)")
+	}
 	h := harness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := h.Fig10a(16); err != nil {
@@ -133,3 +158,141 @@ func BenchmarkFig11b(b *testing.B) {
 		}
 	}
 }
+
+// --- Morsel-parallel operator benchmarks -------------------------------
+//
+// These measure the real (not cost-modelled) kernel speedup of partition-
+// parallel hash join and hash aggregation: the same workload on the serial
+// operator vs split into 4 hash partitions on a 4-slot CPU pool, the
+// engine's configuration at CPUPerWorker=4.
+
+func morselJoinData() (build, probe *batch.Batch) {
+	const nBuild, nProbe = 100_000, 200_000
+	bs := batch.NewSchema(batch.F("k", batch.Int64), batch.F("name", batch.String))
+	bk := make([]int64, nBuild)
+	bn := make([]string, nBuild)
+	for i := range bk {
+		bk[i] = int64(i)
+		bn[i] = "name-" + strconv.Itoa(i%1000)
+	}
+	ps := batch.NewSchema(batch.F("k", batch.Int64), batch.F("v", batch.Float64))
+	pk := make([]int64, nProbe)
+	pv := make([]float64, nProbe)
+	for i := range pk {
+		pk[i] = int64(i % (nBuild * 2)) // half the probes miss
+		pv[i] = float64(i)
+	}
+	build = batch.MustNew(bs, []*batch.Column{batch.NewIntColumn(bk), batch.NewStringColumn(bn)})
+	probe = batch.MustNew(ps, []*batch.Column{batch.NewIntColumn(pk), batch.NewFloatColumn(pv)})
+	return build, probe
+}
+
+func benchMorselJoin(b *testing.B, partitions int) {
+	build, probe := morselJoinData()
+	spec := ops.NewHashJoinSpec(ops.InnerJoin, []string{"k"}, []string{"k"}).(ops.ParallelSpec)
+	pool := ops.NewPool(make(chan struct{}, 4), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := spec.NewParallel(0, 1, partitions, pool)
+		if _, err := op.Consume(0, build); err != nil {
+			b.Fatal(err)
+		}
+		out, err := op.Consume(1, probe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for _, o := range out {
+			rows += o.NumRows()
+		}
+		if rows != probe.NumRows()/2 {
+			b.Fatalf("join rows = %d", rows)
+		}
+	}
+}
+
+// BenchmarkMorselJoinSerial is the single-threaded hash join baseline.
+func BenchmarkMorselJoinSerial(b *testing.B) { benchMorselJoin(b, 1) }
+
+// BenchmarkMorselJoinParallel4 runs the same join split into 4 hash
+// partitions on 4 CPU slots; the acceptance bar is >= 1.5x the serial
+// baseline on the same machine.
+func BenchmarkMorselJoinParallel4(b *testing.B) { benchMorselJoin(b, 4) }
+
+func benchMorselAgg(b *testing.B, partitions int) {
+	const nRows, nGroups = 400_000, 100_000
+	s := batch.NewSchema(batch.F("g", batch.Int64), batch.F("v", batch.Float64))
+	gs := make([]int64, nRows)
+	vs := make([]float64, nRows)
+	for i := range gs {
+		gs[i] = int64(i % nGroups)
+		vs[i] = float64(i)
+	}
+	in := batch.MustNew(s, []*batch.Column{batch.NewIntColumn(gs), batch.NewFloatColumn(vs)})
+	spec := ops.NewHashAggSpec([]string{"g"}, ops.Sum("s", expr.C("v")), ops.CountStar("c")).(ops.ParallelSpec)
+	pool := ops.NewPool(make(chan struct{}, 4), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := spec.NewParallel(0, 1, partitions, pool)
+		if _, err := op.Consume(0, in); err != nil {
+			b.Fatal(err)
+		}
+		out, err := op.Finalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 1 || out[0].NumRows() != nGroups {
+			b.Fatalf("agg output: %v", out)
+		}
+	}
+}
+
+// BenchmarkMorselAggSerial is the single-threaded hash aggregation baseline.
+func BenchmarkMorselAggSerial(b *testing.B) { benchMorselAgg(b, 1) }
+
+// BenchmarkMorselAggParallel4 runs the same aggregation split into 4 hash
+// partitions on 4 CPU slots.
+func BenchmarkMorselAggParallel4(b *testing.B) { benchMorselAgg(b, 4) }
+
+// --- Engine-level morsel benchmarks ------------------------------------
+//
+// The ops-level benchmarks above need real cores; in the simulated engine,
+// cores are the CPUPerWorker slots of the cost model, so the engine-level
+// pair below demonstrates the multi-core speedup wherever it runs: the same
+// TPC-H join/agg queries under bench.MorselConfig with serial operators
+// (Parallelism=1) vs 4-way partitioned operators. Compare the two ns/op;
+// `go run ./cmd/quokka-bench -exp morsel` prints the per-query table.
+
+var morselHarness *bench.Harness
+
+func engineMorselHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	if morselHarness == nil {
+		p := bench.DefaultParams(io.Discard)
+		p.SF = 0.02
+		p.SplitRows = 2048
+		p.TimeScale = 0.25
+		morselHarness = bench.New(p)
+	}
+	return morselHarness
+}
+
+func benchEngineMorsel(b *testing.B, parallelism int) {
+	h := engineMorselHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range []int{5, 9} {
+			if _, err := h.RunQuery(4, q, bench.MorselConfig(parallelism)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineMorselSerial runs TPC-H Q5+Q9 with serial operators on
+// 4-CPU workers: the claimed-mutex baseline the tentpole replaces.
+func BenchmarkEngineMorselSerial(b *testing.B) { benchEngineMorsel(b, 1) }
+
+// BenchmarkEngineMorselParallel4 runs the same queries with operators split
+// into 4 hash/row-range partitions per channel.
+func BenchmarkEngineMorselParallel4(b *testing.B) { benchEngineMorsel(b, 4) }

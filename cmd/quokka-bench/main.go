@@ -9,8 +9,8 @@
 //	quokka-bench -exp fig6 -workers 4          # one experiment
 //	quokka-bench -exp fig9 -sf 0.05 -repeats 3
 //
-// Experiments: table1, fig6, fig7, fig8, fig9, ckpt, fig10a, fig10b,
-// fig11a, fig11b, all.
+// Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, fig10a,
+// fig10b, fig11a, fig11b, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|fig10a|fig10b|fig11a|fig11b|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|fig10a|fig10b|fig11a|fig11b|all")
 		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		splitRows = flag.Int("split-rows", 512, "rows per table split")
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
@@ -111,13 +111,14 @@ func main() {
 		return err
 	})
 	run("ckpt", func() error { _, err := h.CheckpointAblation(w(4)); return err })
+	run("morsel", func() error { _, err := h.MorselSpeedup(w(4), qlist); return err })
 	run("fig10a", func() error { _, err := h.Fig10a(w(16)); return err })
 	run("fig10b", func() error { _, err := h.Fig10b(w(16)); return err })
 	run("fig11a", func() error { _, err := h.Fig6(w(32), qlist); return err })
 	run("fig11b", func() error { _, err := h.Fig10a(w(32)); return err })
 
 	switch *exp {
-	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "fig10a", "fig10b", "fig11a", "fig11b", "all":
 	default:
 		fatal("unknown experiment %q", *exp)
 	}

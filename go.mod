@@ -1,0 +1,3 @@
+module quokka
+
+go 1.24

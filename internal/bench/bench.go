@@ -189,3 +189,27 @@ func geomean(vs []float64) float64 {
 }
 
 func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// MorselConfig is the intra-operator parallelism measurement setup: one
+// pipeline-driver thread per worker (so channel-level concurrency cannot
+// hide the operator's own serialism), four modelled cores, and kernels
+// scaled to SF100-class per-core work (the benchmark datasets are tiny;
+// without the scale-down the per-split S3 and control-plane latencies
+// drown out compute, which no real engine at real scale observes).
+// parallelism is the operator partition count under test.
+func MorselConfig(parallelism int) engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.ThreadsPerWorker = 1
+	cfg.CPUPerWorker = 4
+	cfg.Parallelism = parallelism
+	cfg.ComputeScale = 0.15
+	return cfg
+}
+
+// RunQuery executes one TPC-H query under the given configuration and
+// returns its mean duration (Repeats runs). Exported for the benchmark
+// suite in the repository root.
+func (h *Harness) RunQuery(workers, q int, cfg engine.Config) (time.Duration, error) {
+	d, _, err := h.run(workers, q, cfg)
+	return d, err
+}

@@ -105,6 +105,38 @@ func (h *Harness) Fig7(workers int) ([]AblationRow, error) {
 	return rows, nil
 }
 
+// MorselSpeedup measures intra-operator partition parallelism (not a paper
+// figure — the paper assumes each worker saturates its cores; this
+// experiment verifies our engine actually does): the same join/agg-heavy
+// queries at CPUPerWorker=4 with serial operators (Parallelism=1) vs
+// partition-parallel operators (Parallelism=4).
+func (h *Harness) MorselSpeedup(workers int, queries []int) ([]AblationRow, error) {
+	h.printf("Morsel parallelism — serial vs 4-partition operators, %d workers, 4 CPU/worker\n", workers)
+	h.printf("%-5s %10s %10s %9s\n", "query", "serial(s)", "par-4(s)", "speedup")
+	serialCfg := MorselConfig(1)
+	parCfg := MorselConfig(4)
+	var rows []AblationRow
+	var sp []float64
+	for _, q := range queries {
+		ser, _, err := h.run(workers, q, serialCfg)
+		if err != nil {
+			return nil, fmt.Errorf("morsel q%d serial: %w", q, err)
+		}
+		par, _, err := h.run(workers, q, parCfg)
+		if err != nil {
+			return nil, fmt.Errorf("morsel q%d par4: %w", q, err)
+		}
+		rows = append(rows, AblationRow{Query: q, Timings: map[string]time.Duration{
+			"serial": ser, "parallel4": par,
+		}})
+		s := seconds(ser) / seconds(par)
+		sp = append(sp, s)
+		h.printf("%-5d %10.3f %10.3f %8.2fx\n", q, seconds(ser), seconds(par), s)
+	}
+	h.printf("geomean morsel speedup: %.2fx\n\n", geomean(sp))
+	return rows, nil
+}
+
 // Fig8 compares dynamic task dependencies against the two static lineage
 // strategies (batch 8 and batch 128).
 func (h *Harness) Fig8(workers int) ([]AblationRow, error) {

@@ -118,6 +118,16 @@ type Config struct {
 	ThreadsPerWorker int
 	CPUPerWorker     int
 
+	// Parallelism is the number of hash partitions each stateful operator
+	// (hash join, grouped hash aggregation) splits its state into;
+	// partitions build/probe/accumulate concurrently on the worker's CPU
+	// slots. 0 derives it from CPUPerWorker. 1 forces the serial operator
+	// path. The value is recorded in the GCS at query seed time and must
+	// stay fixed across recoveries: partition assignment is a pure function
+	// of key hash mod Parallelism, and write-ahead lineage replay relies on
+	// rebuilding identical per-partition state.
+	Parallelism int
+
 	// PollInterval is the TaskManager's idle backoff between GCS polls.
 	PollInterval time.Duration
 

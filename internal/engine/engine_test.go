@@ -8,6 +8,7 @@ import (
 	"quokka/internal/batch"
 	"quokka/internal/cluster"
 	"quokka/internal/expr"
+	"quokka/internal/metrics"
 	"quokka/internal/ops"
 	"quokka/internal/storage"
 )
@@ -255,5 +256,32 @@ func TestPlanValidation(t *testing.T) {
 	}
 	if out, _ := p.OutputStage(); out != 3 {
 		t.Errorf("OutputStage = %d", out)
+	}
+}
+
+// TestParallelismMatchesSerial: the same plan executed with serial
+// operators (Parallelism=1) and with partition-parallel operators must
+// produce byte-identical results here because the output stage is an
+// aggregation (the partitioned agg merges its partitions back into the
+// serial operator's global key order) and the summed values are exact in
+// float64. Plans that emit raw join output carry only a row-multiset
+// guarantee: the parallel join emits partition-grouped row order.
+func TestParallelismMatchesSerial(t *testing.T) {
+	const nFact = 500
+	tables := joinTables(nFact)
+	serialCfg := DefaultConfig()
+	serialCfg.Parallelism = 1
+	wantOut, _ := runPlan(t, testCluster(t, 3, tables), joinPlan(), serialCfg)
+	for _, p := range []int{2, 4} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = p
+		cfg.CPUPerWorker = 4
+		gotOut, rep := runPlan(t, testCluster(t, 3, tables), joinPlan(), cfg)
+		if string(batch.Encode(gotOut)) != string(batch.Encode(wantOut)) {
+			t.Errorf("Parallelism=%d differs from serial:\nwant %v\ngot  %v", p, wantOut, gotOut)
+		}
+		if rep.Metrics[metrics.PartitionTasks] == 0 {
+			t.Errorf("Parallelism=%d: no partition tasks dispatched", p)
+		}
 	}
 }

@@ -253,3 +253,35 @@ func TestRecoverySpoolModeWithNarrowStage(t *testing.T) {
 		t.Error("expected a recovery")
 	}
 }
+
+// TestFailureRecoveryWithParallelOperators kills a worker mid-probe while
+// stateful operators run partition-parallel: the replayed channels must
+// rebuild identical per-partition state (partition assignment is a pure
+// function of key hash), so the result equals the failure-free result
+// byte for byte.
+func TestFailureRecoveryWithParallelOperators(t *testing.T) {
+	tables := joinTables(800)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.CPUPerWorker = 4
+
+	clean := testCluster(t, 4, tables)
+	wantOut, _ := runPlan(t, clean, joinPlan(), cfg)
+
+	faulty := testCluster(t, 4, tables)
+	// The dim build side commits within the first few tasks; by task 8 the
+	// join channels are probing fact batches, so the kill lands mid-probe.
+	gotOut, rep, err := runWithFailure(t, faulty, joinPlan(), cfg, 1, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Recoveries == 0 {
+		t.Error("expected at least one recovery")
+	}
+	if rep.Metrics[metrics.PartitionTasks] == 0 {
+		t.Error("no partition tasks dispatched under Parallelism=4")
+	}
+	if string(batch.Encode(gotOut)) != string(batch.Encode(wantOut)) {
+		t.Fatalf("results differ:\nwant %v\ngot  %v", wantOut, gotOut)
+	}
+}

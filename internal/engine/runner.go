@@ -79,6 +79,9 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 	if cfg.CPUPerWorker <= 0 {
 		cfg.CPUPerWorker = 2
 	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = cfg.CPUPerWorker
+	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 200 * time.Microsecond
 	}
@@ -198,6 +201,11 @@ func (r *Runner) seed() error {
 				txPutInt(tx, keyChanEpoch(id), 0)
 			}
 		}
+		// Record the operator partition count: every TaskManager — including
+		// ones that replay lineage onto fresh workers after a failure — must
+		// split stateful operator state into the same hash partitions, or
+		// replayed state would not match what the dead worker had built.
+		txPutInt(tx, keyOpParallelism(), r.cfg.Parallelism)
 		txPutInt(tx, keyGlobalEpoch(), txGetInt(tx, keyGlobalEpoch(), 0)+1)
 		return nil
 	})

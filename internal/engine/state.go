@@ -34,6 +34,10 @@ import (
 //	recn            recovery generation; replay queues are only scanned
 //	                after it becomes non-zero
 //	ck/<s>.<c>      checkpoint marker: "<seq> <objkey> <wm>"
+//	opp             operator partition count for this query; recorded at
+//	                seed time so TaskManagers (including replacements that
+//	                replay lineage after a failure) all split stateful
+//	                operator state into the same hash partitions
 type keys struct{}
 
 func keyPlacement(c lineage.ChannelID) string { return "pl/" + c.String() }
@@ -47,6 +51,7 @@ func keyBarrier() string                      { return "bar" }
 func keyAck(w int) string                     { return fmt.Sprintf("ack/%d", w) }
 func keyGlobalEpoch() string                  { return "gep" }
 func keyRecoveries() string                   { return "recn" }
+func keyOpParallelism() string                { return "opp" }
 func keyCheckpoint(c lineage.ChannelID) string {
 	return "ck/" + c.String()
 }

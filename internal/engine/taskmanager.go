@@ -29,11 +29,17 @@ type taskManager struct {
 	channels map[lineage.ChannelID]*chanState
 	gep      int // global epoch the channel set was loaded at
 	ackedBar int // last barrier generation acknowledged
+	opp      int // operator partition count, read from the GCS (opp key)
 
 	// cpu bounds concurrently modelled kernel work on this worker: I/O
 	// waits (S3 reads, shuffle pushes, disk writes) do not hold a slot,
 	// so compute overlaps I/O exactly as in an engine with async reads.
 	cpu chan struct{}
+
+	// pool fans partitioned operator work (hash join build/probe, hash
+	// aggregation) out across the cpu slots, so intra-operator parallelism
+	// and inter-channel parallelism compete for the same modelled cores.
+	pool *ops.Pool
 
 	// doneIDs caches channels known to have finished so idle polls skip
 	// their (and their upstreams') GCS reads. Cleared on epoch change.
@@ -52,7 +58,13 @@ type taskManager struct {
 // instance (the paper's "state variable"), plus caches of the channel's
 // GCS coordinates.
 type chanState struct {
-	claimed sync.Mutex // one executor thread at a time
+	// protocol serializes the Algorithm 1 task protocol (input choice,
+	// lineage commit, cursor advance) — channel tasks stay sequential, as
+	// the lineage log requires. It no longer implies single-threaded
+	// compute: inside a task, partitioned operators fan build/probe/
+	// accumulate work out across per-partition goroutines, each owning one
+	// hash partition of the operator state.
+	protocol sync.Mutex
 
 	id    lineage.ChannelID
 	stage *Stage
@@ -80,13 +92,18 @@ type pendingTask struct {
 }
 
 func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
-	return &taskManager{
+	t := &taskManager{
 		r: r, w: w,
 		channels: map[lineage.ChannelID]*chanState{},
 		gep:      -1,
+		opp:      1,
 		cpu:      make(chan struct{}, r.cfg.CPUPerWorker),
 		doneIDs:  map[lineage.ChannelID]bool{},
 	}
+	t.pool = ops.NewPool(t.cpu, func(n int) {
+		r.met.Add(metrics.PartitionTasks, int64(n))
+	})
+	return t
 }
 
 // loop is one executor thread. Multiple threads of the same TaskManager
@@ -177,12 +194,12 @@ func (t *taskManager) poll() (progressed, barrier bool) {
 		return false, false
 	}
 	for i, cs := range states {
-		if !cs.claimed.TryLock() {
+		if !cs.protocol.TryLock() {
 			continue
 		}
 		cs.stepGep = gep
 		ok, err := t.step(cs, metas[i])
-		cs.claimed.Unlock()
+		cs.protocol.Unlock()
 		if err != nil {
 			// Errors from a dying worker are expected; anything else is a
 			// fatal plan or data error that retrying cannot fix.
@@ -231,6 +248,7 @@ func (t *taskManager) refreshChannels(gep int) {
 	}
 	mine := make(map[lineage.ChannelID]bool)
 	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+		t.opp = txGetInt(tx, keyOpParallelism(), t.r.cfg.Parallelism)
 		for s := range t.r.plan.Stages {
 			for c := 0; c < t.r.par[s]; c++ {
 				id := lineage.ChannelID{Stage: s, Channel: c}
@@ -293,7 +311,7 @@ func (t *taskManager) step(cs *chanState, meta *chanMeta) (bool, error) {
 		return false, nil
 	}
 	if cs.op == nil && cs.stage.Op != nil {
-		cs.op = cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
+		cs.op = t.newOperator(cs)
 		if meta.checkpoint != nil && meta.checkpoint.Seq == cs.cursor && cs.cursor > 0 {
 			if err := t.restoreCheckpoint(cs, meta.checkpoint); err != nil {
 				return false, err
@@ -312,6 +330,39 @@ func (t *taskManager) step(cs *chanState, meta *chanMeta) (bool, error) {
 		return t.replayStep(cs, *meta.replayRec)
 	}
 	return t.normalStep(cs, meta)
+}
+
+// newOperator instantiates the channel's operator. When the query's
+// recorded partition count is > 1 and the spec supports it, the operator is
+// created partition-parallel: its state split into hash partitions that
+// execute on this worker's CPU-slot pool. The partition count comes from
+// the GCS (seeded once per query), not the local config, so replacement
+// TaskManagers replaying lineage rebuild identically partitioned state.
+func (t *taskManager) newOperator(cs *chanState) ops.Operator {
+	t.mu.Lock()
+	p := t.opp
+	t.mu.Unlock()
+	if p > 1 {
+		if ps, ok := cs.stage.Op.(ops.ParallelSpec); ok {
+			return ps.NewParallel(cs.id.Channel, t.r.par[cs.id.Stage], p, t.pool)
+		}
+	}
+	return cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
+}
+
+// opSharesFor returns how many CPU slots an operator actually fans work on
+// a batch of the given row count out over — row-wise morsel operators run
+// small batches on a single lane, and the modelled kernel cost must not
+// claim parallelism the kernels don't deliver. Finalize call sites pass
+// the finalize output's row count: hash-partitioned operators (the only
+// ones with real finalize fan-out) ignore the row count.
+func opSharesFor(op ops.Operator, rows int) int {
+	if p, ok := op.(ops.Partitioned); ok {
+		if s := p.SharesFor(rows); s > 1 {
+			return s
+		}
+	}
+	return 1
 }
 
 // loadMetas reads every channel's coordination state in one GCS view.
@@ -443,7 +494,7 @@ func (t *taskManager) normalStep(cs *chanState, meta *chanMeta) (bool, error) {
 			return false, err
 		}
 		if out != nil {
-			t.chargeCompute(out.ByteSize())
+			t.chargeCompute(out.ByteSize(), opSharesFor(cs.op, out.NumRows()))
 		}
 		p = &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), out: out, finalize: true}
 	} else {
@@ -572,7 +623,7 @@ func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, 
 		if b.NumRows() == 0 {
 			continue
 		}
-		t.chargeCompute(b.ByteSize())
+		t.chargeCompute(b.ByteSize(), opSharesFor(cs.op, b.NumRows()))
 		o, err := cs.op.Consume(rec.Input, b)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %s consume: %w", cs.id, err)
@@ -583,17 +634,36 @@ func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, 
 }
 
 // chargeCompute applies the modelled operator-kernel cost for processing
-// the given payload, adjusted by the configured kernel efficiency.
-func (t *taskManager) chargeCompute(bytes int64) {
+// the given payload, adjusted by the configured kernel efficiency. shares
+// is how many partitions execute the work concurrently: each share holds
+// its own CPU slot for 1/shares of the payload, so partitioned operators
+// finish in ~1/shares the modelled wall time when slots are free — the
+// cost-model analogue of the real morsel parallelism in internal/ops.
+func (t *taskManager) chargeCompute(bytes int64, shares int) {
 	link := t.r.cl.Cost.Compute
 	if s := t.r.cfg.ComputeScale; s > 0 && s != 1 {
 		link.BytesPerS *= s
 		link.Latency = time.Duration(float64(link.Latency) / s)
 	}
-	// Hold a CPU slot for the duration of the modelled kernel work.
-	t.cpu <- struct{}{}
-	t.r.cl.Cost.Apply(link, bytes)
-	<-t.cpu
+	if shares <= 1 || t.r.cl.Cost.TimeScale <= 0 {
+		// Hold a CPU slot for the duration of the modelled kernel work.
+		t.cpu <- struct{}{}
+		t.r.cl.Cost.Apply(link, bytes)
+		<-t.cpu
+		return
+	}
+	share := bytes / int64(shares)
+	var wg sync.WaitGroup
+	for i := 0; i < shares; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.cpu <- struct{}{}
+			t.r.cl.Cost.Apply(link, share)
+			<-t.cpu
+		}()
+	}
+	wg.Wait()
 }
 
 // readerStep executes one input-reader task: read the channel's next
@@ -651,7 +721,7 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 			return false, err
 		}
 		if out != nil {
-			t.chargeCompute(out.ByteSize())
+			t.chargeCompute(out.ByteSize(), opSharesFor(cs.op, out.NumRows()))
 		}
 		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, finalize: true}
 	}

@@ -9,6 +9,16 @@
 // they read; the final task of a channel logs a Finalize marker. This is
 // the KB-sized information whose write-ahead logging replaces MB-sized
 // spooling.
+//
+// Lineage records name *inputs*, never operator state: recovery assumes
+// that re-feeding a fresh operator the logged input sequence reconstructs
+// the exact pre-failure state. Every execution strategy must therefore be
+// a pure function of the consumed inputs. This includes intra-operator
+// parallelism: a partitioned operator assigns rows to state partitions by
+// key hash modulo a partition count that is fixed per query (recorded in
+// the GCS at seed time), so replay rebuilds byte-identical per-partition
+// state no matter which worker replays or how its CPU pool interleaves
+// the partitions.
 package lineage
 
 import (

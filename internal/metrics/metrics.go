@@ -36,6 +36,7 @@ const (
 	TasksExecuted    = "tasks.executed"
 	TasksReplayed    = "tasks.replayed"
 	PartitionsMoved  = "partitions.moved"
+	PartitionTasks   = "partition.tasks" // intra-operator partition tasks dispatched to the CPU pool
 	CheckpointBytes  = "checkpoint.bytes"
 	RecoveryTasks    = "recovery.tasks"
 	RecoveryReplays  = "recovery.replays"

@@ -90,14 +90,39 @@ type HashAgg struct {
 	keySchema  *batch.Schema
 }
 
-// NewHashAggSpec builds a Spec for a hash aggregation.
+// NewHashAggSpec builds a Spec for a hash aggregation. The returned spec
+// implements ParallelSpec; global aggregates (empty groupBy) always run
+// serially, since every row belongs to the single group.
 func NewHashAggSpec(groupBy []string, aggs ...AggExpr) Spec {
-	return SpecFunc{
-		Label: fmt.Sprintf("agg[by %v, %d aggs]", groupBy, len(aggs)),
-		Factory: func(_, _ int) Operator {
-			return &HashAgg{GroupBy: groupBy, Aggs: aggs}
-		},
+	return hashAggSpec{groupBy: groupBy, aggs: aggs}
+}
+
+// hashAggSpec instantiates HashAgg operators, serial or partitioned.
+type hashAggSpec struct {
+	groupBy []string
+	aggs    []AggExpr
+}
+
+// Name implements Spec.
+func (s hashAggSpec) Name() string {
+	return fmt.Sprintf("agg[by %v, %d aggs]", s.groupBy, len(s.aggs))
+}
+
+// New implements Spec.
+func (s hashAggSpec) New(_, _ int) Operator {
+	return &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs}
+}
+
+// NewParallel implements ParallelSpec.
+func (s hashAggSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
+	if partitions <= 1 || len(s.groupBy) == 0 {
+		return s.New(channel, channels)
 	}
+	parts := make([]*HashAgg, partitions)
+	for p := range parts {
+		parts[p] = &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs}
+	}
+	return &parallelAgg{groupBy: s.groupBy, aggs: s.aggs, parts: parts, pool: pool}
 }
 
 // Consume implements Operator.

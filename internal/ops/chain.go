@@ -18,22 +18,73 @@ type Chain struct {
 	Ops []Operator
 }
 
-// NewChainSpec composes specs into a chained Spec.
+// NewChainSpec composes specs into a chained Spec. The returned spec
+// implements ParallelSpec: partitionable members (joins, grouped
+// aggregations) instantiate partition-parallel inside the fused pipeline,
+// so morsel parallelism is not lost to operator fusion.
 func NewChainSpec(specs ...Spec) Spec {
-	names := make([]string, len(specs))
-	for i, s := range specs {
-		names[i] = s.Name()
+	return chainSpec{specs: specs}
+}
+
+// chainSpec instantiates fused operator pipelines, serial or partitioned.
+type chainSpec struct {
+	specs []Spec
+}
+
+// Name implements Spec.
+func (s chainSpec) Name() string {
+	names := make([]string, len(s.specs))
+	for i, m := range s.specs {
+		names[i] = m.Name()
 	}
-	return SpecFunc{
-		Label: "chain[" + strings.Join(names, " -> ") + "]",
-		Factory: func(channel, channels int) Operator {
-			ops := make([]Operator, len(specs))
-			for i, s := range specs {
-				ops[i] = s.New(channel, channels)
-			}
-			return &Chain{Ops: ops}
-		},
+	return "chain[" + strings.Join(names, " -> ") + "]"
+}
+
+// New implements Spec.
+func (s chainSpec) New(channel, channels int) Operator {
+	ops := make([]Operator, len(s.specs))
+	for i, m := range s.specs {
+		ops[i] = m.New(channel, channels)
 	}
+	return &Chain{Ops: ops}
+}
+
+// NewParallel implements ParallelSpec.
+func (s chainSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
+	ops := make([]Operator, len(s.specs))
+	for i, m := range s.specs {
+		if ps, ok := m.(ParallelSpec); ok {
+			ops[i] = ps.NewParallel(channel, channels, partitions, pool)
+		} else {
+			ops[i] = m.New(channel, channels)
+		}
+	}
+	return &Chain{Ops: ops}
+}
+
+// Partitions implements Partitioned: the widest member's partition count
+// (1 when every member is serial).
+func (c *Chain) Partitions() int {
+	n := 1
+	for _, op := range c.Ops {
+		if p, ok := op.(Partitioned); ok && p.Partitions() > n {
+			n = p.Partitions()
+		}
+	}
+	return n
+}
+
+// SharesFor implements Partitioned: the widest fan-out any member actually
+// uses for a batch of the given row count (an approximation — row counts
+// change through the chain, but the head member sees exactly rows).
+func (c *Chain) SharesFor(rows int) int {
+	n := 1
+	for _, op := range c.Ops {
+		if p, ok := op.(Partitioned); ok && p.SharesFor(rows) > n {
+			n = p.SharesFor(rows)
+		}
+	}
+	return n
 }
 
 // Consume implements Operator.

@@ -13,11 +13,12 @@ type Filter struct {
 	Pred expr.Expr
 }
 
-// NewFilterSpec builds a Spec for a Filter with the given predicate.
+// NewFilterSpec builds a Spec for a Filter with the given predicate. The
+// returned spec implements ParallelSpec via row-range morsels.
 func NewFilterSpec(pred expr.Expr) Spec {
-	return SpecFunc{
-		Label:   fmt.Sprintf("filter[%s]", pred),
-		Factory: func(_, _ int) Operator { return &Filter{Pred: pred} },
+	return rowwiseSpec{
+		label:   fmt.Sprintf("filter[%s]", pred),
+		factory: func() Operator { return &Filter{Pred: pred} },
 	}
 }
 
@@ -73,11 +74,12 @@ type Project struct {
 	Exprs []NamedExpr
 }
 
-// NewProjectSpec builds a Spec for a Project.
+// NewProjectSpec builds a Spec for a Project. The returned spec implements
+// ParallelSpec via row-range morsels.
 func NewProjectSpec(exprs ...NamedExpr) Spec {
-	return SpecFunc{
-		Label:   fmt.Sprintf("project[%d cols]", len(exprs)),
-		Factory: func(_, _ int) Operator { return &Project{Exprs: exprs} },
+	return rowwiseSpec{
+		label:   fmt.Sprintf("project[%d cols]", len(exprs)),
+		factory: func() Operator { return &Project{Exprs: exprs} },
 	}
 }
 
@@ -121,11 +123,9 @@ func NewFilterProjectSpec(pred expr.Expr, exprs ...NamedExpr) Spec {
 	if pred != nil {
 		label = fmt.Sprintf("map[%s]", pred)
 	}
-	return SpecFunc{
-		Label: label,
-		Factory: func(_, _ int) Operator {
-			return &FilterProject{Pred: pred, Exprs: exprs}
-		},
+	return rowwiseSpec{
+		label:   label,
+		factory: func() Operator { return &FilterProject{Pred: pred, Exprs: exprs} },
 	}
 }
 

@@ -63,16 +63,45 @@ type rowRef struct {
 	row   int32
 }
 
-// NewHashJoinSpec builds a Spec for a hash join.
+// NewHashJoinSpec builds a Spec for a hash join. The returned spec
+// implements ParallelSpec: joins always partition (the key lists are
+// non-empty by construction).
 func NewHashJoinSpec(t JoinType, buildKeys, probeKeys []string) Spec {
 	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
 		panic("ops: join key lists must be equal length and non-empty")
 	}
-	return SpecFunc{
-		Label: fmt.Sprintf("join[%s on %v=%v]", t, buildKeys, probeKeys),
-		Factory: func(_, _ int) Operator {
-			return &HashJoin{Type: t, BuildKeys: buildKeys, ProbeKeys: probeKeys}
-		},
+	return hashJoinSpec{typ: t, buildKeys: buildKeys, probeKeys: probeKeys}
+}
+
+// hashJoinSpec instantiates HashJoin operators, serial or partitioned.
+type hashJoinSpec struct {
+	typ       JoinType
+	buildKeys []string
+	probeKeys []string
+}
+
+// Name implements Spec.
+func (s hashJoinSpec) Name() string {
+	return fmt.Sprintf("join[%s on %v=%v]", s.typ, s.buildKeys, s.probeKeys)
+}
+
+// New implements Spec.
+func (s hashJoinSpec) New(_, _ int) Operator {
+	return &HashJoin{Type: s.typ, BuildKeys: s.buildKeys, ProbeKeys: s.probeKeys}
+}
+
+// NewParallel implements ParallelSpec.
+func (s hashJoinSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
+	if partitions <= 1 {
+		return s.New(channel, channels)
+	}
+	parts := make([]*HashJoin, partitions)
+	for p := range parts {
+		parts[p] = &HashJoin{Type: s.typ, BuildKeys: s.buildKeys, ProbeKeys: s.probeKeys}
+	}
+	return &parallelJoin{
+		typ: s.typ, buildKeys: s.buildKeys, probeKeys: s.probeKeys,
+		parts: parts, pool: pool,
 	}
 }
 

@@ -1,0 +1,581 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"quokka/internal/batch"
+)
+
+// This file implements morsel-driven, partition-parallel execution for the
+// stateful operators (hash join and hash aggregation). The operator's state
+// is split into P hash-partitioned sub-tables; incoming batches are fanned
+// out to partitions by key hash and each partition's build/probe/accumulate
+// runs on its own goroutine from a shared, CPU-bounded pool. Each partition
+// is owned by exactly one goroutine per task, so no locks guard operator
+// state.
+//
+// Determinism invariant (recovery depends on it): the partition of a row is
+// a pure function of its encoded key — fnv-1a(appendKey(row)) mod P — and P
+// is fixed for the lifetime of a query. Replaying a channel's logged inputs
+// through a fresh partitioned operator therefore rebuilds byte-identical
+// per-partition state, which is what lets write-ahead lineage recovery
+// (§III of the paper) coexist with intra-operator parallelism.
+
+// Pool runs partition tasks concurrently, bounded by a shared slot
+// semaphore — typically the worker's CPU slots, so intra-operator
+// parallelism and inter-channel parallelism compete for the same modelled
+// cores. A nil Pool (or one with a nil slot channel) runs tasks serially,
+// which keeps the serial execution path byte-identical.
+type Pool struct {
+	slots   chan struct{}
+	onTasks func(n int) // metrics hook: partition tasks dispatched
+}
+
+// NewPool wraps a slot semaphore in a Pool. onTasks, if non-nil, is called
+// with the fan-out width of every parallel dispatch (metrics).
+func NewPool(slots chan struct{}, onTasks func(n int)) *Pool {
+	return &Pool{slots: slots, onTasks: onTasks}
+}
+
+// Run executes fn(0..n-1) and returns the first error. Tasks run
+// concurrently when the pool has slots; every task acquires a slot for its
+// duration, so total in-flight compute stays bounded by the semaphore.
+// Run returns only after every task finished, which gives successive Run
+// calls a happens-before edge: partition state written by one task is
+// visible to the next task that owns the partition.
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.slots == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.onTasks != nil {
+		p.onTasks(n)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.slots <- struct{}{}
+			defer func() { <-p.slots }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitioned is implemented by operators whose execution fans out across
+// partition lanes. The engine uses it to spread modelled kernel cost over
+// the lanes that actually execute concurrently.
+type Partitioned interface {
+	// Partitions is the operator's configured partition count.
+	Partitions() int
+	// SharesFor returns how many lanes a batch of the given row count
+	// actually fans out over — small batches may run on a single lane,
+	// and the modelled kernel cost must match what really executes.
+	SharesFor(rows int) int
+}
+
+// ParallelSpec is implemented by Specs whose operators support
+// partition-parallel execution. NewParallel instantiates the operator with
+// its state split into the given number of hash partitions, executing on
+// the given pool. Implementations must fall back to the serial operator
+// when partitions <= 1 or the operator cannot be partitioned (e.g. a
+// global aggregate).
+type ParallelSpec interface {
+	Spec
+	NewParallel(channel, channels, partitions int, pool *Pool) Operator
+}
+
+// fnv-1a, inlined so per-row partition hashing does not allocate. The
+// constants are part of the recovery determinism contract: changing them
+// changes partition assignment, which would break replay against state
+// built before the change.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(data []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// PartitionOf returns the partition owning an encoded key. Exported so
+// tests can craft same-partition key collisions deliberately.
+func PartitionOf(key []byte, partitions int) int {
+	return int(fnv64a(key) % uint64(partitions))
+}
+
+// minHashScanRows is the smallest batch worth fanning the partition-hash
+// scan itself out over row ranges; below it, goroutine overhead beats the
+// win. (The partition *execution* of hash-partitioned operators fans out
+// at any size — only the routing scan is gated.)
+const minHashScanRows = 4096
+
+// rowPartitions computes each row's partition: fnv64a of the encoded key,
+// mod partitions. The scan is itself morsel-parallel for large batches —
+// disjoint row ranges write disjoint slice ranges.
+func rowPartitions(b *batch.Batch, keyIdx []int, partitions int, pool *Pool) []int32 {
+	n := b.NumRows()
+	parts := make([]int32, n)
+	scan := func(lo, hi int) {
+		var key []byte
+		for r := lo; r < hi; r++ {
+			key = appendKey(key[:0], b, keyIdx, r)
+			parts[r] = int32(fnv64a(key) % uint64(partitions))
+		}
+	}
+	if n < minHashScanRows || pool == nil || pool.slots == nil {
+		scan(0, n)
+		return parts
+	}
+	m := partitions
+	step := (n + m - 1) / m
+	pool.Run(m, func(i int) error {
+		lo := i * step
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			scan(lo, hi)
+		}
+		return nil
+	})
+	return parts
+}
+
+// splitByPartition gathers b's rows into one sub-batch per partition,
+// preserving row order within each partition. Empty partitions yield an
+// empty batch with b's schema when keepEmpty is set (build sides need the
+// schema), nil otherwise.
+func splitByPartition(b *batch.Batch, rowPart []int32, partitions int, keepEmpty bool) []*batch.Batch {
+	rows := make([][]int, partitions)
+	for r, p := range rowPart {
+		rows[p] = append(rows[p], r)
+	}
+	out := make([]*batch.Batch, partitions)
+	for p := 0; p < partitions; p++ {
+		switch {
+		case len(rows[p]) == len(rowPart):
+			out[p] = b // single-partition batch: skip the copy
+		case len(rows[p]) > 0:
+			out[p] = b.Gather(rows[p])
+		case keepEmpty:
+			out[p] = batch.Empty(b.Schema)
+		}
+	}
+	return out
+}
+
+// routeByKey partitions a batch by the named key columns.
+func routeByKey(b *batch.Batch, keyIdx []int, partitions int, pool *Pool, keepEmpty bool) []*batch.Batch {
+	return splitByPartition(b, rowPartitions(b, keyIdx, partitions, pool), partitions, keepEmpty)
+}
+
+// rowwiseSpec wraps the factory of a stateless, row-wise operator (filter,
+// project, fused filter+project) whose output for a batch is the
+// concatenation of its outputs for any row-range split of that batch. Such
+// operators parallelize by contiguous row-range morsels — no key hashing
+// needed — and the morsel outputs concatenate back in range order, so the
+// task-level output bytes are identical to the serial path.
+type rowwiseSpec struct {
+	label   string
+	factory func() Operator
+}
+
+// Name implements Spec.
+func (s rowwiseSpec) Name() string { return s.label }
+
+// New implements Spec.
+func (s rowwiseSpec) New(_, _ int) Operator { return s.factory() }
+
+// NewParallel implements ParallelSpec.
+func (s rowwiseSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
+	if partitions <= 1 {
+		return s.factory()
+	}
+	parts := make([]Operator, partitions)
+	for i := range parts {
+		parts[i] = s.factory()
+	}
+	return &morselOp{parts: parts, pool: pool}
+}
+
+// minRowwiseMorselRows is the smallest batch a row-wise operator splits
+// into row-range morsels; below it the whole batch runs on a single lane
+// (and SharesFor reports 1, keeping the modelled cost honest).
+const minRowwiseMorselRows = 1024
+
+// morselOp runs a stateless row-wise operator over contiguous row-range
+// morsels of each batch, one lane per morsel, concatenating lane outputs in
+// range order.
+type morselOp struct {
+	parts []Operator
+	pool  *Pool
+}
+
+// Partitions implements Partitioned.
+func (m *morselOp) Partitions() int { return len(m.parts) }
+
+// SharesFor implements Partitioned: batches below the morsel threshold run
+// on a single lane.
+func (m *morselOp) SharesFor(rows int) int {
+	if rows < minRowwiseMorselRows || rows < len(m.parts) {
+		return 1
+	}
+	return len(m.parts)
+}
+
+// Consume implements Operator.
+func (m *morselOp) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
+	n := b.NumRows()
+	p := len(m.parts)
+	if m.SharesFor(n) == 1 {
+		return m.parts[0].Consume(input, b)
+	}
+	step := (n + p - 1) / p
+	outs := make([][]*batch.Batch, p)
+	err := m.pool.Run(p, func(i int) error {
+		lo := i * step
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return nil
+		}
+		o, err := m.parts[i].Consume(input, b.Slice(lo, hi))
+		outs[i] = o
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []*batch.Batch
+	for _, o := range outs {
+		flat = append(flat, o...)
+	}
+	return flat, nil
+}
+
+// Finalize implements Operator. Row-wise operators hold no state, but the
+// lanes are flushed in order for interface fidelity.
+func (m *morselOp) Finalize() ([]*batch.Batch, error) {
+	var flat []*batch.Batch
+	for _, part := range m.parts {
+		o, err := part.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		flat = append(flat, o...)
+	}
+	return flat, nil
+}
+
+// parallelJoin is the partition-parallel HashJoin: P sub-joins, each owning
+// the build rows (and the hash index over them) whose build key hashes to
+// its partition. Probe batches are routed by probe key, so every probe row
+// meets exactly the sub-table that can match it. Output row order is
+// partition-grouped — a deterministic function of the input, but not the
+// serial operator's probe-row order; the row multiset is identical.
+type parallelJoin struct {
+	typ       JoinType
+	buildKeys []string
+	probeKeys []string
+	parts     []*HashJoin
+	pool      *Pool
+
+	buildKeyIx []int // resolved from the first build batch
+	probeKeyIx []int // resolved from the first probe batch
+}
+
+// Partitions implements Partitioned.
+func (j *parallelJoin) Partitions() int { return len(j.parts) }
+
+// SharesFor implements Partitioned: hash-routed execution fans out across
+// every partition regardless of batch size.
+func (j *parallelJoin) SharesFor(int) int { return len(j.parts) }
+
+// Consume implements Operator.
+func (j *parallelJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
+	switch input {
+	case 0:
+		if j.buildKeyIx == nil {
+			ix, err := keyIndexes(b.Schema, j.buildKeys)
+			if err != nil {
+				return nil, err
+			}
+			j.buildKeyIx = ix
+		}
+		// Keep empty sub-batches: a partition that never sees a build row
+		// still needs the build schema to emit schema-consistent output.
+		subs := routeByKey(b, j.buildKeyIx, len(j.parts), j.pool, true)
+		return nil, j.pool.Run(len(j.parts), func(p int) error {
+			_, err := j.parts[p].Consume(0, subs[p])
+			return err
+		})
+	case 1:
+		if j.probeKeyIx == nil {
+			ix, err := keyIndexes(b.Schema, j.probeKeys)
+			if err != nil {
+				return nil, err
+			}
+			j.probeKeyIx = ix
+		}
+		subs := routeByKey(b, j.probeKeyIx, len(j.parts), j.pool, false)
+		outs := make([][]*batch.Batch, len(j.parts))
+		err := j.pool.Run(len(j.parts), func(p int) error {
+			if subs[p] == nil {
+				return nil
+			}
+			o, err := j.parts[p].Consume(1, subs[p])
+			outs[p] = o
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var flat []*batch.Batch
+		for _, o := range outs {
+			flat = append(flat, o...)
+		}
+		return flat, nil
+	default:
+		return nil, fmt.Errorf("ops: join input %d out of range", input)
+	}
+}
+
+// Finalize implements Operator.
+func (j *parallelJoin) Finalize() ([]*batch.Batch, error) {
+	var flat []*batch.Batch
+	for _, part := range j.parts {
+		o, err := part.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		flat = append(flat, o...)
+	}
+	return flat, nil
+}
+
+// StateBytes implements Snapshotter.
+func (j *parallelJoin) StateBytes() int64 {
+	var n int64
+	for _, part := range j.parts {
+		n += part.StateBytes()
+	}
+	return n
+}
+
+// Snapshot implements Snapshotter: the union of the partitions' build rows,
+// in the same single-batch format the serial join uses. Restore re-routes,
+// so partition boundaries need not be recorded.
+func (j *parallelJoin) Snapshot() ([]byte, error) {
+	var all []*batch.Batch
+	for _, part := range j.parts {
+		all = append(all, part.build...)
+	}
+	merged, err := batch.Concat(all)
+	if err != nil {
+		return nil, err
+	}
+	if merged == nil || merged.NumRows() == 0 {
+		return nil, nil
+	}
+	return batch.Encode(merged), nil
+}
+
+// Restore implements Snapshotter by re-routing the snapshotted build rows
+// through the same pure key-hash partitioning used during normal execution,
+// rebuilding identical per-partition state.
+func (j *parallelJoin) Restore(data []byte) error {
+	for p := range j.parts {
+		j.parts[p] = &HashJoin{Type: j.typ, BuildKeys: j.buildKeys, ProbeKeys: j.probeKeys}
+	}
+	j.buildKeyIx = nil
+	j.probeKeyIx = nil
+	if len(data) == 0 {
+		return nil
+	}
+	b, err := batch.Decode(data)
+	if err != nil {
+		return err
+	}
+	_, err = j.Consume(0, b)
+	return err
+}
+
+// parallelAgg is the partition-parallel HashAgg: P sub-aggregations, each
+// owning the groups whose key hashes to its partition. A group's rows all
+// land in one partition in arrival order, so every per-group aggregate is
+// bit-identical to the serial operator's. Finalize merges the partitions'
+// outputs back into the serial operator's global key-sorted order, making
+// the finalized output byte-identical to the serial path.
+type parallelAgg struct {
+	groupBy []string
+	aggs    []AggExpr
+	parts   []*HashAgg
+	pool    *Pool
+}
+
+// Partitions implements Partitioned.
+func (a *parallelAgg) Partitions() int { return len(a.parts) }
+
+// SharesFor implements Partitioned: hash-routed execution fans out across
+// every partition regardless of batch size.
+func (a *parallelAgg) SharesFor(int) int { return len(a.parts) }
+
+// Consume implements Operator.
+func (a *parallelAgg) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	keyIdx, err := keyIndexes(b.Schema, a.groupBy)
+	if err != nil {
+		return nil, err
+	}
+	subs := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
+	return nil, a.pool.Run(len(a.parts), func(p int) error {
+		if subs[p] == nil {
+			return nil
+		}
+		_, err := a.parts[p].Consume(0, subs[p])
+		return err
+	})
+}
+
+// Finalize implements Operator: finalize every partition concurrently, then
+// merge the per-partition outputs into global key-encoding order — exactly
+// the order the serial operator emits.
+func (a *parallelAgg) Finalize() ([]*batch.Batch, error) {
+	outs := make([]*batch.Batch, len(a.parts))
+	err := a.pool.Run(len(a.parts), func(p int) error {
+		o, err := a.parts[p].Finalize()
+		if err != nil {
+			return err
+		}
+		if len(o) == 1 {
+			outs[p] = o[0]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nonNil []*batch.Batch
+	for _, o := range outs {
+		if o != nil {
+			nonNil = append(nonNil, o)
+		}
+	}
+	merged, err := batch.Concat(nonNil)
+	if err != nil || merged == nil {
+		return nil, err
+	}
+	keyIdx, err := keyIndexes(merged.Schema, a.groupBy)
+	if err != nil {
+		return nil, err
+	}
+	n := merged.NumRows()
+	keys := make([]string, n)
+	var key []byte
+	for r := 0; r < n; r++ {
+		key = appendKey(key[:0], merged, keyIdx, r)
+		keys[r] = string(key)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+	return single(merged.Gather(idx)), nil
+}
+
+// StateBytes implements Snapshotter.
+func (a *parallelAgg) StateBytes() int64 {
+	var n int64
+	for _, part := range a.parts {
+		n += part.StateBytes()
+	}
+	return n
+}
+
+// Snapshot implements Snapshotter: the union of the partitions' group
+// states in the serial snapshot format.
+func (a *parallelAgg) Snapshot() ([]byte, error) {
+	var all []*batch.Batch
+	for _, part := range a.parts {
+		data, err := part.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) == 0 {
+			continue
+		}
+		b, err := batch.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, b)
+	}
+	merged, err := batch.Concat(all)
+	if err != nil {
+		return nil, err
+	}
+	if merged == nil || merged.NumRows() == 0 {
+		return nil, nil
+	}
+	return batch.Encode(merged), nil
+}
+
+// Restore implements Snapshotter by routing the snapshotted groups back to
+// their owning partitions by key hash.
+func (a *parallelAgg) Restore(data []byte) error {
+	for p := range a.parts {
+		a.parts[p] = &HashAgg{GroupBy: a.groupBy, Aggs: a.aggs}
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	b, err := batch.Decode(data)
+	if err != nil {
+		return err
+	}
+	nk := b.Schema.Len() - len(a.aggs)*6
+	if nk < 0 {
+		return fmt.Errorf("ops: agg snapshot has %d columns for %d aggs", b.Schema.Len(), len(a.aggs))
+	}
+	keyIdx := make([]int, nk)
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	subs := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
+	for p, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		if err := a.parts[p].Restore(batch.Encode(sub)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -62,6 +62,11 @@ func TestTPCHFailureRecoveryMatchesFailureFree(t *testing.T) {
 		c.ThreadsPerWorker = 1
 		return c
 	}
+	par4 := func(c engine.Config) engine.Config {
+		c.Parallelism = 4
+		c.CPUPerWorker = 4
+		return c
+	}
 	cases := []struct {
 		q    int
 		cfg  engine.Config
@@ -71,6 +76,9 @@ func TestTPCHFailureRecoveryMatchesFailureFree(t *testing.T) {
 		{9, single(engine.DefaultConfig()), "Q9-wal"},
 		{3, single(engine.SparkConfig()), "Q3-spark"},
 		{10, single(engine.TrinoConfig()), "Q10-trino"},
+		// Partition-parallel operators: replay must rebuild the same hash-
+		// partitioned join/agg state the dead worker held mid-probe.
+		{9, par4(single(engine.DefaultConfig())), "Q9-wal-par4"},
 	}
 	for _, tc := range cases {
 		tc := tc
