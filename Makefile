@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-json fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,17 @@ test:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/ops/...
 
-## bench: one iteration of every benchmark in short mode (CI smoke). For
+## bench: one iteration of every benchmark in short mode (CI smoke), plus
+## the allocation-regression guard over the hash-path inner loops. For
 ## real measurements use `go test -bench=<name> -benchtime=...` or
 ## `go run ./cmd/quokka-bench`.
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -short -run 'ZeroAllocs' ./internal/ops/
+
+## bench-json: regenerate the checked-in hash-path perf record.
+bench-json:
+	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
 
 fmt:
 	gofmt -w .

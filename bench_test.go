@@ -254,6 +254,73 @@ func BenchmarkMorselAggSerial(b *testing.B) { benchMorselAgg(b, 1) }
 // partitions on 4 CPU slots.
 func BenchmarkMorselAggParallel4(b *testing.B) { benchMorselAgg(b, 4) }
 
+// --- Hash-path kernel benchmarks ---------------------------------------
+//
+// These measure the arena-backed vectorized hash path (open-addressing
+// tables, hash-once key hashing) against a faithful replica of the
+// map[string]-based kernels it replaced, on the serial operator
+// (Parallelism=1). Run with -benchmem: the acceptance bar is >= 1.5x on
+// grouped-agg and join-probe plus a large allocs/op drop. The replicas
+// live in internal/bench so the comparison outlives the old code.
+
+var hashPathWorkload *bench.HashPathWorkload
+
+func hashPathData(b *testing.B) *bench.HashPathWorkload {
+	b.Helper()
+	if hashPathWorkload == nil {
+		hashPathWorkload = bench.DefaultHashPathWorkload()
+	}
+	return hashPathWorkload
+}
+
+// BenchmarkHashPathAggMap is the pre-PR map-based grouped aggregation.
+func BenchmarkHashPathAggMap(b *testing.B) {
+	w := hashPathData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.RunMapAgg() != w.AggGroups {
+			b.Fatal("bad group count")
+		}
+	}
+}
+
+// BenchmarkHashPathAggVector is the arena/open-addressing aggregation.
+func BenchmarkHashPathAggVector(b *testing.B) {
+	w := hashPathData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.RunVecAgg() != w.AggGroups {
+			b.Fatal("bad group count")
+		}
+	}
+}
+
+// BenchmarkHashPathJoinMap is the pre-PR map-based join build+probe.
+func BenchmarkHashPathJoinMap(b *testing.B) {
+	w := hashPathData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.RunMapJoin() != w.ProbeRows/2 {
+			b.Fatal("bad join rows")
+		}
+	}
+}
+
+// BenchmarkHashPathJoinVector is the arena/open-addressing join.
+func BenchmarkHashPathJoinVector(b *testing.B) {
+	w := hashPathData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.RunVecJoin() != w.ProbeRows/2 {
+			b.Fatal("bad join rows")
+		}
+	}
+}
+
 // --- Engine-level morsel benchmarks ------------------------------------
 //
 // The ops-level benchmarks above need real cores; in the simulated engine,

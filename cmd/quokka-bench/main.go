@@ -8,9 +8,14 @@
 //	quokka-bench -exp all                      # everything (slow)
 //	quokka-bench -exp fig6 -workers 4          # one experiment
 //	quokka-bench -exp fig9 -sf 0.05 -repeats 3
+//	quokka-bench -exp hashpath -json BENCH_hashpath.json
 //
-// Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, fig10a,
-// fig10b, fig11a, fig11b, all.
+// Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, hashpath,
+// fig10a, fig10b, fig11a, fig11b, all.
+//
+// -json writes the machine-readable results of the experiments that
+// produce them (hashpath, morsel) to the given file, so the perf
+// trajectory is tracked across PRs.
 package main
 
 import (
@@ -25,22 +30,32 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|fig10a|fig10b|fig11a|fig11b|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|fig10a|fig10b|fig11a|fig11b|all")
 		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		splitRows = flag.Int("split-rows", 512, "rows per table split")
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
 		repeats   = flag.Int("repeats", 1, "timing repetitions (mean reported)")
 		workers   = flag.Int("workers", 0, "override worker count (0 = per-figure defaults)")
 		queries   = flag.String("queries", "", "comma-separated query list for fig6/fig11a (default: all 22)")
+		jsonOut   = flag.String("json", "", "write machine-readable results (JSON array) to this file")
 	)
 	flag.Parse()
 
-	p := bench.DefaultParams(os.Stdout)
-	p.SF = *sf
-	p.SplitRows = *splitRows
-	p.TimeScale = *timeScale
-	p.Repeats = *repeats
-	h := bench.New(p)
+	// The simulated cluster (and its TPC-H dataset) is built lazily: the
+	// kernel-level hashpath experiment does not need it.
+	var lazy *bench.Harness
+	h := func() *bench.Harness {
+		if lazy == nil {
+			p := bench.DefaultParams(os.Stdout)
+			p.SF = *sf
+			p.SplitRows = *splitRows
+			p.TimeScale = *timeScale
+			p.Repeats = *repeats
+			lazy = bench.New(p)
+		}
+		return lazy
+	}
+	var jsonResults []bench.JSONResult
 
 	qlist := tpch.QueryNumbers()
 	if *queries != "" {
@@ -69,58 +84,76 @@ func main() {
 		}
 	}
 
-	run("table1", func() error { h.Table1(); return nil })
+	run("table1", func() error { h().Table1(); return nil })
 	run("fig6", func() error {
-		if _, err := h.Fig6(w(4), qlist); err != nil {
+		if _, err := h().Fig6(w(4), qlist); err != nil {
 			return err
 		}
 		if *workers > 0 {
 			return nil
 		}
-		_, err := h.Fig6(16, qlist)
+		_, err := h().Fig6(16, qlist)
 		return err
 	})
 	run("fig7", func() error {
-		if _, err := h.Fig7(w(4)); err != nil {
+		if _, err := h().Fig7(w(4)); err != nil {
 			return err
 		}
 		if *workers > 0 {
 			return nil
 		}
-		_, err := h.Fig7(16)
+		_, err := h().Fig7(16)
 		return err
 	})
 	run("fig8", func() error {
-		if _, err := h.Fig8(w(4)); err != nil {
+		if _, err := h().Fig8(w(4)); err != nil {
 			return err
 		}
 		if *workers > 0 {
 			return nil
 		}
-		_, err := h.Fig8(16)
+		_, err := h().Fig8(16)
 		return err
 	})
 	run("fig9", func() error {
-		if _, err := h.Fig9(w(4)); err != nil {
+		if _, err := h().Fig9(w(4)); err != nil {
 			return err
 		}
 		if *workers > 0 {
 			return nil
 		}
-		_, err := h.Fig9(16)
+		_, err := h().Fig9(16)
 		return err
 	})
-	run("ckpt", func() error { _, err := h.CheckpointAblation(w(4)); return err })
-	run("morsel", func() error { _, err := h.MorselSpeedup(w(4), qlist); return err })
-	run("fig10a", func() error { _, err := h.Fig10a(w(16)); return err })
-	run("fig10b", func() error { _, err := h.Fig10b(w(16)); return err })
-	run("fig11a", func() error { _, err := h.Fig6(w(32), qlist); return err })
-	run("fig11b", func() error { _, err := h.Fig10a(w(32)); return err })
+	run("ckpt", func() error { _, err := h().CheckpointAblation(w(4)); return err })
+	run("morsel", func() error {
+		rows, err := h().MorselSpeedup(w(4), qlist)
+		if err != nil {
+			return err
+		}
+		jsonResults = append(jsonResults, bench.MorselJSON(rows))
+		return nil
+	})
+	run("hashpath", func() error {
+		jsonResults = append(jsonResults, bench.RunHashPath(os.Stdout, max(*repeats, 3)))
+		return nil
+	})
+	run("fig10a", func() error { _, err := h().Fig10a(w(16)); return err })
+	run("fig10b", func() error { _, err := h().Fig10b(w(16)); return err })
+	run("fig11a", func() error { _, err := h().Fig6(w(32), qlist); return err })
+	run("fig11b", func() error { _, err := h().Fig10a(w(32)); return err })
 
 	switch *exp {
-	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "fig10a", "fig10b", "fig11a", "fig11b", "all":
 	default:
 		fatal("unknown experiment %q", *exp)
+	}
+
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, jsonResults); err != nil {
+			fatal("write %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 

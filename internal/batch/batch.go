@@ -2,16 +2,59 @@ package batch
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 )
 
 // Batch is an immutable columnar record batch: a schema plus one column per
 // field, all of equal length. Batches are the engine's unit of data exchange.
+//
+// A batch may carry a selection vector: when Sel is non-nil, the batch
+// logically contains the physical rows Sel[0], Sel[1], ... in that order,
+// and NumRows reports len(Sel). Filters use this to defer row copying —
+// a filter that keeps most rows hands downstream a view instead of
+// gathering every column. Row-oriented accessors (Gather, Slice,
+// SplitRows) operate on logical rows; consumers that need physical
+// columns call Materialize, which happens automatically at batch
+// boundaries (wire encode, concat, shuffle partitioning).
 type Batch struct {
 	Schema *Schema
 	Cols   []*Column
+	Sel    []int32
+}
+
+// WithSel returns a view of b restricted to the given physical row
+// indexes. The selection slice is retained, not copied. b must not itself
+// carry a selection (callers compose selections before calling).
+func (b *Batch) WithSel(sel []int32) *Batch {
+	if b.Sel != nil {
+		panic("batch: WithSel on a batch that already has a selection")
+	}
+	return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+}
+
+// Phys returns the batch stripped of its selection vector: the same
+// physical columns, all rows visible. Expressions evaluate over physical
+// rows, so selection-aware operators evaluate on Phys() and address rows
+// through Sel. Without a selection it returns b unchanged.
+func (b *Batch) Phys() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	return &Batch{Schema: b.Schema, Cols: b.Cols}
+}
+
+// Materialize resolves the selection vector into freshly gathered columns.
+// Without a selection it returns b unchanged.
+func (b *Batch) Materialize() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	cols := make([]*Column, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.GatherI32(b.Sel)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols}
 }
 
 // New creates a batch from a schema and columns. It validates that column
@@ -53,8 +96,11 @@ func Empty(schema *Schema) *Batch {
 	return &Batch{Schema: schema, Cols: cols}
 }
 
-// NumRows returns the number of rows in the batch.
+// NumRows returns the number of logical rows in the batch.
 func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
 	if len(b.Cols) == 0 {
 		return 0
 	}
@@ -64,17 +110,31 @@ func (b *Batch) NumRows() int {
 // Col returns the column for the named field.
 func (b *Batch) Col(name string) *Column { return b.Cols[b.Schema.MustIndex(name)] }
 
-// ByteSize returns the approximate payload size of the batch in bytes.
+// ByteSize returns the approximate payload size of the batch's logical
+// rows in bytes: a selection view reports the selected rows' payload
+// (what materializing would copy), not the physical columns it happens to
+// reference.
 func (b *Batch) ByteSize() int64 {
 	var n int64
 	for _, c := range b.Cols {
-		n += c.ByteSize()
+		if b.Sel != nil {
+			n += c.byteSizeSel(b.Sel)
+		} else {
+			n += c.ByteSize()
+		}
 	}
 	return n
 }
 
-// Gather returns a new batch with the rows at the given indexes.
+// Gather returns a new batch with the logical rows at the given indexes.
 func (b *Batch) Gather(idx []int) *Batch {
+	if b.Sel != nil {
+		phys := make([]int, len(idx))
+		for i, j := range idx {
+			phys[i] = int(b.Sel[j])
+		}
+		idx = phys
+	}
 	cols := make([]*Column, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Gather(idx)
@@ -82,8 +142,12 @@ func (b *Batch) Gather(idx []int) *Batch {
 	return &Batch{Schema: b.Schema, Cols: cols}
 }
 
-// Slice returns a view of rows [lo, hi). Underlying arrays are shared.
+// Slice returns a view of logical rows [lo, hi). The underlying arrays
+// are shared.
 func (b *Batch) Slice(lo, hi int) *Batch {
+	if b.Sel != nil {
+		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: b.Sel[lo:hi]}
+	}
 	cols := make([]*Column, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Slice(lo, hi)
@@ -100,27 +164,33 @@ func (b *Batch) Select(names ...string) *Batch {
 		cols[i] = b.Cols[j]
 		fields[i] = b.Schema.Fields[j]
 	}
-	return &Batch{Schema: NewSchema(fields...), Cols: cols}
+	return &Batch{Schema: NewSchema(fields...), Cols: cols, Sel: b.Sel}
 }
 
 // Concat concatenates batches with identical schemas into one. A nil result
-// with nil error means the input was empty.
+// with nil error means the input was empty. A single input batch is
+// returned directly (materialized), without copying columns.
 func Concat(batches []*Batch) (*Batch, error) {
 	if len(batches) == 0 {
 		return nil, nil
 	}
+	if len(batches) == 1 {
+		return batches[0].Materialize(), nil
+	}
 	schema := batches[0].Schema
 	total := 0
-	for _, b := range batches {
+	phys := make([]*Batch, len(batches))
+	for i, b := range batches {
 		if !b.Schema.Equal(schema) {
 			return nil, fmt.Errorf("batch: concat schema mismatch: %s vs %s", b.Schema, schema)
 		}
+		phys[i] = b.Materialize()
 		total += b.NumRows()
 	}
 	cols := make([]*Column, schema.Len())
 	for i, f := range schema.Fields {
 		cols[i] = NewColumn(f.Type, total)
-		for _, b := range batches {
+		for _, b := range phys {
 			cols[i].AppendAll(b.Cols[i])
 		}
 	}
@@ -150,39 +220,45 @@ func (b *Batch) SplitRows(n int) []*Batch {
 // HashPartition splits the batch into p partitions by hashing the named key
 // columns. Rows with equal keys always land in the same partition, which is
 // the contract shuffles rely on. Deterministic across runs.
+//
+// The per-row hash is fnv-1a over the shuffle encoding (raw string bytes,
+// no length prefix — kept bit-compatible with the original hash/fnv
+// implementation so shuffle partition assignment is unchanged), inlined so
+// the scan allocates nothing per row.
 func (b *Batch) HashPartition(keys []string, p int) []*Batch {
 	if p <= 1 {
 		return []*Batch{b}
 	}
+	b = b.Materialize()
 	keyIdx := make([]int, len(keys))
 	for i, k := range keys {
 		keyIdx[i] = b.Schema.MustIndex(k)
 	}
 	rows := b.NumRows()
 	part := make([][]int, p)
-	var scratch [8]byte
 	for r := 0; r < rows; r++ {
-		h := fnv.New64a()
+		h := uint64(fnvOffset64)
 		for _, ci := range keyIdx {
 			c := b.Cols[ci]
 			switch c.Type {
 			case Int64, Date:
-				putUint64(scratch[:], uint64(c.Ints[r]))
-				h.Write(scratch[:])
+				h = hash8(h, uint64(c.Ints[r]))
 			case Float64:
-				putUint64(scratch[:], math.Float64bits(c.Floats[r]))
-				h.Write(scratch[:])
+				h = hash8(h, math.Float64bits(c.Floats[r]))
 			case String:
-				h.Write([]byte(c.Strings[r]))
+				s := c.Strings[r]
+				for j := 0; j < len(s); j++ {
+					h = hash1(h, s[j])
+				}
 			case Bool:
 				if c.Bools[r] {
-					h.Write([]byte{1})
+					h = hash1(h, 1)
 				} else {
-					h.Write([]byte{0})
+					h = hash1(h, 0)
 				}
 			}
 		}
-		k := int(h.Sum64() % uint64(p))
+		k := int(h % uint64(p))
 		part[k] = append(part[k], r)
 	}
 	out := make([]*Batch, p)
@@ -196,14 +272,9 @@ func (b *Batch) HashPartition(keys []string, p int) []*Batch {
 	return out
 }
 
-func putUint64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
-}
-
 // String renders up to 10 rows for debugging.
 func (b *Batch) String() string {
+	b = b.Materialize()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Batch%s %d rows\n", b.Schema, b.NumRows())
 	n := b.NumRows()

@@ -19,8 +19,11 @@ import (
 
 const codecMagic = 0x51424131 // "QBA1"
 
-// Encode serializes the batch into a fresh byte slice.
+// Encode serializes the batch into a fresh byte slice. A selection vector,
+// if present, is materialized first — the wire format always carries
+// physical rows.
 func Encode(b *Batch) []byte {
+	b = b.Materialize()
 	size := 12
 	for _, f := range b.Schema.Fields {
 		size += 5 + len(f.Name)

@@ -3,8 +3,8 @@ package batch
 import "fmt"
 
 // Column is a typed vector of values. Exactly one of the slices is non-nil,
-// matching Type. Bools are stored as a byte slice (0/1) to keep the wire
-// format trivial.
+// matching Type. Bools are stored as []bool in memory; the wire codec
+// serializes them as one 0/1 byte per value (see codec.go).
 type Column struct {
 	Type    Type
 	Ints    []int64   // Int64 and Date
@@ -91,6 +91,81 @@ func (c *Column) Gather(idx []int) *Column {
 	return out
 }
 
+// GatherI32 returns a new column containing the rows at the given physical
+// indexes. It is Gather for the int32 selection/match vectors the hash
+// path produces.
+func (c *Column) GatherI32(idx []int32) *Column {
+	out := &Column{Type: c.Type}
+	switch c.Type {
+	case Int64, Date:
+		v := make([]int64, len(idx))
+		for i, j := range idx {
+			v[i] = c.Ints[j]
+		}
+		out.Ints = v
+	case Float64:
+		v := make([]float64, len(idx))
+		for i, j := range idx {
+			v[i] = c.Floats[j]
+		}
+		out.Floats = v
+	case String:
+		v := make([]string, len(idx))
+		for i, j := range idx {
+			v[i] = c.Strings[j]
+		}
+		out.Strings = v
+	case Bool:
+		v := make([]bool, len(idx))
+		for i, j := range idx {
+			v[i] = c.Bools[j]
+		}
+		out.Bools = v
+	}
+	return out
+}
+
+// GatherPad is GatherI32 with -1 as a valid index yielding the type's zero
+// value. Left-outer joins use it to emit unmatched build columns.
+func (c *Column) GatherPad(idx []int32) *Column {
+	out := &Column{Type: c.Type}
+	switch c.Type {
+	case Int64, Date:
+		v := make([]int64, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				v[i] = c.Ints[j]
+			}
+		}
+		out.Ints = v
+	case Float64:
+		v := make([]float64, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				v[i] = c.Floats[j]
+			}
+		}
+		out.Floats = v
+	case String:
+		v := make([]string, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				v[i] = c.Strings[j]
+			}
+		}
+		out.Strings = v
+	case Bool:
+		v := make([]bool, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				v[i] = c.Bools[j]
+			}
+		}
+		out.Bools = v
+	}
+	return out
+}
+
 // Slice returns a view of rows [lo, hi). The underlying arrays are shared.
 func (c *Column) Slice(lo, hi int) *Column {
 	out := &Column{Type: c.Type}
@@ -151,6 +226,23 @@ func (c *Column) Value(i int) any {
 	return nil
 }
 
+// stringHeaderBytes is the accounted per-string overhead (Go string
+// header) in the engine's byte model. ValueBytes is the single source of
+// the per-value accounting; every size computation routes through it.
+const stringHeaderBytes = 16
+
+// ValueBytes returns the accounting size of row r's value.
+func (c *Column) ValueBytes(r int) int64 {
+	switch c.Type {
+	case String:
+		return int64(len(c.Strings[r])) + stringHeaderBytes
+	case Bool:
+		return 1
+	default:
+		return 8
+	}
+}
+
 // ByteSize returns the approximate in-memory size of the column payload.
 func (c *Column) ByteSize() int64 {
 	switch c.Type {
@@ -160,12 +252,29 @@ func (c *Column) ByteSize() int64 {
 		return int64(len(c.Floats) * 8)
 	case String:
 		var n int64
-		for _, s := range c.Strings {
-			n += int64(len(s)) + 16
+		for r := range c.Strings {
+			n += c.ValueBytes(r)
 		}
 		return n
 	case Bool:
 		return int64(len(c.Bools))
+	}
+	return 0
+}
+
+// byteSizeSel is ByteSize restricted to the selected physical rows.
+func (c *Column) byteSizeSel(sel []int32) int64 {
+	switch c.Type {
+	case Int64, Date, Float64:
+		return int64(len(sel) * 8)
+	case String:
+		var n int64
+		for _, r := range sel {
+			n += c.ValueBytes(int(r))
+		}
+		return n
+	case Bool:
+		return int64(len(sel))
 	}
 	return 0
 }

@@ -1,0 +1,189 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHashTableInsertFind(t *testing.T) {
+	tab := NewHashTable(0)
+	keys := []string{"a", "bb", "ccc", "", "a\x00b"}
+	for i, k := range keys {
+		idx, inserted := tab.InsertKey(HashKey([]byte(k)), []byte(k))
+		if !inserted || idx != i {
+			t.Fatalf("insert %q: idx=%d inserted=%v, want %d,true", k, idx, inserted, i)
+		}
+	}
+	for i, k := range keys {
+		idx, inserted := tab.InsertKey(HashKey([]byte(k)), []byte(k))
+		if inserted || idx != i {
+			t.Fatalf("re-insert %q: idx=%d inserted=%v, want %d,false", k, idx, inserted, i)
+		}
+		if got := tab.Find(HashKey([]byte(k)), []byte(k)); got != i {
+			t.Fatalf("find %q = %d, want %d", k, got, i)
+		}
+		if string(tab.Key(i)) != k {
+			t.Fatalf("key %d = %q, want %q", i, tab.Key(i), k)
+		}
+	}
+	if tab.Find(HashKey([]byte("absent")), []byte("absent")) != -1 {
+		t.Fatal("found absent key")
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("len = %d, want %d", tab.Len(), len(keys))
+	}
+}
+
+// TestHashTableGrowthWithCollisions drives the table through several
+// power-of-two resizes with keys that share identical hashes (forced
+// collisions via identical hash argument) interleaved with normal keys:
+// growth must preserve every payload index and keep colliding keys
+// distinguishable by their bytes.
+func TestHashTableGrowthWithCollisions(t *testing.T) {
+	tab := NewHashTable(0)
+	const n = 10000
+	const sharedHash = uint64(0xdeadbeefcafef00d)
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%d", i)) }
+	hashOf := func(i int) uint64 {
+		if i%3 == 0 {
+			return sharedHash // every third key collides on the full 64-bit hash
+		}
+		return HashKey(keyOf(i))
+	}
+	for i := 0; i < n; i++ {
+		idx, inserted := tab.InsertKey(hashOf(i), keyOf(i))
+		if !inserted || idx != i {
+			t.Fatalf("insert %d: idx=%d inserted=%v", i, idx, inserted)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("len = %d, want %d", tab.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := tab.Find(hashOf(i), keyOf(i)); got != i {
+			t.Fatalf("find %d after growth = %d", i, got)
+		}
+		if string(tab.Key(i)) != string(keyOf(i)) {
+			t.Fatalf("key %d corrupted after growth", i)
+		}
+	}
+	if tab.Bytes() <= 0 {
+		t.Fatal("Bytes() must be positive")
+	}
+}
+
+// TestAppendKeyLengthPrefixLoadBearing: multi-string keys must not
+// collide when the concatenation of parts is equal but the split differs
+// — the 4-byte length prefix is what keeps ("ab","c") and ("a","bc")
+// distinct.
+func TestAppendKeyLengthPrefixLoadBearing(t *testing.T) {
+	s := NewSchema(F("x", String), F("y", String))
+	b := MustNew(s, []*Column{
+		NewStringColumn([]string{"ab", "a"}),
+		NewStringColumn([]string{"c", "bc"}),
+	})
+	k0 := AppendKey(nil, b, []int{0, 1}, 0)
+	k1 := AppendKey(nil, b, []int{0, 1}, 1)
+	if string(k0) == string(k1) {
+		t.Fatalf("keys (ab,c) and (a,bc) collide: %x", k0)
+	}
+	if HashKey(k0) == HashKey(k1) {
+		t.Fatalf("hashes of distinct keys (ab,c)/(a,bc) collide")
+	}
+}
+
+// TestAppendKeyFloatZeroSemantics documents the engine's float key
+// semantics: keys follow bit equality (Float64bits), so 0.0 and -0.0 are
+// DISTINCT keys even though they compare equal numerically. Group-by and
+// join columns therefore distinguish signed zeros; plans that need IEEE
+// semantics must normalize first.
+func TestAppendKeyFloatZeroSemantics(t *testing.T) {
+	s := NewSchema(F("f", Float64))
+	b := MustNew(s, []*Column{NewFloatColumn([]float64{0.0, math.Copysign(0, -1)})})
+	k0 := AppendKey(nil, b, []int{0}, 0)
+	k1 := AppendKey(nil, b, []int{0}, 1)
+	if string(k0) == string(k1) {
+		t.Fatal("0.0 and -0.0 must encode to distinct keys (bit equality)")
+	}
+	tab := NewHashTable(0)
+	i0, _ := tab.InsertKey(HashKey(k0), k0)
+	i1, _ := tab.InsertKey(HashKey(k1), k1)
+	if i0 == i1 {
+		t.Fatal("0.0 and -0.0 landed in the same group")
+	}
+}
+
+// TestHashKeysMatchesAppendKey: the vectorized column-at-a-time hash must
+// be bit-identical to fnv-1a over the row-at-a-time key encoding, for
+// every column type and with and without a selection vector.
+func TestHashKeysMatchesAppendKey(t *testing.T) {
+	s := NewSchema(F("i", Int64), F("f", Float64), F("s", String), F("b", Bool), F("d", Date))
+	b := MustNew(s, []*Column{
+		NewIntColumn([]int64{0, -1, math.MaxInt64, 42}),
+		NewFloatColumn([]float64{0, math.Copysign(0, -1), math.Inf(1), 3.25}),
+		NewStringColumn([]string{"", "a", "longer string value", "\x00\xff"}),
+		NewBoolColumn([]bool{true, false, true, false}),
+		NewDateColumn([]int64{0, 1, -40000, 20000}),
+	})
+	keyIdx := []int{0, 1, 2, 3, 4}
+	got := HashKeys(nil, b, keyIdx)
+	var key []byte
+	for r := 0; r < b.NumRows(); r++ {
+		key = AppendKey(key[:0], b, keyIdx, r)
+		if want := HashKey(key); got[r] != want {
+			t.Fatalf("row %d: HashKeys=%#x, HashKey(AppendKey)=%#x", r, got[r], want)
+		}
+	}
+	// Selection vector: hashes follow logical rows.
+	sel := b.WithSel([]int32{2, 0, 3})
+	gotSel := HashKeys(nil, sel, keyIdx)
+	for i, p := range []int{2, 0, 3} {
+		key = AppendKey(key[:0], b, keyIdx, p)
+		if want := HashKey(key); gotSel[i] != want {
+			t.Fatalf("sel row %d (phys %d): hash mismatch", i, p)
+		}
+	}
+}
+
+func TestSelectionVectorViews(t *testing.T) {
+	s := NewSchema(F("id", Int64), F("v", Float64))
+	b := MustNew(s, []*Column{
+		NewIntColumn([]int64{10, 11, 12, 13, 14}),
+		NewFloatColumn([]float64{0, 1, 2, 3, 4}),
+	})
+	v := b.WithSel([]int32{4, 2, 0})
+	if v.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", v.NumRows())
+	}
+	m := v.Materialize()
+	if m.Sel != nil || m.NumRows() != 3 || m.Cols[0].Ints[0] != 14 || m.Cols[0].Ints[2] != 10 {
+		t.Fatalf("materialize: %v", m)
+	}
+	// Slice is a logical view.
+	sl := v.Slice(1, 3).Materialize()
+	if sl.Cols[0].Ints[0] != 12 || sl.Cols[0].Ints[1] != 10 {
+		t.Fatalf("slice: %v", sl)
+	}
+	// Gather takes logical indexes.
+	g := v.Gather([]int{2, 0})
+	if g.Cols[0].Ints[0] != 10 || g.Cols[0].Ints[1] != 14 {
+		t.Fatalf("gather: %v", g)
+	}
+	// Encode materializes: decoding yields the selected rows.
+	d, err := Decode(Encode(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 || d.Cols[0].Ints[1] != 12 {
+		t.Fatalf("encode/decode: %v", d)
+	}
+	// Concat materializes views.
+	c, err := Concat([]*Batch{v, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 8 || c.Cols[0].Ints[0] != 14 || c.Cols[0].Ints[3] != 10 {
+		t.Fatalf("concat: %v", c)
+	}
+}

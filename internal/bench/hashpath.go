@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/expr"
+	"quokka/internal/ops"
+)
+
+// This file measures the arena-backed vectorized hash path (open-addressing
+// join/agg tables, hash-once key hashing, selection vectors) against the
+// map-based kernels it replaced. The baselines below replicate the pre-PR
+// implementation — Go map[string] tables keyed by the encoded key string,
+// per-group pointer state, per-row output appends — so the speedup stays
+// measurable after the old code is gone.
+
+// JSONResult is one experiment's machine-readable record, written by
+// quokka-bench -json so the perf trajectory is tracked across PRs.
+type JSONResult struct {
+	Experiment string             `json:"experiment"`
+	Config     map[string]any     `json:"config"`
+	DurationsS map[string]float64 `json:"durations_s"`
+	Speedup    map[string]float64 `json:"speedup"`
+}
+
+// WriteJSON writes experiment results as a JSON array to path. A nil
+// slice writes an empty array, not `null` — consumers parse an array.
+func WriteJSON(path string, results []JSONResult) error {
+	if results == nil {
+		results = []JSONResult{}
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// HashPathWorkload holds the microbench datasets: a grouped aggregation
+// input and a join build/probe pair, sized so the hash tables dominate.
+type HashPathWorkload struct {
+	AggRows   int
+	AggGroups int
+	BuildRows int
+	ProbeRows int
+
+	aggIn *batch.Batch
+	build *batch.Batch
+	probe *batch.Batch
+}
+
+// DefaultHashPathWorkload mirrors the morsel benchmark sizes.
+func DefaultHashPathWorkload() *HashPathWorkload {
+	w := &HashPathWorkload{AggRows: 400_000, AggGroups: 100_000, BuildRows: 100_000, ProbeRows: 200_000}
+	w.generate()
+	return w
+}
+
+func (w *HashPathWorkload) generate() {
+	gs := make([]int64, w.AggRows)
+	vs := make([]float64, w.AggRows)
+	for i := range gs {
+		gs[i] = int64(i % w.AggGroups)
+		vs[i] = float64(i)
+	}
+	as := batch.NewSchema(batch.F("g", batch.Int64), batch.F("v", batch.Float64))
+	w.aggIn = batch.MustNew(as, []*batch.Column{batch.NewIntColumn(gs), batch.NewFloatColumn(vs)})
+
+	bs := batch.NewSchema(batch.F("k", batch.Int64), batch.F("name", batch.String))
+	bk := make([]int64, w.BuildRows)
+	bn := make([]string, w.BuildRows)
+	for i := range bk {
+		bk[i] = int64(i)
+		bn[i] = "name-" + strconv.Itoa(i%1000)
+	}
+	w.build = batch.MustNew(bs, []*batch.Column{batch.NewIntColumn(bk), batch.NewStringColumn(bn)})
+
+	ps := batch.NewSchema(batch.F("k", batch.Int64), batch.F("v", batch.Float64))
+	pk := make([]int64, w.ProbeRows)
+	pv := make([]float64, w.ProbeRows)
+	for i := range pk {
+		pk[i] = int64(i % (w.BuildRows * 2)) // half the probes miss
+		pv[i] = float64(i)
+	}
+	w.probe = batch.MustNew(ps, []*batch.Column{batch.NewIntColumn(pk), batch.NewFloatColumn(pv)})
+}
+
+// --- map-based baselines (pre-PR kernel replicas) ------------------------
+
+type mapAggGroup struct {
+	keyRow *batch.Batch
+	sum    float64
+	count  int64
+}
+
+// RunMapAgg runs the grouped sum/count on the map-based baseline and
+// returns the number of output groups.
+func (w *HashPathWorkload) RunMapAgg() int {
+	b := w.aggIn
+	keyIdx := []int{0}
+	keySchema := batch.NewSchema(b.Schema.Fields[0])
+	groups := make(map[string]*mapAggGroup)
+	var order []string
+	n := b.NumRows()
+	vc := b.Cols[1]
+	var key []byte
+	for r := 0; r < n; r++ {
+		key = batch.AppendKey(key[:0], b, keyIdx, r)
+		g, ok := groups[string(key)]
+		if !ok {
+			bl := batch.NewBuilder(keySchema, 1)
+			bl.Col(0).AppendFrom(b.Cols[0], r)
+			g = &mapAggGroup{keyRow: bl.Build()}
+			groups[string(key)] = g
+			order = append(order, string(key))
+		}
+		g.sum += vc.Floats[r]
+		g.count++
+	}
+	keys := append([]string(nil), order...)
+	sort.Strings(keys)
+	outSchema := batch.NewSchema(b.Schema.Fields[0], batch.F("s", batch.Float64), batch.F("c", batch.Int64))
+	bl := batch.NewBuilder(outSchema, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		bl.Col(0).AppendFrom(g.keyRow.Cols[0], 0)
+		bl.Col(1).Floats = append(bl.Col(1).Floats, g.sum)
+		bl.Col(2).Ints = append(bl.Col(2).Ints, g.count)
+	}
+	return bl.Build().NumRows()
+}
+
+// RunVecAgg runs the same aggregation on the vectorized HashAgg and
+// returns the number of output groups.
+func (w *HashPathWorkload) RunVecAgg() int {
+	op := ops.NewHashAggSpec([]string{"g"}, ops.Sum("s", expr.C("v")), ops.CountStar("c")).New(0, 1)
+	if _, err := op.Consume(0, w.aggIn); err != nil {
+		panic(err)
+	}
+	out, err := op.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return out[0].NumRows()
+}
+
+type mapRowRef struct {
+	batch int32
+	row   int32
+}
+
+// RunMapJoin runs the inner join on the map-based baseline and returns
+// the output row count.
+func (w *HashPathWorkload) RunMapJoin() int {
+	build, probe := w.build, w.probe
+	index := make(map[string][]mapRowRef)
+	var key []byte
+	bn := build.NumRows()
+	for r := 0; r < bn; r++ {
+		key = batch.AppendKey(key[:0], build, []int{0}, r)
+		index[string(key)] = append(index[string(key)], mapRowRef{0, int32(r)})
+	}
+	outSchema := batch.NewSchema(probe.Schema.Fields[0], probe.Schema.Fields[1], build.Schema.Fields[1])
+	n := probe.NumRows()
+	bl := batch.NewBuilder(outSchema, n)
+	for r := 0; r < n; r++ {
+		key = batch.AppendKey(key[:0], probe, []int{0}, r)
+		for _, ref := range index[string(key)] {
+			bl.Col(0).AppendFrom(probe.Cols[0], r)
+			bl.Col(1).AppendFrom(probe.Cols[1], r)
+			bl.Col(2).AppendFrom(build.Cols[1], int(ref.row))
+		}
+	}
+	return bl.Build().NumRows()
+}
+
+// RunVecJoin runs the same join on the vectorized HashJoin and returns
+// the output row count.
+func (w *HashPathWorkload) RunVecJoin() int {
+	op := ops.NewHashJoinSpec(ops.InnerJoin, []string{"k"}, []string{"k"}).New(0, 1)
+	if _, err := op.Consume(0, w.build); err != nil {
+		panic(err)
+	}
+	out, err := op.Consume(1, w.probe)
+	if err != nil {
+		panic(err)
+	}
+	rows := 0
+	for _, o := range out {
+		rows += o.NumRows()
+	}
+	return rows
+}
+
+// timeIt returns the best-of-repeats wall time of fn.
+func timeIt(repeats int, fn func() int) (time.Duration, int) {
+	best := time.Duration(1<<63 - 1)
+	rows := 0
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		rows = fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, rows
+}
+
+// MorselJSON converts the morsel experiment's per-query timings into the
+// machine-readable record format.
+func MorselJSON(rows []AblationRow) JSONResult {
+	res := JSONResult{
+		Experiment: "morsel",
+		Config:     map[string]any{"cpu_per_worker": 4, "partitions": 4},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+	for _, r := range rows {
+		ser, par := r.Timings["serial"], r.Timings["parallel4"]
+		res.DurationsS[fmt.Sprintf("q%d_serial", r.Query)] = ser.Seconds()
+		res.DurationsS[fmt.Sprintf("q%d_parallel4", r.Query)] = par.Seconds()
+		if par > 0 {
+			res.Speedup[fmt.Sprintf("q%d", r.Query)] = ser.Seconds() / par.Seconds()
+		}
+	}
+	return res
+}
+
+// RunHashPath measures the vectorized hash path against the map-based
+// baselines (the `hashpath` experiment) and returns the machine-readable
+// result. Serial operators (Parallelism=1): this isolates the per-row
+// constant factor, the thing morsel parallelism multiplies.
+func RunHashPath(out io.Writer, repeats int) JSONResult {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	w := DefaultHashPathWorkload()
+	printf := func(format string, args ...any) {
+		if out != nil {
+			fmt.Fprintf(out, format, args...)
+		}
+	}
+	printf("Hash path — map-based baseline vs arena/open-addressing kernels (serial, best of %d)\n", repeats)
+	printf("agg: %d rows, %d groups; join: %d build, %d probe rows\n", w.AggRows, w.AggGroups, w.BuildRows, w.ProbeRows)
+	printf("%-12s %12s %12s %9s\n", "kernel", "map(ms)", "vector(ms)", "speedup")
+
+	mapAgg, g1 := timeIt(repeats, w.RunMapAgg)
+	vecAgg, g2 := timeIt(repeats, w.RunVecAgg)
+	if g1 != g2 {
+		panic(fmt.Sprintf("bench: agg group mismatch: %d vs %d", g1, g2))
+	}
+	aggSpeedup := mapAgg.Seconds() / vecAgg.Seconds()
+	printf("%-12s %12.3f %12.3f %8.2fx\n", "grouped-agg", mapAgg.Seconds()*1e3, vecAgg.Seconds()*1e3, aggSpeedup)
+
+	mapJoin, r1 := timeIt(repeats, w.RunMapJoin)
+	vecJoin, r2 := timeIt(repeats, w.RunVecJoin)
+	if r1 != r2 {
+		panic(fmt.Sprintf("bench: join row mismatch: %d vs %d", r1, r2))
+	}
+	joinSpeedup := mapJoin.Seconds() / vecJoin.Seconds()
+	printf("%-12s %12.3f %12.3f %8.2fx\n", "join-probe", mapJoin.Seconds()*1e3, vecJoin.Seconds()*1e3, joinSpeedup)
+	printf("\n")
+
+	return JSONResult{
+		Experiment: "hashpath",
+		Config: map[string]any{
+			"agg_rows": w.AggRows, "agg_groups": w.AggGroups,
+			"build_rows": w.BuildRows, "probe_rows": w.ProbeRows,
+			"repeats": repeats, "parallelism": 1,
+		},
+		DurationsS: map[string]float64{
+			"agg_map": mapAgg.Seconds(), "agg_vector": vecAgg.Seconds(),
+			"join_map": mapJoin.Seconds(), "join_vector": vecJoin.Seconds(),
+		},
+		Speedup: map[string]float64{
+			"grouped_agg": aggSpeedup,
+			"join_probe":  joinSpeedup,
+		},
+	}
+}

@@ -81,8 +81,50 @@ func cmpToBool(op CmpOp, c int) bool {
 	return false
 }
 
+// BoolEvaler is implemented by boolean expressions that can evaluate into
+// a caller-provided scratch buffer, so hot-path consumers (Filter) avoid
+// allocating a result column per batch. Implementations write only into
+// dst (grown when needed) — never into batch-owned memory — so the
+// returned slice is always safe for the caller to reuse as next dst.
+type BoolEvaler interface {
+	EvalBoolInto(b *batch.Batch, dst []bool) ([]bool, error)
+}
+
+// EvalBoolInto evaluates a boolean expression, reusing dst as scratch when
+// the expression supports it; otherwise it falls back to Eval and copies
+// into dst (so the result never aliases a batch column).
+func EvalBoolInto(e Expr, b *batch.Batch, dst []bool) ([]bool, error) {
+	if be, ok := e.(BoolEvaler); ok {
+		return be.EvalBoolInto(b, dst)
+	}
+	v, err := evalBool(e, b)
+	if err != nil {
+		return nil, err
+	}
+	out := boolScratch(dst, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// boolScratch resizes a scratch buffer to n values, reusing capacity.
+func boolScratch(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
+}
+
 // Eval implements Expr.
 func (e Cmp) Eval(b *batch.Batch) (*batch.Column, error) {
+	out, err := e.EvalBoolInto(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	return batch.NewBoolColumn(out), nil
+}
+
+// EvalBoolInto implements BoolEvaler.
+func (e Cmp) EvalBoolInto(b *batch.Batch, dst []bool) ([]bool, error) {
 	lc, err := e.L.Eval(b)
 	if err != nil {
 		return nil, err
@@ -92,7 +134,7 @@ func (e Cmp) Eval(b *batch.Batch) (*batch.Column, error) {
 		return nil, err
 	}
 	n := lc.Len()
-	out := make([]bool, n)
+	out := boolScratch(dst, n)
 	switch {
 	case lc.Type == batch.String && rc.Type == batch.String:
 		for i := 0; i < n; i++ {
@@ -141,7 +183,7 @@ func (e Cmp) Eval(b *batch.Batch) (*batch.Column, error) {
 			}
 		}
 	}
-	return batch.NewBoolColumn(out), nil
+	return out, nil
 }
 
 func (e Cmp) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
@@ -160,6 +202,16 @@ func Or(args ...Expr) BoolExpr { return BoolExpr{IsAnd: false, Args: args} }
 
 // Eval implements Expr.
 func (e BoolExpr) Eval(b *batch.Batch) (*batch.Column, error) {
+	out, err := e.EvalBoolInto(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	return batch.NewBoolColumn(out), nil
+}
+
+// EvalBoolInto implements BoolEvaler: the accumulator lives in dst;
+// argument sub-results still allocate when their expressions do.
+func (e BoolExpr) EvalBoolInto(b *batch.Batch, dst []bool) ([]bool, error) {
 	if len(e.Args) == 0 {
 		return nil, fmt.Errorf("expr: empty boolean expression")
 	}
@@ -167,7 +219,8 @@ func (e BoolExpr) Eval(b *batch.Batch) (*batch.Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := append([]bool(nil), acc...)
+	out := boolScratch(dst, len(acc))
+	copy(out, acc)
 	for _, a := range e.Args[1:] {
 		v, err := evalBool(a, b)
 		if err != nil {
@@ -183,7 +236,7 @@ func (e BoolExpr) Eval(b *batch.Batch) (*batch.Column, error) {
 			}
 		}
 	}
-	return batch.NewBoolColumn(out), nil
+	return out, nil
 }
 
 func (e BoolExpr) String() string {
@@ -203,15 +256,24 @@ type Not struct{ Of Expr }
 
 // Eval implements Expr.
 func (e Not) Eval(b *batch.Batch) (*batch.Column, error) {
+	out, err := e.EvalBoolInto(b, nil)
+	if err != nil {
+		return nil, err
+	}
+	return batch.NewBoolColumn(out), nil
+}
+
+// EvalBoolInto implements BoolEvaler.
+func (e Not) EvalBoolInto(b *batch.Batch, dst []bool) ([]bool, error) {
 	v, err := evalBool(e.Of, b)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]bool, len(v))
+	out := boolScratch(dst, len(v))
 	for i := range v {
 		out[i] = !v[i]
 	}
-	return batch.NewBoolColumn(out), nil
+	return out, nil
 }
 
 func (e Not) String() string { return fmt.Sprintf("not %s", e.Of) }

@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -71,23 +72,36 @@ type aggState struct {
 	isStr bool
 }
 
-// groupState is one group's key values plus aggregate states.
-type groupState struct {
-	keyRow *batch.Batch // single-row batch holding the group key values
-	aggs   []aggState
-}
+// aggStateSize approximates one aggState's footprint for StateBytes;
+// carried over from the map-based implementation's accounting.
+const aggStateSize = 24
 
 // HashAgg is a hash aggregation grouped by the GroupBy columns. With an
 // empty GroupBy it computes a single global group and always emits exactly
-// one row. The hash table of groups is the channel's state variable.
+// one row. The group table is the channel's state variable.
+//
+// Groups live in an arena-backed open-addressing table (batch.HashTable):
+// the encoded key bytes sit contiguously in the arena, the table maps a
+// row's cached 64-bit hash (shared with the partition router) to a dense
+// group index, and all per-group state is held in flat slices indexed by
+// it — group key values in columnar keyCols, aggregate states in a single
+// strided states slice. The update loop allocates nothing per row.
 type HashAgg struct {
 	GroupBy []string
 	Aggs    []AggExpr
 
-	groups     map[string]*groupState
-	order      []string // insertion order for determinism pre-sort
+	table      *batch.HashTable
+	states     []aggState      // len = groups * len(Aggs), strided per group
+	keyCols    []*batch.Column // group key values, one row per group
 	stateBytes int64
 	keySchema  *batch.Schema
+
+	// Per-batch scratch, reused across Consume calls.
+	srcSchema   *batch.Schema // cache key for keyIdx resolution
+	keyIdx      []int
+	inputs      []*batch.Column
+	keyScratch  []byte
+	hashScratch []uint64
 }
 
 // NewHashAggSpec builds a Spec for a hash aggregation. The returned spec
@@ -125,52 +139,105 @@ func (s hashAggSpec) NewParallel(channel, channels, partitions int, pool *Pool) 
 	return &parallelAgg{groupBy: s.groupBy, aggs: s.aggs, parts: parts, pool: pool}
 }
 
-// Consume implements Operator.
-func (a *HashAgg) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
-	if a.groups == nil {
-		a.groups = make(map[string]*groupState)
+// resolveKeys caches the GroupBy column resolution; recomputed only when
+// the input schema actually changes (it is fixed for a channel's stream).
+// Batches arriving over a shuffle are decoded with a fresh Schema value
+// each, so a pointer miss falls back to a cheap field-equality check
+// before re-resolving.
+func (a *HashAgg) resolveKeys(s *batch.Schema) error {
+	if a.keyIdx != nil && (a.srcSchema == s || a.srcSchema.Equal(s)) {
+		a.srcSchema = s
+		return nil
 	}
-	keyIdx, err := keyIndexes(b.Schema, a.GroupBy)
+	keyIdx, err := keyIndexes(s, a.GroupBy)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	a.keyIdx = keyIdx
+	a.srcSchema = s
 	if a.keySchema == nil {
 		fields := make([]batch.Field, len(keyIdx))
 		for i, ci := range keyIdx {
-			fields[i] = b.Schema.Fields[ci]
+			fields[i] = s.Fields[ci]
 		}
 		a.keySchema = batch.NewSchema(fields...)
+		a.keyCols = make([]*batch.Column, len(fields))
+		for i, f := range fields {
+			a.keyCols[i] = batch.NewColumn(f.Type, 0)
+		}
 	}
-	// Evaluate aggregate input expressions once per batch.
-	inputs := make([]*batch.Column, len(a.Aggs))
+	return nil
+}
+
+// Consume implements Operator. The serial path computes key hashes in one
+// vectorized pass; the partition router supplies them via consumeHashed.
+func (a *HashAgg) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	return a.consumeHashed(0, b, nil)
+}
+
+// consumeHashed is Consume with optional precomputed key hashes aligned
+// with b's logical rows.
+func (a *HashAgg) consumeHashed(_ int, b *batch.Batch, hashes []uint64) ([]*batch.Batch, error) {
+	if a.table == nil {
+		a.table = batch.NewHashTable(0)
+	}
+	if err := a.resolveKeys(b.Schema); err != nil {
+		return nil, err
+	}
+	// Evaluate aggregate input expressions once per batch, into a reused
+	// scratch slice. Expressions see the physical batch; rows are
+	// addressed through the selection vector below.
+	if cap(a.inputs) < len(a.Aggs) {
+		a.inputs = make([]*batch.Column, len(a.Aggs))
+	}
+	inputs := a.inputs[:len(a.Aggs)]
+	phys := b.Phys()
 	for i, ag := range a.Aggs {
+		inputs[i] = nil
 		if ag.Kind == AggCountStar {
 			continue
 		}
-		c, err := ag.Of.Eval(b)
+		c, err := ag.Of.Eval(phys)
 		if err != nil {
 			return nil, fmt.Errorf("ops: agg %q: %w", ag.Name, err)
 		}
 		inputs[i] = c
 	}
+	if hashes == nil {
+		a.hashScratch = batch.HashKeys(a.hashScratch, b, a.keyIdx)
+		hashes = a.hashScratch
+	}
 	n := b.NumRows()
-	var key []byte
-	for r := 0; r < n; r++ {
-		key = appendKey(key[:0], b, keyIdx, r)
-		g, ok := a.groups[string(key)]
-		if !ok {
-			bl := batch.NewBuilder(a.keySchema, 1)
-			for i, ci := range keyIdx {
-				bl.Col(i).AppendFrom(b.Cols[ci], r)
+	sel := b.Sel
+	nAggs := len(a.Aggs)
+	key := a.keyScratch
+	for i := 0; i < n; i++ {
+		r := i
+		if sel != nil {
+			r = int(sel[i])
+		}
+		key = batch.AppendKey(key[:0], b, a.keyIdx, r)
+		g, isNew := a.table.InsertKey(hashes[i], key)
+		if isNew {
+			for c, ci := range a.keyIdx {
+				a.keyCols[c].AppendFrom(b.Cols[ci], r)
 			}
-			g = &groupState{keyRow: bl.Build(), aggs: make([]aggState, len(a.Aggs))}
-			a.groups[string(key)] = g
-			a.order = append(a.order, string(key))
-			a.stateBytes += int64(len(key)) + int64(len(a.Aggs))*24 + g.keyRow.ByteSize()
+			for k := 0; k < nAggs; k++ {
+				a.states = append(a.states, aggState{})
+			}
+			a.stateBytes += int64(nAggs)*aggStateSize + keyColRowBytes(b, a.keyIdx, r)
 		}
-		for i := range a.Aggs {
-			updateAgg(&g.aggs[i], a.Aggs[i].Kind, inputs[i], r)
+		st := a.states[g*nAggs : (g+1)*nAggs]
+		for k := 0; k < nAggs; k++ {
+			updateAgg(&st[k], a.Aggs[k].Kind, inputs[k], r)
 		}
+	}
+	a.keyScratch = key
+	// Release the evaluated input columns: the scratch slice keeps its
+	// capacity, but holding the pointers would pin the batch's column
+	// payloads until the next Consume.
+	for i := range inputs {
+		inputs[i] = nil
 	}
 	return nil, nil
 }
@@ -250,62 +317,99 @@ func aggOutType(kind AggKind, st *aggState) batch.Type {
 	return batch.Float64
 }
 
+// sortedGroups returns group indexes ordered by their encoded key bytes —
+// the deterministic output order (identical to the former map-based
+// implementation's sort over encoded-key strings).
+func (a *HashAgg) sortedGroups() []int {
+	order := make([]int, a.table.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return bytes.Compare(a.table.Key(order[x]), a.table.Key(order[y])) < 0
+	})
+	return order
+}
+
 // Finalize implements Operator. It emits one row per group, sorted by the
 // group key encoding so output is deterministic regardless of input order
 // interleaving across batches with equal multiset content.
 func (a *HashAgg) Finalize() ([]*batch.Batch, error) {
-	if len(a.GroupBy) == 0 {
-		// Global aggregate: exactly one row even with no input.
-		if a.groups == nil {
-			a.groups = map[string]*groupState{"": {keyRow: batch.Empty(batch.NewSchema()), aggs: make([]aggState, len(a.Aggs))}}
-			a.order = []string{""}
-			a.keySchema = batch.NewSchema()
-		}
+	if len(a.GroupBy) == 0 && a.table == nil {
+		// Global aggregate with Consume never called: exactly one default
+		// row. (A global aggregate that consumed only zero-row batches
+		// emits nothing — a nil vs empty distinction preserved from the
+		// map-based implementation, whose byte-identical replay the
+		// recovery tests pin.)
+		a.table = batch.NewHashTable(0)
+		a.table.InsertKey(batch.HashKey(nil), nil)
+		a.states = make([]aggState, len(a.Aggs))
+		a.keySchema = batch.NewSchema()
+		a.keyCols = nil
 	}
-	if len(a.groups) == 0 {
+	if a.table == nil || a.table.Len() == 0 {
 		return nil, nil
 	}
-	keys := append([]string(nil), a.order...)
-	sort.Strings(keys)
+	order := a.sortedGroups()
+	nAggs := len(a.Aggs)
 
-	first := a.groups[keys[0]]
+	first := a.states[order[0]*nAggs : (order[0]+1)*nAggs]
 	fields := append([]batch.Field(nil), a.keySchema.Fields...)
 	for i, ag := range a.Aggs {
-		fields = append(fields, batch.Field{Name: ag.Name, Type: aggOutType(ag.Kind, &first.aggs[i])})
+		fields = append(fields, batch.Field{Name: ag.Name, Type: aggOutType(ag.Kind, &first[i])})
 	}
 	schema := batch.NewSchema(fields...)
-	bl := batch.NewBuilder(schema, len(keys))
+	bl := batch.NewBuilder(schema, len(order))
 	nk := a.keySchema.Len()
-	for _, k := range keys {
-		g := a.groups[k]
+	for _, g := range order {
 		for c := 0; c < nk; c++ {
-			bl.Col(c).AppendFrom(g.keyRow.Cols[c], 0)
+			bl.Col(c).AppendFrom(a.keyCols[c], g)
 		}
-		for i := range a.Aggs {
-			st := &g.aggs[i]
+		st := a.states[g*nAggs : (g+1)*nAggs]
+		for i := 0; i < nAggs; i++ {
 			col := bl.Col(nk + i)
 			switch col.Type {
 			case batch.Int64:
-				col.Ints = append(col.Ints, st.i)
+				col.Ints = append(col.Ints, st[i].i)
 			case batch.Float64:
-				col.Floats = append(col.Floats, st.f)
+				col.Floats = append(col.Floats, st[i].f)
 			case batch.String:
-				col.Strings = append(col.Strings, st.s)
+				col.Strings = append(col.Strings, st[i].s)
 			}
 		}
 	}
 	return single(bl.Build()), nil
 }
 
-// StateBytes implements Snapshotter.
-func (a *HashAgg) StateBytes() int64 { return a.stateBytes }
+// keyColRowBytes is the columnar footprint of row r's key values
+// (Column.ValueBytes accounting). The encoded key bytes themselves live
+// in the hash table's arena and are counted by table.Bytes(), not here.
+func keyColRowBytes(b *batch.Batch, keyIdx []int, r int) int64 {
+	var n int64
+	for _, ci := range keyIdx {
+		n += b.Cols[ci].ValueBytes(r)
+	}
+	return n
+}
+
+// StateBytes implements Snapshotter: the aggregate states and group-key
+// column payload plus the hash table (key arena, hash cache, slots).
+func (a *HashAgg) StateBytes() int64 {
+	n := a.stateBytes
+	if a.table != nil {
+		n += a.table.Bytes()
+	}
+	return n
+}
 
 // Snapshot implements Snapshotter by serializing groups as a batch of key
-// columns plus per-aggregate state columns.
+// columns plus per-aggregate state columns, in group insertion order.
 func (a *HashAgg) Snapshot() ([]byte, error) {
-	if len(a.groups) == 0 {
+	if a.table == nil || a.table.Len() == 0 {
 		return nil, nil
 	}
+	groups := a.table.Len()
+	nAggs := len(a.Aggs)
 	fields := append([]batch.Field(nil), a.keySchema.Fields...)
 	for i := range a.Aggs {
 		fields = append(fields,
@@ -318,22 +422,21 @@ func (a *HashAgg) Snapshot() ([]byte, error) {
 		)
 	}
 	schema := batch.NewSchema(fields...)
-	bl := batch.NewBuilder(schema, len(a.order))
+	bl := batch.NewBuilder(schema, groups)
 	nk := a.keySchema.Len()
-	for _, k := range a.order {
-		g := a.groups[k]
+	for g := 0; g < groups; g++ {
 		for c := 0; c < nk; c++ {
-			bl.Col(c).AppendFrom(g.keyRow.Cols[c], 0)
+			bl.Col(c).AppendFrom(a.keyCols[c], g)
 		}
-		for i := range a.Aggs {
-			st := &g.aggs[i]
+		st := a.states[g*nAggs : (g+1)*nAggs]
+		for i := 0; i < nAggs; i++ {
 			base := nk + i*6
-			bl.Col(base).Floats = append(bl.Col(base).Floats, st.f)
-			bl.Col(base + 1).Ints = append(bl.Col(base+1).Ints, st.i)
-			bl.Col(base + 2).Strings = append(bl.Col(base+2).Strings, st.s)
-			bl.Col(base + 3).Bools = append(bl.Col(base+3).Bools, st.seen)
-			bl.Col(base + 4).Bools = append(bl.Col(base+4).Bools, st.isInt)
-			bl.Col(base + 5).Bools = append(bl.Col(base+5).Bools, st.isStr)
+			bl.Col(base).Floats = append(bl.Col(base).Floats, st[i].f)
+			bl.Col(base + 1).Ints = append(bl.Col(base+1).Ints, st[i].i)
+			bl.Col(base + 2).Strings = append(bl.Col(base+2).Strings, st[i].s)
+			bl.Col(base + 3).Bools = append(bl.Col(base+3).Bools, st[i].seen)
+			bl.Col(base + 4).Bools = append(bl.Col(base+4).Bools, st[i].isInt)
+			bl.Col(base + 5).Bools = append(bl.Col(base+5).Bools, st[i].isStr)
 		}
 	}
 	return batch.Encode(bl.Build()), nil
@@ -341,49 +444,61 @@ func (a *HashAgg) Snapshot() ([]byte, error) {
 
 // Restore implements Snapshotter.
 func (a *HashAgg) Restore(data []byte) error {
-	a.groups = make(map[string]*groupState)
-	a.order = nil
+	a.table = batch.NewHashTable(0)
+	a.states = nil
+	a.keyCols = nil
 	a.stateBytes = 0
 	a.keySchema = nil
+	a.srcSchema = nil
+	a.keyIdx = nil
 	if len(data) == 0 {
+		a.table = nil
 		return nil
 	}
 	b, err := batch.Decode(data)
 	if err != nil {
 		return err
 	}
-	nk := b.Schema.Len() - len(a.Aggs)*6
+	// Deliberately not pre-sized by row count: re-inserting group keys in
+	// insertion order replays the original table's growth trajectory, so
+	// the restored directory (and StateBytes) matches the snapshotted
+	// operator exactly.
+	nAggs := len(a.Aggs)
+	nk := b.Schema.Len() - nAggs*6
 	if nk < 0 {
 		return fmt.Errorf("ops: agg snapshot has %d columns for %d aggs", b.Schema.Len(), len(a.Aggs))
 	}
 	a.keySchema = batch.NewSchema(b.Schema.Fields[:nk]...)
+	a.keyCols = make([]*batch.Column, nk)
 	keyIdx := make([]int, nk)
 	for i := range keyIdx {
 		keyIdx[i] = i
+		a.keyCols[i] = batch.NewColumn(b.Schema.Fields[i].Type, b.NumRows())
 	}
 	n := b.NumRows()
+	hashes := batch.HashKeys(nil, b, keyIdx)
 	var key []byte
 	for r := 0; r < n; r++ {
-		key = appendKey(key[:0], b, keyIdx, r)
-		bl := batch.NewBuilder(a.keySchema, 1)
-		for c := 0; c < nk; c++ {
-			bl.Col(c).AppendFrom(b.Cols[c], r)
+		key = batch.AppendKey(key[:0], b, keyIdx, r)
+		g, isNew := a.table.InsertKey(hashes[r], key)
+		if !isNew || g != r {
+			return fmt.Errorf("ops: agg snapshot has duplicate group key at row %d", r)
 		}
-		g := &groupState{keyRow: bl.Build(), aggs: make([]aggState, len(a.Aggs))}
-		for i := range a.Aggs {
+		for c := 0; c < nk; c++ {
+			a.keyCols[c].AppendFrom(b.Cols[c], r)
+		}
+		for i := 0; i < nAggs; i++ {
 			base := nk + i*6
-			g.aggs[i] = aggState{
+			a.states = append(a.states, aggState{
 				f:     b.Cols[base].Floats[r],
 				i:     b.Cols[base+1].Ints[r],
 				s:     b.Cols[base+2].Strings[r],
 				seen:  b.Cols[base+3].Bools[r],
 				isInt: b.Cols[base+4].Bools[r],
 				isStr: b.Cols[base+5].Bools[r],
-			}
+			})
 		}
-		a.groups[string(key)] = g
-		a.order = append(a.order, string(key))
-		a.stateBytes += int64(len(key)) + int64(len(a.Aggs))*24 + g.keyRow.ByteSize()
+		a.stateBytes += int64(nAggs)*aggStateSize + keyColRowBytes(b, keyIdx, r)
 	}
 	return nil
 }

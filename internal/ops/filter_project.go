@@ -9,9 +9,30 @@ import (
 
 // Filter keeps the rows for which the predicate evaluates to true. It is
 // stateless and streams.
+//
+// When most rows survive, the output is a selection-vector view over the
+// input's physical columns (batch.Batch.Sel) instead of a gathered copy:
+// materialization is deferred to the next batch boundary (shuffle encode,
+// stateful-operator insert), which selection-aware consumers never reach.
+// Sparse outputs are materialized immediately so a retained view cannot
+// pin a mostly-dead batch in memory.
 type Filter struct {
 	Pred expr.Expr
+
+	// Scratch reused across batches: predicate result and the physical
+	// row indexes of kept rows.
+	bools []bool
+	sel   []int32
 }
+
+// selViewMinKeepNum/Den: emit a selection view when at least 3/4 of the
+// rows survive; below that, copy. The view costs downstream expression
+// evaluation over dead rows and pins the physical columns, so it only
+// pays off for high keep rates.
+const (
+	selViewMinKeepNum = 3
+	selViewMinKeepDen = 4
+)
 
 // NewFilterSpec builds a Spec for a Filter with the given predicate. The
 // returned spec implements ParallelSpec via row-range morsels.
@@ -24,27 +45,53 @@ func NewFilterSpec(pred expr.Expr) Spec {
 
 // Consume implements Operator.
 func (f *Filter) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
-	c, err := f.Pred.Eval(b)
+	// The predicate evaluates over physical rows (expressions are pure, so
+	// rows dropped by an upstream selection are harmless); the selection
+	// indirection applies when collecting kept rows.
+	phys := b.Phys()
+	bools, err := expr.EvalBoolInto(f.Pred, phys, f.bools)
 	if err != nil {
 		return nil, err
 	}
-	if c.Type != batch.Bool {
-		return nil, fmt.Errorf("ops: filter predicate %s yields %s, want bool", f.Pred, c.Type)
-	}
+	f.bools = bools
 	n := b.NumRows()
-	idx := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if c.Bools[i] {
-			idx = append(idx, i)
+	sel := f.sel[:0]
+	if b.Sel == nil {
+		for i := 0; i < n; i++ {
+			if bools[i] {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for _, p := range b.Sel {
+			if bools[p] {
+				sel = append(sel, p)
+			}
 		}
 	}
-	if len(idx) == n {
+	f.sel = sel[:0]
+	// The density gate compares against PHYSICAL rows: chained dense
+	// filters compose selections, and each stage must re-check that the
+	// cumulative selectivity still justifies pinning the physical columns
+	// (and re-evaluating downstream predicates over them).
+	physRows := phys.NumRows()
+	switch {
+	case len(sel) == n:
 		return single(b), nil
-	}
-	if len(idx) == 0 {
+	case len(sel) == 0:
 		return nil, nil
+	case len(sel)*selViewMinKeepDen >= physRows*selViewMinKeepNum:
+		// Dense keep: hand downstream a view. The selection must outlive
+		// the scratch buffer, so it is copied (one allocation per batch,
+		// amortized zero per row).
+		return single(phys.WithSel(append([]int32(nil), sel...))), nil
+	default:
+		cols := make([]*batch.Column, len(b.Cols))
+		for i, c := range b.Cols {
+			cols[i] = c.GatherI32(sel)
+		}
+		return single(&batch.Batch{Schema: b.Schema, Cols: cols}), nil
 	}
-	return single(b.Gather(idx)), nil
 }
 
 // Finalize implements Operator.
@@ -93,28 +140,42 @@ func (p *Project) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
 }
 
 // Apply projects a single batch; exposed for reuse by fused operators.
+// Expressions evaluate over physical rows; an input selection vector is
+// carried through to the output unchanged (projection is row-wise, so the
+// same physical rows stay selected).
 func (p *Project) Apply(b *batch.Batch) (*batch.Batch, error) {
+	phys := b.Phys()
 	cols := make([]*batch.Column, len(p.Exprs))
 	fields := make([]batch.Field, len(p.Exprs))
 	for i, ne := range p.Exprs {
-		c, err := ne.Expr.Eval(b)
+		c, err := ne.Expr.Eval(phys)
 		if err != nil {
 			return nil, fmt.Errorf("ops: project %q: %w", ne.Name, err)
 		}
 		cols[i] = c
 		fields[i] = batch.Field{Name: ne.Name, Type: c.Type}
 	}
-	return batch.New(batch.NewSchema(fields...), cols)
+	out, err := batch.New(batch.NewSchema(fields...), cols)
+	if err != nil {
+		return nil, err
+	}
+	out.Sel = b.Sel
+	return out, nil
 }
 
 // Finalize implements Operator.
 func (p *Project) Finalize() ([]*batch.Batch, error) { return nil, nil }
 
 // FilterProject fuses a predicate with a projection, the common shape of
-// TPC-H scan pipelines. Pred may be nil (project only).
+// TPC-H scan pipelines. Pred may be nil (project only). The embedded
+// filter is retained across batches so its selection/bool scratch buffers
+// are reused (and its selection-vector output flows straight into the
+// projection without materializing).
 type FilterProject struct {
 	Pred  expr.Expr
 	Exprs []NamedExpr
+
+	filter *Filter
 }
 
 // NewFilterProjectSpec builds a Spec for a fused filter+project.
@@ -132,8 +193,10 @@ func NewFilterProjectSpec(pred expr.Expr, exprs ...NamedExpr) Spec {
 // Consume implements Operator.
 func (fp *FilterProject) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
 	if fp.Pred != nil {
-		f := Filter{Pred: fp.Pred}
-		filtered, err := f.Consume(0, b)
+		if fp.filter == nil {
+			fp.filter = &Filter{Pred: fp.Pred}
+		}
+		filtered, err := fp.filter.Consume(0, b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,7 @@
 package ops
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 
 	"quokka/internal/batch"
 )
@@ -42,6 +40,14 @@ func (t JoinType) String() string {
 // the build side is the channel's state variable — exactly the state the
 // paper's Figure 1 depicts and recovery must reconstruct.
 //
+// The index is an arena-backed open-addressing table over the distinct
+// build keys (batch.HashTable); build rows are grouped per key in a CSR
+// layout (refStart/refRows into the merged build batch). Probing walks the
+// table with the row's cached 64-bit hash — supplied by the partition
+// router when the operator runs partitioned, computed in one vectorized
+// pass otherwise — and materializes output column-at-a-time from reusable
+// match vectors, so the inner probe loop allocates nothing per row.
+//
 // Output columns are probe columns followed by build columns (minus the
 // build keys when key names collide with probe keys).
 type HashJoin struct {
@@ -49,18 +55,24 @@ type HashJoin struct {
 	BuildKeys []string
 	ProbeKeys []string
 
-	build      []*batch.Batch // retained build batches (state)
-	stateBytes int64
-	index      map[string][]rowRef // built lazily at first probe
-	buildProj  []int               // build column indexes carried to output
-	outSchema  *batch.Schema
-	probeKeyIx []int
-	buildKeyIx []int
-}
+	build       []*batch.Batch // retained build batches (state)
+	buildHashes [][]uint64     // per retained batch: router-cached key hashes
+	stateBytes  int64
+	merged      *batch.Batch // build side concatenated at first probe
+	table       *batch.HashTable
+	refStart    []int32 // CSR: key k's build rows are refRows[refStart[k]:refStart[k+1]]
+	refRows     []int32
+	buildProj   []int // build column indexes carried to output
+	outSchema   *batch.Schema
+	probeKeyIx  []int
+	buildKeyIx  []int
 
-type rowRef struct {
-	batch int32
-	row   int32
+	// Reusable probe scratch (satellite of the zero-alloc probe loop).
+	keyScratch  []byte
+	hashScratch []uint64
+	probeSel    []int32 // physical probe row per output row
+	buildSel    []int32 // build row per output row; -1 = unmatched (left outer)
+	semiSel     []int   // logical probe rows kept by semi/anti
 }
 
 // NewHashJoinSpec builds a Spec for a hash join. The returned spec
@@ -105,33 +117,6 @@ func (s hashJoinSpec) NewParallel(channel, channels, partitions int, pool *Pool)
 	}
 }
 
-// appendKey appends the binary encoding of row r's key columns to dst.
-func appendKey(dst []byte, b *batch.Batch, keyIdx []int, r int) []byte {
-	var u [8]byte
-	for _, ci := range keyIdx {
-		c := b.Cols[ci]
-		switch c.Type {
-		case batch.Int64, batch.Date:
-			binary.LittleEndian.PutUint64(u[:], uint64(c.Ints[r]))
-			dst = append(dst, u[:]...)
-		case batch.Float64:
-			binary.LittleEndian.PutUint64(u[:], math.Float64bits(c.Floats[r]))
-			dst = append(dst, u[:]...)
-		case batch.String:
-			binary.LittleEndian.PutUint32(u[:4], uint32(len(c.Strings[r])))
-			dst = append(dst, u[:4]...)
-			dst = append(dst, c.Strings[r]...)
-		case batch.Bool:
-			if c.Bools[r] {
-				dst = append(dst, 1)
-			} else {
-				dst = append(dst, 0)
-			}
-		}
-	}
-	return dst
-}
-
 func keyIndexes(s *batch.Schema, keys []string) ([]int, error) {
 	out := make([]int, len(keys))
 	for i, k := range keys {
@@ -144,15 +129,27 @@ func keyIndexes(s *batch.Schema, keys []string) ([]int, error) {
 	return out, nil
 }
 
-// Consume implements Operator.
+// Consume implements Operator. The serial path computes key hashes in one
+// vectorized pass; the partition router supplies them via consumeHashed.
 func (j *HashJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
+	return j.consumeHashed(input, b, nil)
+}
+
+// consumeHashed is Consume with optional precomputed key hashes, aligned
+// with b's logical rows (hash-once routing: the partitioner already hashed
+// every row to pick its partition).
+func (j *HashJoin) consumeHashed(input int, b *batch.Batch, hashes []uint64) ([]*batch.Batch, error) {
 	switch input {
 	case 0:
+		if b.Sel != nil {
+			b = b.Materialize() // retained state is physical
+		}
 		j.build = append(j.build, b)
+		j.buildHashes = append(j.buildHashes, hashes)
 		j.stateBytes += b.ByteSize()
 		return nil, nil
 	case 1:
-		return j.probe(b)
+		return j.probe(b, hashes)
 	default:
 		return nil, fmt.Errorf("ops: join input %d out of range", input)
 	}
@@ -160,23 +157,78 @@ func (j *HashJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
 
 // buildIndex constructs the hash table once the build side is complete.
 func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
-	j.index = make(map[string][]rowRef)
 	var buildSchema *batch.Schema
 	if len(j.build) > 0 {
 		buildSchema = j.build[0].Schema
 	}
+	j.table = batch.NewHashTable(0)
 	if buildSchema != nil {
 		ix, err := keyIndexes(buildSchema, j.BuildKeys)
 		if err != nil {
 			return err
 		}
 		j.buildKeyIx = ix
-		var key []byte
-		for bi, bb := range j.build {
-			n := bb.NumRows()
+
+		// Cached router hashes survive concatenation only if every batch
+		// carried them; otherwise hash the merged batch in one pass.
+		var hashes []uint64
+		complete := true
+		for _, h := range j.buildHashes {
+			if h == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			total := 0
+			for _, h := range j.buildHashes {
+				total += len(h)
+			}
+			hashes = make([]uint64, 0, total)
+			for _, h := range j.buildHashes {
+				hashes = append(hashes, h...)
+			}
+		}
+		merged, err := batch.Concat(j.build)
+		if err != nil {
+			return err
+		}
+		// merged replaces the retained batches entirely: index refs point
+		// into it and Snapshot serializes it (kept even at zero rows so a
+		// restored operator still knows the build schema).
+		j.merged = merged
+		j.build = nil
+		j.buildHashes = nil
+		if merged != nil {
+			n := merged.NumRows()
+			// Size the directory for the build row count up front (an
+			// upper bound on distinct keys) so the build pass never grows.
+			j.table = batch.NewHashTable(n)
+			if hashes == nil {
+				hashes = batch.HashKeys(nil, merged, ix)
+			}
+			// Pass 1: distinct keys + per-key row counts.
+			rowKey := make([]int32, n)
+			var key []byte
 			for r := 0; r < n; r++ {
-				key = appendKey(key[:0], bb, ix, r)
-				j.index[string(key)] = append(j.index[string(key)], rowRef{int32(bi), int32(r)})
+				key = batch.AppendKey(key[:0], merged, ix, r)
+				idx, _ := j.table.InsertKey(hashes[r], key)
+				rowKey[r] = int32(idx)
+			}
+			// Pass 2: CSR grouping of build rows by key.
+			nk := j.table.Len()
+			j.refStart = make([]int32, nk+1)
+			for _, k := range rowKey {
+				j.refStart[k+1]++
+			}
+			for k := 0; k < nk; k++ {
+				j.refStart[k+1] += j.refStart[k]
+			}
+			j.refRows = make([]int32, n)
+			cursor := append([]int32(nil), j.refStart[:nk]...)
+			for r, k := range rowKey {
+				j.refRows[cursor[k]] = int32(r)
+				cursor[k]++
 			}
 		}
 	}
@@ -217,92 +269,128 @@ func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
 	return nil
 }
 
-func (j *HashJoin) probe(pb *batch.Batch) ([]*batch.Batch, error) {
-	if j.index == nil {
+// findRefs returns the build rows matching the encoded key, or an empty
+// slice. Hot path: no allocation.
+func (j *HashJoin) findRefs(hash uint64, key []byte) []int32 {
+	if j.table.Len() == 0 {
+		return nil
+	}
+	k := j.table.Find(hash, key)
+	if k < 0 {
+		return nil
+	}
+	return j.refRows[j.refStart[k]:j.refStart[k+1]]
+}
+
+func (j *HashJoin) probe(pb *batch.Batch, hashes []uint64) ([]*batch.Batch, error) {
+	if j.table == nil {
 		if err := j.buildIndex(pb.Schema); err != nil {
 			return nil, err
 		}
 	}
+	if hashes == nil {
+		j.hashScratch = batch.HashKeys(j.hashScratch, pb, j.probeKeyIx)
+		hashes = j.hashScratch
+	}
 	n := pb.NumRows()
-	var key []byte
+	sel := pb.Sel
+	key := j.keyScratch
+
 	switch j.Type {
 	case SemiJoin, AntiJoin:
-		idx := make([]int, 0, n)
-		for r := 0; r < n; r++ {
-			key = appendKey(key[:0], pb, j.probeKeyIx, r)
-			_, hit := j.index[string(key)]
+		idx := j.semiSel[:0]
+		for i := 0; i < n; i++ {
+			p := i
+			if sel != nil {
+				p = int(sel[i])
+			}
+			key = batch.AppendKey(key[:0], pb, j.probeKeyIx, p)
+			hit := len(j.findRefs(hashes[i], key)) > 0
 			if hit == (j.Type == SemiJoin) {
-				idx = append(idx, r)
+				idx = append(idx, i)
 			}
 		}
+		j.keyScratch = key
+		j.semiSel = idx[:0]
 		if len(idx) == 0 {
 			return nil, nil
 		}
 		return single(pb.Gather(idx)), nil
 	}
 
-	bl := batch.NewBuilder(j.outSchema, n)
-	np := pb.Schema.Len()
-	appendOut := func(probeRow int, ref *rowRef) {
-		for c := 0; c < np; c++ {
-			bl.Col(c).AppendFrom(pb.Cols[c], probeRow)
+	// Inner/left outer: collect (probe physical row, build row) match
+	// pairs, then gather output columns vectorwise.
+	probeSel := j.probeSel[:0]
+	buildSel := j.buildSel[:0]
+	for i := 0; i < n; i++ {
+		p := i
+		if sel != nil {
+			p = int(sel[i])
 		}
-		oc := np
-		for _, bc := range j.buildProj {
-			col := bl.Col(oc)
-			if ref != nil {
-				col.AppendFrom(j.build[ref.batch].Cols[bc], int(ref.row))
-			} else {
-				appendZero(col)
-			}
-			oc++
-		}
-		if j.Type == LeftOuterJoin {
-			bl.Col(oc).Bools = append(bl.Col(oc).Bools, ref != nil)
-		}
-	}
-	for r := 0; r < n; r++ {
-		key = appendKey(key[:0], pb, j.probeKeyIx, r)
-		refs := j.index[string(key)]
+		key = batch.AppendKey(key[:0], pb, j.probeKeyIx, p)
+		refs := j.findRefs(hashes[i], key)
 		if len(refs) == 0 {
 			if j.Type == LeftOuterJoin {
-				appendOut(r, nil)
+				probeSel = append(probeSel, int32(p))
+				buildSel = append(buildSel, -1)
 			}
 			continue
 		}
-		for i := range refs {
-			appendOut(r, &refs[i])
+		for _, br := range refs {
+			probeSel = append(probeSel, int32(p))
+			buildSel = append(buildSel, br)
 		}
 	}
-	if bl.Len() == 0 {
+	j.keyScratch = key
+	j.probeSel = probeSel[:0]
+	j.buildSel = buildSel[:0]
+	if len(probeSel) == 0 {
 		return nil, nil
 	}
-	return single(bl.Build()), nil
-}
 
-func appendZero(c *batch.Column) {
-	switch c.Type {
-	case batch.Int64, batch.Date:
-		c.Ints = append(c.Ints, 0)
-	case batch.Float64:
-		c.Floats = append(c.Floats, 0)
-	case batch.String:
-		c.Strings = append(c.Strings, "")
-	case batch.Bool:
-		c.Bools = append(c.Bools, false)
+	cols := make([]*batch.Column, 0, j.outSchema.Len())
+	for _, c := range pb.Cols {
+		cols = append(cols, c.GatherI32(probeSel))
 	}
+	for _, bc := range j.buildProj {
+		cols = append(cols, j.merged.Cols[bc].GatherPad(buildSel))
+	}
+	if j.Type == LeftOuterJoin {
+		matched := make([]bool, len(buildSel))
+		for i, br := range buildSel {
+			matched[i] = br >= 0
+		}
+		cols = append(cols, batch.NewBoolColumn(matched))
+	}
+	return single(batch.MustNew(j.outSchema, cols)), nil
 }
 
 // Finalize implements Operator.
 func (j *HashJoin) Finalize() ([]*batch.Batch, error) { return nil, nil }
 
-// StateBytes implements Snapshotter: the retained build side.
-func (j *HashJoin) StateBytes() int64 { return j.stateBytes }
+// StateBytes implements Snapshotter: the retained build side plus the
+// arena-backed index (key arena, slot directory, CSR row lists).
+func (j *HashJoin) StateBytes() int64 {
+	n := j.stateBytes
+	if j.table != nil {
+		n += j.table.Bytes() + int64(len(j.refStart)+len(j.refRows))*4
+	}
+	return n
+}
+
+// buildState returns the retained build side: the raw batches before the
+// index is built, the merged batch after.
+func (j *HashJoin) buildState() []*batch.Batch {
+	if j.merged != nil {
+		return []*batch.Batch{j.merged}
+	}
+	return j.build
+}
 
 // Snapshot implements Snapshotter by serializing the buffered build side.
 // The index is rebuilt on Restore.
 func (j *HashJoin) Snapshot() ([]byte, error) {
-	merged, err := batch.Concat(j.build)
+	merged, err := batch.Concat(j.buildState())
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +403,12 @@ func (j *HashJoin) Snapshot() ([]byte, error) {
 // Restore implements Snapshotter.
 func (j *HashJoin) Restore(data []byte) error {
 	j.build = nil
+	j.buildHashes = nil
 	j.stateBytes = 0
-	j.index = nil
+	j.merged = nil
+	j.table = nil
+	j.refStart = nil
+	j.refRows = nil
 	if len(data) == 0 {
 		return nil
 	}
@@ -325,6 +417,7 @@ func (j *HashJoin) Restore(data []byte) error {
 		return err
 	}
 	j.build = []*batch.Batch{b}
+	j.buildHashes = [][]uint64{nil}
 	j.stateBytes = b.ByteSize()
 	return nil
 }

@@ -17,7 +17,7 @@ import (
 // state.
 //
 // Determinism invariant (recovery depends on it): the partition of a row is
-// a pure function of its encoded key — fnv-1a(appendKey(row)) mod P — and P
+// a pure function of its encoded key — fnv-1a(batch.AppendKey(row)) mod P — and P
 // is fixed for the lifetime of a query. Replaying a channel's logged inputs
 // through a fresh partitioned operator therefore rebuilds byte-identical
 // per-partition state, which is what lets write-ahead lineage recovery
@@ -103,28 +103,12 @@ type ParallelSpec interface {
 	NewParallel(channel, channels, partitions int, pool *Pool) Operator
 }
 
-// fnv-1a, inlined so per-row partition hashing does not allocate. The
-// constants are part of the recovery determinism contract: changing them
-// changes partition assignment, which would break replay against state
-// built before the change.
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-func fnv64a(data []byte) uint64 {
-	h := uint64(fnvOffset64)
-	for _, c := range data {
-		h ^= uint64(c)
-		h *= fnvPrime64
-	}
-	return h
-}
-
-// PartitionOf returns the partition owning an encoded key. Exported so
-// tests can craft same-partition key collisions deliberately.
+// PartitionOf returns the partition owning an encoded key: fnv-1a of the
+// key encoding, mod partitions (see internal/batch/key.go for the
+// determinism contract). Exported so tests can craft same-partition key
+// collisions deliberately.
 func PartitionOf(key []byte, partitions int) int {
-	return int(fnv64a(key) % uint64(partitions))
+	return int(batch.HashKey(key) % uint64(partitions))
 }
 
 // minHashScanRows is the smallest batch worth fanning the partition-hash
@@ -133,24 +117,17 @@ func PartitionOf(key []byte, partitions int) int {
 // at any size — only the routing scan is gated.)
 const minHashScanRows = 4096
 
-// rowPartitions computes each row's partition: fnv64a of the encoded key,
-// mod partitions. The scan is itself morsel-parallel for large batches —
+// rowHashes computes every logical row's 64-bit key hash in one vectorized
+// column-at-a-time pass (batch.HashKeys, bit-identical to fnv-1a over the
+// encoded key). The scan is itself morsel-parallel for large batches —
 // disjoint row ranges write disjoint slice ranges.
-func rowPartitions(b *batch.Batch, keyIdx []int, partitions int, pool *Pool) []int32 {
+func rowHashes(b *batch.Batch, keyIdx []int, pool *Pool) []uint64 {
 	n := b.NumRows()
-	parts := make([]int32, n)
-	scan := func(lo, hi int) {
-		var key []byte
-		for r := lo; r < hi; r++ {
-			key = appendKey(key[:0], b, keyIdx, r)
-			parts[r] = int32(fnv64a(key) % uint64(partitions))
-		}
-	}
 	if n < minHashScanRows || pool == nil || pool.slots == nil {
-		scan(0, n)
-		return parts
+		return batch.HashKeys(nil, b, keyIdx)
 	}
-	m := partitions
+	hashes := make([]uint64, n)
+	m := (n + minHashScanRows - 1) / minHashScanRows
 	step := (n + m - 1) / m
 	pool.Run(m, func(i int) error {
 		lo := i * step
@@ -159,39 +136,54 @@ func rowPartitions(b *batch.Batch, keyIdx []int, partitions int, pool *Pool) []i
 			hi = n
 		}
 		if lo < hi {
-			scan(lo, hi)
+			sub := batch.HashKeys(hashes[lo:lo], b.Slice(lo, hi), keyIdx)
+			copy(hashes[lo:hi], sub)
 		}
 		return nil
 	})
-	return parts
+	return hashes
 }
 
-// splitByPartition gathers b's rows into one sub-batch per partition,
-// preserving row order within each partition. Empty partitions yield an
-// empty batch with b's schema when keepEmpty is set (build sides need the
-// schema), nil otherwise.
-func splitByPartition(b *batch.Batch, rowPart []int32, partitions int, keepEmpty bool) []*batch.Batch {
+// splitByPartition gathers b's rows into one sub-batch per partition —
+// partition = hash mod partitions — preserving row order within each
+// partition and carrying each row's hash alongside so partition operators
+// never re-hash. Empty partitions yield an empty batch with b's schema
+// when keepEmpty is set (build sides need the schema), nil otherwise.
+func splitByPartition(b *batch.Batch, hashes []uint64, partitions int, keepEmpty bool) ([]*batch.Batch, [][]uint64) {
 	rows := make([][]int, partitions)
-	for r, p := range rowPart {
+	for r, h := range hashes {
+		p := int(h % uint64(partitions))
 		rows[p] = append(rows[p], r)
 	}
 	out := make([]*batch.Batch, partitions)
+	outHashes := make([][]uint64, partitions)
 	for p := 0; p < partitions; p++ {
 		switch {
-		case len(rows[p]) == len(rowPart):
+		case len(rows[p]) == len(hashes):
 			out[p] = b // single-partition batch: skip the copy
+			outHashes[p] = hashes
 		case len(rows[p]) > 0:
 			out[p] = b.Gather(rows[p])
+			hs := make([]uint64, len(rows[p]))
+			for i, r := range rows[p] {
+				hs[i] = hashes[r]
+			}
+			outHashes[p] = hs
 		case keepEmpty:
 			out[p] = batch.Empty(b.Schema)
+			// Non-nil so downstream knows the (zero) hashes are present;
+			// a nil slice would make the build side fall back to
+			// re-hashing the whole merged batch.
+			outHashes[p] = []uint64{}
 		}
 	}
-	return out
+	return out, outHashes
 }
 
-// routeByKey partitions a batch by the named key columns.
-func routeByKey(b *batch.Batch, keyIdx []int, partitions int, pool *Pool, keepEmpty bool) []*batch.Batch {
-	return splitByPartition(b, rowPartitions(b, keyIdx, partitions, pool), partitions, keepEmpty)
+// routeByKey partitions a batch by the named key columns, returning the
+// per-partition sub-batches and their rows' cached key hashes.
+func routeByKey(b *batch.Batch, keyIdx []int, partitions int, pool *Pool, keepEmpty bool) ([]*batch.Batch, [][]uint64) {
+	return splitByPartition(b, rowHashes(b, keyIdx, pool), partitions, keepEmpty)
 }
 
 // rowwiseSpec wraps the factory of a stateless, row-wise operator (filter,
@@ -253,8 +245,15 @@ func (m *morselOp) Consume(input int, b *batch.Batch) ([]*batch.Batch, error) {
 	n := b.NumRows()
 	p := len(m.parts)
 	if m.SharesFor(n) == 1 {
+		// Single lane: row-wise operators are selection-aware, keep any
+		// view intact.
 		return m.parts[0].Consume(input, b)
 	}
+	// Multi-lane fan-out resolves a selection view first: row-range lanes
+	// evaluate expressions over physical rows, so handing each lane a view
+	// of the same full-width physical columns would multiply that work by
+	// the lane count.
+	b = b.Materialize()
 	step := (n + p - 1) / p
 	outs := make([][]*batch.Batch, p)
 	err := m.pool.Run(p, func(i int) error {
@@ -331,9 +330,9 @@ func (j *parallelJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error
 		}
 		// Keep empty sub-batches: a partition that never sees a build row
 		// still needs the build schema to emit schema-consistent output.
-		subs := routeByKey(b, j.buildKeyIx, len(j.parts), j.pool, true)
+		subs, hashes := routeByKey(b, j.buildKeyIx, len(j.parts), j.pool, true)
 		return nil, j.pool.Run(len(j.parts), func(p int) error {
-			_, err := j.parts[p].Consume(0, subs[p])
+			_, err := j.parts[p].consumeHashed(0, subs[p], hashes[p])
 			return err
 		})
 	case 1:
@@ -344,13 +343,13 @@ func (j *parallelJoin) Consume(input int, b *batch.Batch) ([]*batch.Batch, error
 			}
 			j.probeKeyIx = ix
 		}
-		subs := routeByKey(b, j.probeKeyIx, len(j.parts), j.pool, false)
+		subs, hashes := routeByKey(b, j.probeKeyIx, len(j.parts), j.pool, false)
 		outs := make([][]*batch.Batch, len(j.parts))
 		err := j.pool.Run(len(j.parts), func(p int) error {
 			if subs[p] == nil {
 				return nil
 			}
-			o, err := j.parts[p].Consume(1, subs[p])
+			o, err := j.parts[p].consumeHashed(1, subs[p], hashes[p])
 			outs[p] = o
 			return err
 		})
@@ -395,7 +394,7 @@ func (j *parallelJoin) StateBytes() int64 {
 func (j *parallelJoin) Snapshot() ([]byte, error) {
 	var all []*batch.Batch
 	for _, part := range j.parts {
-		all = append(all, part.build...)
+		all = append(all, part.buildState()...)
 	}
 	merged, err := batch.Concat(all)
 	if err != nil {
@@ -453,12 +452,12 @@ func (a *parallelAgg) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	subs := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
+	subs, hashes := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
 	return nil, a.pool.Run(len(a.parts), func(p int) error {
 		if subs[p] == nil {
 			return nil
 		}
-		_, err := a.parts[p].Consume(0, subs[p])
+		_, err := a.parts[p].consumeHashed(0, subs[p], hashes[p])
 		return err
 	})
 }
@@ -499,7 +498,7 @@ func (a *parallelAgg) Finalize() ([]*batch.Batch, error) {
 	keys := make([]string, n)
 	var key []byte
 	for r := 0; r < n; r++ {
-		key = appendKey(key[:0], merged, keyIdx, r)
+		key = batch.AppendKey(key[:0], merged, keyIdx, r)
 		keys[r] = string(key)
 	}
 	idx := make([]int, n)
@@ -568,7 +567,7 @@ func (a *parallelAgg) Restore(data []byte) error {
 	for i := range keyIdx {
 		keyIdx[i] = i
 	}
-	subs := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
+	subs, _ := routeByKey(b, keyIdx, len(a.parts), a.pool, false)
 	for p, sub := range subs {
 		if sub == nil {
 			continue

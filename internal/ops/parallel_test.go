@@ -81,8 +81,8 @@ func collidingKey(t *testing.T, k int64) int64 {
 	s := batch.NewSchema(batch.F("k", batch.Int64))
 	for c := k + 1000; c < k+100000; c++ {
 		b := batch.MustNew(s, []*batch.Column{batch.NewIntColumn([]int64{k, c})})
-		kb = appendKey(kb[:0], b, []int{0}, 0)
-		cb = appendKey(cb[:0], b, []int{0}, 1)
+		kb = batch.AppendKey(kb[:0], b, []int{0}, 0)
+		cb = batch.AppendKey(cb[:0], b, []int{0}, 1)
 		same := true
 		for _, p := range []int{2, 3, 5, 8} {
 			if PartitionOf(kb, p) != PartitionOf(cb, p) {

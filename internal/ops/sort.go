@@ -60,6 +60,7 @@ func keyLabel(keys []SortKey) string {
 
 // Consume implements Operator.
 func (s *Sort) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
+	b = b.Materialize() // retained state holds physical rows only
 	s.buf = append(s.buf, b)
 	s.stateBytes += b.ByteSize()
 	return nil, nil
@@ -119,6 +120,7 @@ func (s *Sort) Restore(data []byte) error {
 // stable, so ties preserve input order (which lineage replay makes
 // deterministic).
 func SortBatch(b *batch.Batch, keys []SortKey) (*batch.Batch, error) {
+	b = b.Materialize()
 	type keyCol struct {
 		col  *batch.Column
 		desc bool
