@@ -23,9 +23,11 @@ bench:
 	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -short -run 'ZeroAllocs' ./internal/ops/
 
-## bench-json: regenerate the checked-in hash-path perf record.
+## bench-json: regenerate the checked-in perf records (hash path + the
+## out-of-core spill sweep).
 bench-json:
 	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
+	$(GO) run ./cmd/quokka-bench -exp spill -json BENCH_spill.json
 
 fmt:
 	gofmt -w .

@@ -89,6 +89,51 @@ func Encode(b *Batch) []byte {
 	return out
 }
 
+// Run-file framing: spilled operator state is stored as a sequence of
+// length-prefixed Encode frames in one disk object, so a run can be
+// written incrementally and read back batch-at-a-time without ever
+// materializing the whole run as columns.
+
+// AppendFramed appends a length-prefixed Encode(b) frame to dst and
+// returns the extended slice.
+func AppendFramed(dst []byte, b *Batch) []byte {
+	enc := Encode(b)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(enc)))
+	dst = append(dst, u32[:]...)
+	return append(dst, enc...)
+}
+
+// RunIter iterates the frames of a run file produced by AppendFramed.
+type RunIter struct {
+	data []byte
+	pos  int
+}
+
+// NewRunIter returns an iterator over the framed batches in data.
+func NewRunIter(data []byte) *RunIter { return &RunIter{data: data} }
+
+// Next decodes the next frame. It returns (nil, nil) at end of input.
+func (it *RunIter) Next() (*Batch, error) {
+	if it.pos == len(it.data) {
+		return nil, nil
+	}
+	if it.pos+4 > len(it.data) {
+		return nil, fmt.Errorf("batch: truncated run frame header at offset %d", it.pos)
+	}
+	n := int(binary.LittleEndian.Uint32(it.data[it.pos:]))
+	it.pos += 4
+	if it.pos+n > len(it.data) {
+		return nil, fmt.Errorf("batch: truncated run frame at offset %d", it.pos)
+	}
+	b, err := Decode(it.data[it.pos : it.pos+n])
+	if err != nil {
+		return nil, err
+	}
+	it.pos += n
+	return b, nil
+}
+
 // Decode parses a batch from bytes produced by Encode.
 func Decode(data []byte) (*Batch, error) {
 	pos := 0

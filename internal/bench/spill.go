@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+	"quokka/internal/tpch"
+)
+
+// The spill experiment measures the memory-governance subsystem: the same
+// TPC-H queries at an unlimited budget, a tight budget (operator state
+// exceeds it, Grace-hash partitions and sort runs go through the local
+// NVMe cost model) and a pathological budget (nearly every batch spills).
+// Reported: runtime overhead vs in-memory, spilled bytes/runs/partitions,
+// and the accounted peak — which must respect the budget. Results are
+// verified equal to the in-memory run before anything is reported.
+
+// spillBudget is one sweep point.
+type spillBudget struct {
+	Name  string
+	Bytes int64
+}
+
+// SpillBudgets returns the default sweep: in-memory, out-of-core, and
+// nearly-stateless.
+func SpillBudgets() []spillBudget {
+	return []spillBudget{
+		{"unlimited", 0},
+		{"tight", 256 << 10},
+		{"1batch", 4 << 10},
+	}
+}
+
+// DefaultSpillQueries are the join/agg-heavy spill representatives.
+var DefaultSpillQueries = []int{3, 5, 9}
+
+// runCollect executes one query once and returns its result batch too.
+func (h *Harness) runCollect(workers, q int, cfg engine.Config) (*batch.Batch, time.Duration, *engine.Report, error) {
+	cl := h.newCluster(workers)
+	plan, err := tpch.Query(q)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	r, err := engine.NewRunner(cl, plan, cfg)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	out, rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, rep.Duration, rep, nil
+}
+
+// sameResult compares results with the cross-run float tolerance (dynamic
+// task dependencies reorder float summation between runs; spilling itself
+// is order-exact, pinned by the operator tests).
+func sameResult(a, b *batch.Batch) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("one result empty")
+	}
+	if a == nil {
+		return nil
+	}
+	if !a.Schema.Equal(b.Schema) || a.NumRows() != b.NumRows() {
+		return fmt.Errorf("shape differs: %s/%d vs %s/%d", a.Schema, a.NumRows(), b.Schema, b.NumRows())
+	}
+	for ci, ca := range a.Cols {
+		cb := b.Cols[ci]
+		for r := 0; r < a.NumRows(); r++ {
+			if ca.Type == batch.Float64 {
+				x, y := ca.Floats[r], cb.Floats[r]
+				if math.Abs(x-y) > 1e-9*(math.Abs(x)+math.Abs(y))+1e-9 {
+					return fmt.Errorf("row %d col %d: %v vs %v", r, ci, x, y)
+				}
+				continue
+			}
+			if ca.Value(r) != cb.Value(r) {
+				return fmt.Errorf("row %d col %d: %v vs %v", r, ci, ca.Value(r), cb.Value(r))
+			}
+		}
+	}
+	return nil
+}
+
+// SpillSweep runs the budget sweep and returns the machine-readable
+// record for quokka-bench -json.
+func (h *Harness) SpillSweep(workers int, queries []int) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultSpillQueries
+	}
+	budgets := SpillBudgets()
+	h.printf("Memory governance — out-of-core spill sweep, %d workers, SF %g\n", workers, h.P.SF)
+	h.printf("%-5s %-10s %9s %9s %11s %6s %6s %9s\n",
+		"query", "budget", "time(s)", "overhead", "spilled(KB)", "runs", "parts", "peak(KB)")
+	res := JSONResult{
+		Experiment: "spill",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries,
+			"budgets": map[string]int64{"tight": budgets[1].Bytes, "1batch": budgets[2].Bytes},
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+	for _, q := range queries {
+		var baseOut *batch.Batch
+		var baseDur time.Duration
+		for _, bud := range budgets {
+			cfg := engine.DefaultConfig()
+			cfg.MemoryBudget = bud.Bytes
+			out, dur, rep, err := h.runCollect(workers, q, cfg)
+			if err != nil {
+				return res, fmt.Errorf("spill q%d %s: %w", q, bud.Name, err)
+			}
+			key := fmt.Sprintf("q%d.%s", q, bud.Name)
+			res.DurationsS[key] = seconds(dur)
+			overhead := 1.0
+			if bud.Bytes == 0 {
+				baseOut, baseDur = out, dur
+			} else {
+				if err := sameResult(baseOut, out); err != nil {
+					return res, fmt.Errorf("spill q%d %s: result differs from in-memory: %w", q, bud.Name, err)
+				}
+				overhead = seconds(dur) / seconds(baseDur)
+				res.Speedup[key] = overhead // >1: the price of running out-of-core
+				// The workable budget is a hard cap on accounted memory;
+				// only the pathological floor may force residency past it.
+				if peak := rep.Metrics[metrics.SpillPeakBytes]; bud.Name == "tight" && peak > bud.Bytes {
+					return res, fmt.Errorf("spill q%d %s: accounted peak %d exceeds budget %d",
+						q, bud.Name, peak, bud.Bytes)
+				}
+			}
+			h.printf("%-5d %-10s %9.3f %8.2fx %11.1f %6d %6d %9.1f\n",
+				q, bud.Name, seconds(dur), overhead,
+				float64(rep.Metrics[metrics.SpillWriteBytes])/1e3,
+				rep.Metrics[metrics.SpillRuns],
+				rep.Metrics[metrics.SpillPartitions],
+				float64(rep.Metrics[metrics.SpillPeakBytes])/1e3)
+			res.Config[key+".spill.bytes"] = rep.Metrics[metrics.SpillWriteBytes]
+			res.Config[key+".spill.runs"] = rep.Metrics[metrics.SpillRuns]
+			res.Config[key+".spill.partitions"] = rep.Metrics[metrics.SpillPartitions]
+		}
+	}
+	h.printf("\n")
+	return res, nil
+}

@@ -118,6 +118,19 @@ type Config struct {
 	ThreadsPerWorker int
 	CPUPerWorker     int
 
+	// MemoryBudget caps the accounted operator state bytes per worker
+	// (hash join builds, aggregation group tables, sort buffers). 0 means
+	// unlimited — the spill subsystem is off entirely and operators run
+	// fully in memory, exactly as before. When set, operators whose state
+	// would exceed the worker's shared budget spill through the local-disk
+	// cost model (Grace-hash partitions for join/agg, external merge runs
+	// for sort) and produce byte-identical outputs: spilling never changes
+	// task output content or order, which is what keeps write-ahead
+	// lineage replay sound without making spill decisions deterministic.
+	// Spill partitions come from the TOP bits of the 64-bit key hash and
+	// never touch the `hash mod P` routing contract (GCS "opp" key).
+	MemoryBudget int64
+
 	// Parallelism is the number of hash partitions each stateful operator
 	// (hash join, grouped hash aggregation) splits its state into;
 	// partitions build/probe/accumulate concurrently on the worker's CPU

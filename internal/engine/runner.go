@@ -131,6 +131,10 @@ func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
 	if err := r.seed(); err != nil {
 		return nil, nil, err
 	}
+	// Per-query spill files must not outlive the query — on ANY exit path
+	// (success, failure, cancellation). Seed also sweeps, covering a
+	// cluster whose previous query died without running deferred cleanup.
+	defer r.sweepSpill()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -170,6 +174,17 @@ func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
 	return result, rep, nil
 }
 
+// sweepSpill deletes every spill run file from the live workers' disks.
+// Run at seed time (a reused cluster must not inherit a failed query's
+// files) and at query completion (the no-leak guarantee tests assert on).
+func (r *Runner) sweepSpill() {
+	for _, w := range r.cl.Workers {
+		if w.Alive() {
+			w.Disk.DeletePrefix("spill/")
+		}
+	}
+}
+
 // seed writes the initial execution state into the GCS: placement of every
 // channel, zero cursors and epochs. Channel c of every stage starts on
 // worker c mod W, so each worker hosts one channel of each data-parallel
@@ -179,6 +194,7 @@ func (r *Runner) seed() error {
 	if len(alive) == 0 {
 		return ErrNoWorkers
 	}
+	r.sweepSpill()
 	return r.cl.GCS.Update(func(tx *gcs.Txn) error {
 		// Purge any previous query's execution state: the GCS outlives
 		// queries (it is the cluster's control store), but lineage and

@@ -14,6 +14,7 @@ import (
 	"quokka/internal/lineage"
 	"quokka/internal/metrics"
 	"quokka/internal/ops"
+	"quokka/internal/spill"
 )
 
 // taskManager runs the channels placed on one worker. It is the paper's
@@ -40,6 +41,11 @@ type taskManager struct {
 	// aggregation) out across the cpu slots, so intra-operator parallelism
 	// and inter-channel parallelism compete for the same modelled cores.
 	pool *ops.Pool
+
+	// spill is the worker's memory-governance context (nil when
+	// Config.MemoryBudget is 0): one accountant shared by all channels on
+	// this worker, spilling operator state to the worker's local disk.
+	spill *spill.Context
 
 	// doneIDs caches channels known to have finished so idle polls skip
 	// their (and their upstreams') GCS reads. Cleared on epoch change.
@@ -103,6 +109,10 @@ func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
 	t.pool = ops.NewPool(t.cpu, func(n int) {
 		r.met.Add(metrics.PartitionTasks, int64(n))
 	})
+	if r.cfg.MemoryBudget > 0 {
+		t.spill = spill.NewContext(w.Disk,
+			spill.NewAccountant(r.cfg.MemoryBudget, r.met), r.met, spill.DefaultPartitions)
+	}
 	return t
 }
 
@@ -342,12 +352,31 @@ func (t *taskManager) newOperator(cs *chanState) ops.Operator {
 	t.mu.Lock()
 	p := t.opp
 	t.mu.Unlock()
+	var op ops.Operator
 	if p > 1 {
 		if ps, ok := cs.stage.Op.(ops.ParallelSpec); ok {
-			return ps.NewParallel(cs.id.Channel, t.r.par[cs.id.Stage], p, t.pool)
+			op = ps.NewParallel(cs.id.Channel, t.r.par[cs.id.Stage], p, t.pool)
 		}
 	}
-	return cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
+	if op == nil {
+		op = cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
+	}
+	// Memory governance: spill-capable operators get a handle namespaced
+	// by channel AND channel epoch, so a rewound channel's replacement
+	// operator never collides with (or reads) stale pre-failure run files.
+	if t.spill != nil {
+		if sb, ok := op.(ops.Spillable); ok {
+			sb.SetSpill(t.spill.NewOp(spillNS(cs.id, cs.cep)))
+		}
+	}
+	return op
+}
+
+// spillNS is the disk-key namespace for one channel incarnation's spill
+// run files. Everything under "spill/" is swept at query seed and after
+// completion; "spill/<id>." (all epochs) is swept when the channel resets.
+func spillNS(id lineage.ChannelID, cep int) string {
+	return fmt.Sprintf("spill/%s.e%d", id, cep)
 }
 
 // opSharesFor returns how many CPU slots an operator actually fans work on
@@ -422,6 +451,16 @@ func (t *taskManager) loadMetas(states []*chanState) ([]*chanMeta, error) {
 // resetChannel synchronizes in-memory state with the GCS after a rewind
 // (or on first touch): fresh operator, cursor and watermark from the GCS.
 func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
+	// Rewind cleanup: release the dead operator's accounted memory and
+	// delete its spill runs, then sweep stale run files of ANY earlier
+	// incarnation of this channel from the local disk (recovery restart
+	// must not leak pre-failure spill files).
+	if sb, ok := cs.op.(ops.Spillable); ok {
+		sb.DropSpill()
+	}
+	if t.spill != nil {
+		t.w.Disk.DeletePrefix("spill/" + cs.id.String() + ".")
+	}
 	cs.cep = meta.cep
 	cs.cursor = meta.cursor
 	cs.op = nil
@@ -826,6 +865,11 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 	if p.finalize {
 		cs.done = true
 		t.markDone(cs.id)
+		// The channel is complete: its spill runs (if any survive the
+		// operator's own finalize cleanup) are garbage now.
+		if sb, ok := cs.op.(ops.Spillable); ok {
+			sb.DropSpill()
+		}
 	}
 	t.r.met.Add(metrics.TasksExecuted, 1)
 

@@ -44,6 +44,11 @@ const (
 	LineageRecords   = "lineage.records"
 	SpoolWriteBytes  = "spool.write.bytes"
 	BackupWriteBytes = "backup.write.bytes"
+	SpillWriteBytes  = "spill.bytes"      // operator state spilled to local disk
+	SpillReadBytes   = "spill.read.bytes" // spilled state read back
+	SpillRuns        = "spill.runs"       // run files written
+	SpillPartitions  = "spill.partitions" // spill partitions that received data
+	SpillPeakBytes   = "spill.peak.bytes" // high-water mark of accounted operator memory (gauge)
 )
 
 func (c *Collector) counter(name string) *atomic.Int64 {
@@ -67,6 +72,22 @@ func (c *Collector) Add(name string, delta int64) {
 		return
 	}
 	c.counter(name).Add(delta)
+}
+
+// Max raises the named counter to v if v is larger — a high-water-mark
+// gauge (e.g. peak accounted operator memory) alongside the monotonic
+// counters. A nil Collector is a no-op.
+func (c *Collector) Max(name string, v int64) {
+	if c == nil {
+		return
+	}
+	ctr := c.counter(name)
+	for {
+		cur := ctr.Load()
+		if v <= cur || ctr.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Get returns the current value of the named counter.

@@ -7,6 +7,7 @@ import (
 
 	"quokka/internal/batch"
 	"quokka/internal/expr"
+	"quokka/internal/spill"
 )
 
 // AggKind enumerates aggregate functions. Avg is expressed in plans as
@@ -102,6 +103,12 @@ type HashAgg struct {
 	inputs      []*batch.Column
 	keyScratch  []byte
 	hashScratch []uint64
+
+	// Out-of-core state (see spill.go). sp is nil without a memory
+	// budget; once spSpilled is set the frozen group states and all
+	// subsequent raw input rows live in per-partition run files.
+	sp        *spill.Op
+	spSpilled bool
 }
 
 // NewHashAggSpec builds a Spec for a hash aggregation. The returned spec
@@ -184,6 +191,20 @@ func (a *HashAgg) consumeHashed(_ int, b *batch.Batch, hashes []uint64) ([]*batc
 	if err := a.resolveKeys(b.Schema); err != nil {
 		return nil, err
 	}
+	// Memory governance: global aggregates never spill (their state is one
+	// row); grouped aggregation spills when the worst-case growth of this
+	// batch would not fit the worker's budget.
+	if a.sp != nil && len(a.GroupBy) > 0 {
+		if a.spSpilled {
+			return nil, a.spillConsume(b, hashes)
+		}
+		if !a.sp.Reserve(spillAggBatchEst(b, len(a.Aggs))) {
+			if err := a.spillState(); err != nil {
+				return nil, err
+			}
+			return nil, a.spillConsume(b, hashes)
+		}
+	}
 	// Evaluate aggregate input expressions once per batch, into a reused
 	// scratch slice. Expressions see the physical batch; rows are
 	// addressed through the selection vector below.
@@ -238,6 +259,9 @@ func (a *HashAgg) consumeHashed(_ int, b *batch.Batch, hashes []uint64) ([]*batc
 	// payloads until the next Consume.
 	for i := range inputs {
 		inputs[i] = nil
+	}
+	if a.sp != nil && len(a.GroupBy) > 0 {
+		a.sp.SyncTo(a.StateBytes()) // settle the worst-case estimate
 	}
 	return nil, nil
 }
@@ -335,6 +359,9 @@ func (a *HashAgg) sortedGroups() []int {
 // group key encoding so output is deterministic regardless of input order
 // interleaving across batches with equal multiset content.
 func (a *HashAgg) Finalize() ([]*batch.Batch, error) {
+	if a.spSpilled {
+		return a.finalizeSpilled()
+	}
 	if len(a.GroupBy) == 0 && a.table == nil {
 		// Global aggregate with Consume never called: exactly one default
 		// row. (A global aggregate that consumed only zero-row batches
@@ -404,10 +431,23 @@ func (a *HashAgg) StateBytes() int64 {
 
 // Snapshot implements Snapshotter by serializing groups as a batch of key
 // columns plus per-aggregate state columns, in group insertion order.
+// Spilled state cannot snapshot; the engine skips the checkpoint and
+// relies on lineage replay.
 func (a *HashAgg) Snapshot() ([]byte, error) {
+	if a.spSpilled {
+		return nil, errSpilled
+	}
 	if a.table == nil || a.table.Len() == 0 {
 		return nil, nil
 	}
+	return batch.Encode(a.snapshotBatch()), nil
+}
+
+// snapshotBatch builds the snapshot batch: group keys plus the exact
+// per-aggregate state columns, in group insertion order. Also the freeze
+// format of spillState (floats round-trip bit-exactly via the codec's
+// Float64bits encoding).
+func (a *HashAgg) snapshotBatch() *batch.Batch {
 	groups := a.table.Len()
 	nAggs := len(a.Aggs)
 	fields := append([]batch.Field(nil), a.keySchema.Fields...)
@@ -439,7 +479,7 @@ func (a *HashAgg) Snapshot() ([]byte, error) {
 			bl.Col(base + 5).Bools = append(bl.Col(base+5).Bools, st[i].isStr)
 		}
 	}
-	return batch.Encode(bl.Build()), nil
+	return bl.Build()
 }
 
 // Restore implements Snapshotter.
@@ -451,6 +491,8 @@ func (a *HashAgg) Restore(data []byte) error {
 	a.keySchema = nil
 	a.srcSchema = nil
 	a.keyIdx = nil
+	a.DropSpill() // restored state starts in memory; may spill again
+	a.spSpilled = false
 	if len(data) == 0 {
 		a.table = nil
 		return nil
@@ -458,6 +500,16 @@ func (a *HashAgg) Restore(data []byte) error {
 	b, err := batch.Decode(data)
 	if err != nil {
 		return err
+	}
+	return a.restoreFromBatch(b)
+}
+
+// restoreFromBatch re-inserts snapshotted groups into the (fresh) table.
+// Shared by checkpoint Restore and the spilled-partition replay, which
+// feeds one partition's State run before its Raw runs.
+func (a *HashAgg) restoreFromBatch(b *batch.Batch) error {
+	if a.table == nil {
+		a.table = batch.NewHashTable(0)
 	}
 	// Deliberately not pre-sized by row count: re-inserting group keys in
 	// insertion order replays the original table's growth trajectory, so
@@ -499,6 +551,11 @@ func (a *HashAgg) Restore(data []byte) error {
 			})
 		}
 		a.stateBytes += int64(nAggs)*aggStateSize + keyColRowBytes(b, keyIdx, r)
+	}
+	if a.sp != nil && len(a.GroupBy) > 0 {
+		// Restored state must be resident before replay continues; force
+		// the accounting (it reflects what is genuinely in memory).
+		a.sp.SyncTo(a.StateBytes())
 	}
 	return nil
 }

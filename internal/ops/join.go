@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"quokka/internal/batch"
+	"quokka/internal/spill"
 )
 
 // JoinType enumerates the supported join semantics.
@@ -73,6 +74,18 @@ type HashJoin struct {
 	probeSel    []int32 // physical probe row per output row
 	buildSel    []int32 // build row per output row; -1 = unmatched (left outer)
 	semiSel     []int   // logical probe rows kept by semi/anti
+
+	// Out-of-core state (see spill.go). sp is nil without a memory budget;
+	// once spSpilled is set the build side lives in per-partition run
+	// files and probes page partitions in through the 1-entry resident
+	// cache below.
+	sp            *spill.Op
+	spSpilled     bool
+	spBuildSchema *batch.Schema
+	resJoin       *HashJoin
+	resOp         *spill.Op
+	resPart       int
+	resBytes      int64
 }
 
 // NewHashJoinSpec builds a Spec for a hash join. The returned spec
@@ -144,6 +157,19 @@ func (j *HashJoin) consumeHashed(input int, b *batch.Batch, hashes []uint64) ([]
 		if b.Sel != nil {
 			b = b.Materialize() // retained state is physical
 		}
+		if j.sp != nil {
+			if j.spBuildSchema == nil {
+				j.spBuildSchema = b.Schema
+			}
+			if !j.spSpilled && !j.sp.Reserve(b.ByteSize()) {
+				if err := j.spillBuild(); err != nil {
+					return nil, err
+				}
+			}
+			if j.spSpilled {
+				return nil, j.spillBuildBatch(b, hashes)
+			}
+		}
 		j.build = append(j.build, b)
 		j.buildHashes = append(j.buildHashes, hashes)
 		j.stateBytes += b.ByteSize()
@@ -161,6 +187,14 @@ func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
 	if len(j.build) > 0 {
 		buildSchema = j.build[0].Schema
 	}
+	if j.spSpilled {
+		buildSchema = j.spBuildSchema // retained rows live in spill runs
+	}
+	if j.sp != nil && j.spBuildSchema == nil {
+		// Restored state bypasses Consume; remember the schema in case
+		// the index build below decides to spill.
+		j.spBuildSchema = buildSchema
+	}
 	j.table = batch.NewHashTable(0)
 	if buildSchema != nil {
 		ix, err := keyIndexes(buildSchema, j.BuildKeys)
@@ -168,6 +202,22 @@ func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
 			return err
 		}
 		j.buildKeyIx = ix
+
+		// The index (arena keys, slots, hashes, CSR) costs real memory on
+		// top of the retained rows; if it will not fit, spill the build
+		// side instead of indexing it.
+		if j.sp != nil && !j.spSpilled && len(j.build) > 0 {
+			var rows int64
+			for _, bb := range j.build {
+				rows += int64(bb.NumRows())
+			}
+			est := rows*spillIndexBytesPerRow + j.stateBytes/2
+			if !j.sp.Reserve(est) {
+				if err := j.spillBuild(); err != nil {
+					return err
+				}
+			}
+		}
 
 		// Cached router hashes survive concatenation only if every batch
 		// carried them; otherwise hash the merged batch in one pass.
@@ -231,6 +281,31 @@ func (j *HashJoin) buildIndex(probeSchema *batch.Schema) error {
 				cursor[k]++
 			}
 		}
+		if j.sp != nil && !j.spSpilled {
+			// Settle the index estimate against the real size. If the
+			// estimate undershot (string-heavy keys: the arena copies
+			// every key) and the index does not actually fit, spill the
+			// merged build side rather than forcing past the budget.
+			delta := j.StateBytes() - j.sp.Reserved()
+			switch {
+			case delta <= 0:
+				j.sp.Release(-delta)
+			case j.sp.Reserve(delta):
+			default:
+				if merged != nil && merged.NumRows() > 0 {
+					if err := j.spillBuildRows(merged, hashes); err != nil {
+						return err
+					}
+				}
+				j.merged = nil
+				j.table = batch.NewHashTable(0)
+				j.refStart = nil
+				j.refRows = nil
+				j.stateBytes = 0
+				j.sp.ReleaseAll()
+				j.spSpilled = true
+			}
+		}
 	}
 	pix, err := keyIndexes(probeSchema, j.ProbeKeys)
 	if err != nil {
@@ -291,6 +366,9 @@ func (j *HashJoin) probe(pb *batch.Batch, hashes []uint64) ([]*batch.Batch, erro
 	if hashes == nil {
 		j.hashScratch = batch.HashKeys(j.hashScratch, pb, j.probeKeyIx)
 		hashes = j.hashScratch
+	}
+	if j.spSpilled {
+		return j.probeSpilled(pb, hashes)
 	}
 	n := pb.NumRows()
 	sel := pb.Sel
@@ -365,13 +443,18 @@ func (j *HashJoin) probe(pb *batch.Batch, hashes []uint64) ([]*batch.Batch, erro
 	return single(batch.MustNew(j.outSchema, cols)), nil
 }
 
-// Finalize implements Operator.
-func (j *HashJoin) Finalize() ([]*batch.Batch, error) { return nil, nil }
+// Finalize implements Operator. A spilled join's probing is already
+// complete (every probe batch was fully resolved on arrival), so finalize
+// only frees the run files and the resident partition.
+func (j *HashJoin) Finalize() ([]*batch.Batch, error) {
+	j.DropSpill()
+	return nil, nil
+}
 
 // StateBytes implements Snapshotter: the retained build side plus the
 // arena-backed index (key arena, slot directory, CSR row lists).
 func (j *HashJoin) StateBytes() int64 {
-	n := j.stateBytes
+	n := j.stateBytes + j.resBytes
 	if j.table != nil {
 		n += j.table.Bytes() + int64(len(j.refStart)+len(j.refRows))*4
 	}
@@ -388,8 +471,13 @@ func (j *HashJoin) buildState() []*batch.Batch {
 }
 
 // Snapshot implements Snapshotter by serializing the buffered build side.
-// The index is rebuilt on Restore.
+// The index is rebuilt on Restore. Spilled state cannot snapshot (the
+// run files are partition-grouped, losing global arrival order); the
+// engine skips the checkpoint and relies on lineage replay.
 func (j *HashJoin) Snapshot() ([]byte, error) {
+	if j.spSpilled {
+		return nil, errSpilled
+	}
 	merged, err := batch.Concat(j.buildState())
 	if err != nil {
 		return nil, err
@@ -409,6 +497,9 @@ func (j *HashJoin) Restore(data []byte) error {
 	j.table = nil
 	j.refStart = nil
 	j.refRows = nil
+	j.DropSpill() // restored state starts in memory; may spill again
+	j.spSpilled = false
+	j.spBuildSchema = nil
 	if len(data) == 0 {
 		return nil
 	}

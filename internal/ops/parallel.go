@@ -2,10 +2,10 @@ package ops
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"quokka/internal/batch"
+	"quokka/internal/spill"
 )
 
 // This file implements morsel-driven, partition-parallel execution for the
@@ -305,6 +305,7 @@ type parallelJoin struct {
 	probeKeys []string
 	parts     []*HashJoin
 	pool      *Pool
+	sp        *spill.Op // channel spill handle; lanes hold Subs of it
 
 	buildKeyIx []int // resolved from the first build batch
 	probeKeyIx []int // resolved from the first probe batch
@@ -394,6 +395,9 @@ func (j *parallelJoin) StateBytes() int64 {
 func (j *parallelJoin) Snapshot() ([]byte, error) {
 	var all []*batch.Batch
 	for _, part := range j.parts {
+		if part.spSpilled {
+			return nil, errSpilled
+		}
 		all = append(all, part.buildState()...)
 	}
 	merged, err := batch.Concat(all)
@@ -410,8 +414,12 @@ func (j *parallelJoin) Snapshot() ([]byte, error) {
 // through the same pure key-hash partitioning used during normal execution,
 // rebuilding identical per-partition state.
 func (j *parallelJoin) Restore(data []byte) error {
+	j.DropSpill()
 	for p := range j.parts {
 		j.parts[p] = &HashJoin{Type: j.typ, BuildKeys: j.buildKeys, ProbeKeys: j.probeKeys}
+	}
+	if j.sp != nil {
+		j.SetSpill(j.sp) // fresh lanes need fresh spill handles
 	}
 	j.buildKeyIx = nil
 	j.probeKeyIx = nil
@@ -437,6 +445,7 @@ type parallelAgg struct {
 	aggs    []AggExpr
 	parts   []*HashAgg
 	pool    *Pool
+	sp      *spill.Op // channel spill handle; lanes hold Subs of it
 }
 
 // Partitions implements Partitioned.
@@ -480,33 +489,11 @@ func (a *parallelAgg) Finalize() ([]*batch.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	var nonNil []*batch.Batch
-	for _, o := range outs {
-		if o != nil {
-			nonNil = append(nonNil, o)
-		}
-	}
-	merged, err := batch.Concat(nonNil)
+	merged, err := mergeGroupOutputs(outs, a.groupBy)
 	if err != nil || merged == nil {
 		return nil, err
 	}
-	keyIdx, err := keyIndexes(merged.Schema, a.groupBy)
-	if err != nil {
-		return nil, err
-	}
-	n := merged.NumRows()
-	keys := make([]string, n)
-	var key []byte
-	for r := 0; r < n; r++ {
-		key = batch.AppendKey(key[:0], merged, keyIdx, r)
-		keys[r] = string(key)
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
-	return single(merged.Gather(idx)), nil
+	return single(merged), nil
 }
 
 // StateBytes implements Snapshotter.
@@ -549,8 +536,12 @@ func (a *parallelAgg) Snapshot() ([]byte, error) {
 // Restore implements Snapshotter by routing the snapshotted groups back to
 // their owning partitions by key hash.
 func (a *parallelAgg) Restore(data []byte) error {
+	a.DropSpill()
 	for p := range a.parts {
 		a.parts[p] = &HashAgg{GroupBy: a.groupBy, Aggs: a.aggs}
+	}
+	if a.sp != nil {
+		a.SetSpill(a.sp) // fresh lanes need fresh spill handles
 	}
 	if len(data) == 0 {
 		return nil

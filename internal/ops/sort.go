@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"quokka/internal/batch"
+	"quokka/internal/spill"
 )
 
 // SortKey is one ORDER BY term.
@@ -29,6 +30,12 @@ type Sort struct {
 
 	buf        []*batch.Batch
 	stateBytes int64
+
+	// Out-of-core state (see spill.go): buffered batches flush to
+	// stable-sorted runs when the worker's memory budget trips; spRuns
+	// counts the runs written so far.
+	sp     *spill.Op
+	spRuns int
 }
 
 // NewSortSpec builds a Spec for a full sort.
@@ -61,13 +68,35 @@ func keyLabel(keys []SortKey) string {
 // Consume implements Operator.
 func (s *Sort) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {
 	b = b.Materialize() // retained state holds physical rows only
+	sz := b.ByteSize()
+	if s.sp != nil && !s.sp.Reserve(sz) {
+		// Budget tripped: sort what is buffered into a run, then retry.
+		if err := s.flushRun(); err != nil {
+			return nil, err
+		}
+		if !s.sp.Reserve(sz) {
+			// The batch alone exceeds the budget: account the forced
+			// residency honestly (it IS in memory until the flush), then
+			// make it its own run. flushRun releases the reservation.
+			s.sp.ForceReserve(sz)
+			s.buf = append(s.buf, b)
+			s.stateBytes += sz
+			return nil, s.flushRun()
+		}
+	}
 	s.buf = append(s.buf, b)
-	s.stateBytes += b.ByteSize()
+	s.stateBytes += sz
 	return nil, nil
 }
 
 // Finalize implements Operator.
 func (s *Sort) Finalize() ([]*batch.Batch, error) {
+	if s.spRuns > 0 {
+		return s.finalizeSpilled()
+	}
+	if s.sp != nil {
+		defer s.sp.ReleaseAll()
+	}
 	all, err := batch.Concat(s.buf)
 	if err != nil {
 		return nil, err
@@ -88,8 +117,12 @@ func (s *Sort) Finalize() ([]*batch.Batch, error) {
 // StateBytes implements Snapshotter.
 func (s *Sort) StateBytes() int64 { return s.stateBytes }
 
-// Snapshot implements Snapshotter.
+// Snapshot implements Snapshotter. Spilled runs cannot snapshot; the
+// engine skips the checkpoint and relies on lineage replay.
 func (s *Sort) Snapshot() ([]byte, error) {
+	if s.spRuns > 0 {
+		return nil, errSpilled
+	}
 	all, err := batch.Concat(s.buf)
 	if err != nil {
 		return nil, err
@@ -104,6 +137,8 @@ func (s *Sort) Snapshot() ([]byte, error) {
 func (s *Sort) Restore(data []byte) error {
 	s.buf = nil
 	s.stateBytes = 0
+	s.DropSpill() // restored state starts in memory; may spill again
+	s.spRuns = 0
 	if len(data) == 0 {
 		return nil
 	}
@@ -125,13 +160,13 @@ func SortBatch(b *batch.Batch, keys []SortKey) (*batch.Batch, error) {
 		col  *batch.Column
 		desc bool
 	}
+	keyIdx, err := sortKeyIndexes(b.Schema, keys)
+	if err != nil {
+		return nil, err
+	}
 	kcs := make([]keyCol, len(keys))
 	for i, k := range keys {
-		j := b.Schema.Index(k.Col)
-		if j < 0 {
-			return nil, fmt.Errorf("ops: sort key %q not in schema %s", k.Col, b.Schema)
-		}
-		kcs[i] = keyCol{col: b.Cols[j], desc: k.Desc}
+		kcs[i] = keyCol{col: b.Cols[keyIdx[i]], desc: k.Desc}
 	}
 	n := b.NumRows()
 	idx := make([]int, n)
@@ -155,34 +190,9 @@ func SortBatch(b *batch.Batch, keys []SortKey) (*batch.Batch, error) {
 	return b.Gather(idx), nil
 }
 
+// compareAt compares two rows of one column — compareCols (spill.go) over
+// a single column, so in-memory sort and the spilled run merge can never
+// diverge on ordering semantics.
 func compareAt(c *batch.Column, i, j int) int {
-	switch c.Type {
-	case batch.Int64, batch.Date:
-		a, b := c.Ints[i], c.Ints[j]
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
-		}
-	case batch.Float64:
-		a, b := c.Floats[i], c.Floats[j]
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
-		}
-	case batch.String:
-		return strings.Compare(c.Strings[i], c.Strings[j])
-	case batch.Bool:
-		a, b := c.Bools[i], c.Bools[j]
-		switch {
-		case !a && b:
-			return -1
-		case a && !b:
-			return 1
-		}
-	}
-	return 0
+	return compareCols(c, i, c, j)
 }

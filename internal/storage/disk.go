@@ -80,6 +80,36 @@ func (d *LocalDisk) Delete(key string) {
 	delete(d.data, key)
 }
 
+// DeletePrefix removes every key with the given prefix and returns the
+// number of payload bytes freed. Like Delete it is free (a directory
+// operation) and valid on a wiped disk (nothing to remove).
+func (d *LocalDisk) DeletePrefix(prefix string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var freed int64
+	for k, v := range d.data {
+		if strings.HasPrefix(k, prefix) {
+			freed += int64(len(v))
+			delete(d.data, k)
+		}
+	}
+	return freed
+}
+
+// UsedBytesPrefix returns the total payload size stored under keys with
+// the given prefix (leak assertions over a namespace, e.g. spill files).
+func (d *LocalDisk) UsedBytesPrefix(prefix string) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for k, v := range d.data {
+		if strings.HasPrefix(k, prefix) {
+			n += int64(len(v))
+		}
+	}
+	return n
+}
+
 // List returns the sorted keys with the given prefix.
 func (d *LocalDisk) List(prefix string) []string {
 	d.mu.RLock()

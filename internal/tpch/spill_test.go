@@ -1,0 +1,97 @@
+package tpch
+
+// Out-of-core TPC-H: the budget sweep runs real queries whose operator
+// state exceeds engine.Config.MemoryBudget, so join builds, aggregation
+// tables and sort buffers spill through the workers' local disks — and
+// the results must match the unlimited-budget runs. Floats compare with
+// the same tolerance as the cross-parallelism gate (dynamic task
+// dependencies reorder float summation BETWEEN runs regardless of
+// spilling; spilling itself is bit-exact, pinned at the operator level).
+
+import (
+	"fmt"
+	"testing"
+
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+)
+
+// spillQueries are join/agg/sort-heavy representatives.
+var spillQueries = []int{1, 3, 5, 9, 18}
+
+func TestTPCHBudgetSweep(t *testing.T) {
+	for _, q := range spillQueries {
+		q := q
+		t.Run(queryName(q), func(t *testing.T) {
+			t.Parallel()
+			for _, par := range []int{1, 4} {
+				base := engine.DefaultConfig()
+				base.Parallelism = par
+				want := runQuery(t, loadCluster(t, 4), q, base)
+				for _, budget := range []int64{48_000, 2_000} {
+					cfg := base
+					cfg.MemoryBudget = budget
+					cl := loadCluster(t, 4)
+					got := runQuery(t, cl, q, cfg)
+					assertSameResult(t, q, want, got)
+					// Every query must spill at the pathological budget;
+					// at the moderate one, smaller queries may still fit.
+					if budget <= 2_000 && cl.Metrics.Get(metrics.SpillRuns) == 0 {
+						t.Errorf("q%d par%d budget%d: expected spilling, saw none", q, par, budget)
+					}
+					for _, w := range cl.Workers {
+						if n := w.Disk.UsedBytesPrefix("spill/"); n != 0 {
+							t.Errorf("q%d par%d budget%d: worker %d leaked %d spill bytes",
+								q, par, budget, w.ID, n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTPCHFaultMidSpill kills a worker while operators are spilling under
+// a tight budget: recovery replays lineage onto replacement operators
+// with fresh spill namespaces while stale pre-failure run files are still
+// on the surviving disks, and the result must match the failure-free run.
+func TestTPCHFaultMidSpill(t *testing.T) {
+	cases := []struct {
+		q   int
+		par int
+	}{
+		{9, 1},
+		{9, 4},
+		{18, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("Q%d-par%d", tc.q, tc.par), func(t *testing.T) {
+			t.Parallel()
+			cfg := engine.DefaultConfig()
+			// One executor thread: same known multi-thread recovery
+			// interleaving caveat as TestTPCHFailureRecoveryMatchesFailureFree.
+			cfg.ThreadsPerWorker = 1
+			cfg.Parallelism = tc.par
+			if tc.par > 1 {
+				cfg.CPUPerWorker = 4
+			}
+			cfg.MemoryBudget = 32_000
+			want := runQuery(t, loadCluster(t, 4), tc.q, cfg)
+			cl := loadCluster(t, 4)
+			got := runQueryWithKill(t, cl, tc.q, cfg, 2, 25)
+			assertSameResult(t, tc.q, want, got)
+			if cl.Metrics.Get(metrics.SpillRuns) == 0 {
+				t.Errorf("q%d: expected spilling during the faulty run", tc.q)
+			}
+			for _, w := range cl.Workers {
+				if !w.Alive() {
+					continue
+				}
+				if n := w.Disk.UsedBytesPrefix("spill/"); n != 0 {
+					t.Errorf("q%d: worker %d leaked %d spill bytes after recovery", tc.q, w.ID, n)
+				}
+			}
+		})
+	}
+}
