@@ -23,11 +23,12 @@ bench:
 	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -short -run 'ZeroAllocs' ./internal/ops/
 
-## bench-json: regenerate the checked-in perf records (hash path + the
-## out-of-core spill sweep).
+## bench-json: regenerate the checked-in perf records (hash path, the
+## out-of-core spill sweep, and the planner's naive-vs-optimized sweep).
 bench-json:
 	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
 	$(GO) run ./cmd/quokka-bench -exp spill -json BENCH_spill.json
+	$(GO) run ./cmd/quokka-bench -exp planner -repeats 3 -json BENCH_planner.json
 
 fmt:
 	gofmt -w .

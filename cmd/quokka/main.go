@@ -6,6 +6,7 @@
 //	quokka -q 9 -system spark                        # SparkSQL-like baseline
 //	quokka -q 3 -ft spool                            # durable spooling
 //	quokka -q 9 -kill 0.5                            # kill a worker halfway
+//	quokka -q 3 -explain                             # print the optimized plan
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
 		showRows  = flag.Bool("rows", true, "print result rows")
 		metrics   = flag.Bool("metrics", false, "print all execution counters")
+		explain   = flag.Bool("explain", false, "print the optimized logical plan (pushed predicates, pruned columns, join strategies) instead of running the query")
 	)
 	flag.Parse()
 
@@ -56,6 +58,17 @@ func main() {
 		cfg.FT = quokka.FTCheckpoint
 	default:
 		fatal("unknown -ft %q", *ft)
+	}
+
+	if *explain {
+		// Planning needs only the catalog statistics at this scale factor
+		// — no cluster, no data generation.
+		plan, err := quokka.ExplainTPCHPlan(*q, *sf)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("TPC-H Q%d optimized logical plan at SF %g:\n%s", *q, *sf, plan)
+		return
 	}
 
 	cl, err := quokka.NewCluster(quokka.ClusterConfig{Workers: *workers, TimeScale: *timeScale})

@@ -52,18 +52,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Revenue by tier for H2, highest first — a broadcast join against
-	// the dimension, then grouped aggregation.
+	// Revenue by tier for H2, highest first. A plain Join suffices: the
+	// planner sees the 500-row users dimension in the catalog and picks a
+	// broadcast join on its own; the day filter is pushed into the events
+	// scan and unused columns are pruned before anything shuffles.
 	sess := quokka.NewSession(cl)
 	usersDF := sess.Read("users")
-	res, err := sess.Read("events").
+	byTier := sess.Read("events").
+		Join(usersDF, quokka.Inner, []string{"user_id"}, []string{"uid"}).
 		Filter(quokka.Col("day").Ge(quokka.LitDate(2024, 7, 1))).
-		BroadcastJoin(usersDF, quokka.Inner, []string{"user_id"}, []string{"uid"}).
 		GroupBy([]string{"tier"},
 			quokka.SumOf("revenue", quokka.Col("amount")),
 			quokka.CountAll("purchases")).
-		Sort(0, quokka.Desc("revenue")).
-		Collect(context.Background(), quokka.DefaultConfig())
+		Sort(0, quokka.Desc("revenue"))
+	explained, err := byTier.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimized plan:")
+	fmt.Print(explained)
+	res, err := byTier.Collect(context.Background(), quokka.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

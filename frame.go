@@ -5,37 +5,54 @@ import (
 	"fmt"
 
 	"quokka/internal/engine"
-	iexpr "quokka/internal/expr"
 	"quokka/internal/ops"
+	"quokka/internal/plan"
 )
 
-// Session builds queries against a cluster. DataFrames created from the
-// same session share one plan; Collect compiles and runs it.
+// Typed plan-time errors. DataFrame methods never fail while a query is
+// being built; schema and type problems surface from Collect (or Explain)
+// wrapping these sentinels, instead of panicking deep inside operator
+// execution. Match with errors.Is.
+var (
+	// ErrUnknownColumn: an expression, key or sort column no input provides.
+	ErrUnknownColumn = plan.ErrUnknownColumn
+	// ErrTypeMismatch: an expression over incompatible column types, or a
+	// non-boolean filter predicate.
+	ErrTypeMismatch = plan.ErrTypeMismatch
+	// ErrDuplicateColumn: two output columns with the same name — duplicate
+	// Select/Keep names, or a join whose sides collide.
+	ErrDuplicateColumn = plan.ErrDuplicateColumn
+	// ErrUnknownTable: a Read of a table that was never created.
+	ErrUnknownTable = plan.ErrUnknownTable
+)
+
+// Session builds queries against a cluster. DataFrames are immutable
+// logical-plan fragments; nothing executes until Collect.
 type Session struct {
 	cluster *Cluster
-	stages  []*engine.Stage
 }
 
 // NewSession creates a query-building session on the cluster.
 func NewSession(c *Cluster) *Session { return &Session{cluster: c} }
 
-func (s *Session) add(st *engine.Stage) *DataFrame {
-	st.ID = len(s.stages)
-	s.stages = append(s.stages, st)
-	return &DataFrame{s: s, stage: st.ID}
-}
-
 // Read scans a table previously loaded with CreateTable or LoadTPCH.
 func (s *Session) Read(table string) *DataFrame {
-	return s.add(&engine.Stage{Name: "scan-" + table, Reader: &engine.ReaderSpec{Table: table}})
+	return &DataFrame{s: s, node: plan.Scan(table)}
 }
 
 // DataFrame is a lazy, immutable query fragment: each transformation
-// appends a pipeline stage and returns a new frame.
+// returns a new frame wrapping a new logical-plan node; the shared tree
+// underneath means a frame used twice (e.g. joined with its own
+// aggregate) executes once. Collect runs the optimizer — constant
+// folding, predicate pushdown, projection pruning, filter+project fusion,
+// partial aggregation, automatic broadcast-join selection — and then the
+// engine. Use Explain to see the optimized plan without running it.
 type DataFrame struct {
-	s     *Session
-	stage int
+	s    *Session
+	node *plan.Node
 }
+
+func (d *DataFrame) wrap(n *plan.Node) *DataFrame { return &DataFrame{s: d.s, node: n} }
 
 // Named pairs an output column name with its defining expression.
 type Named struct {
@@ -43,11 +60,14 @@ type Named struct {
 	Expr Expr
 }
 
-// As names an expression for Select.
+// As names an expression for Select. Duplicate output names within one
+// projection are rejected at plan time with ErrDuplicateColumn.
 func As(name string, e Expr) Named { return Named{Name: name, Expr: e} }
 
 // Keep produces identity projections for existing columns, for use in
-// Select alongside computed columns.
+// Select alongside computed columns. Duplicate names — within Keep's own
+// arguments or against other Select columns — are rejected at plan time
+// with ErrDuplicateColumn rather than silently last-write-winning.
 func Keep(names ...string) []Named {
 	out := make([]Named, len(names))
 	for i, n := range names {
@@ -66,29 +86,18 @@ func toNamedExprs(cols []Named) []ops.NamedExpr {
 
 // Filter keeps rows satisfying the predicate.
 func (d *DataFrame) Filter(pred Expr) *DataFrame {
-	return d.s.add(&engine.Stage{
-		Name:   "filter",
-		Op:     ops.NewFilterSpec(pred.e),
-		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
-	})
+	return d.wrap(plan.Filter(d.node, pred.e))
 }
 
 // Select projects the given (possibly computed) columns.
 func (d *DataFrame) Select(cols ...Named) *DataFrame {
-	return d.s.add(&engine.Stage{
-		Name:   "select",
-		Op:     ops.NewProjectSpec(toNamedExprs(cols)...),
-		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
-	})
+	return d.wrap(plan.Project(d.node, toNamedExprs(cols)...))
 }
 
-// FilterSelect fuses a filter and a projection into one stage.
+// FilterSelect is Filter followed by Select; the optimizer fuses the pair
+// into one FilterProject stage, so the two spellings execute identically.
 func (d *DataFrame) FilterSelect(pred Expr, cols ...Named) *DataFrame {
-	return d.s.add(&engine.Stage{
-		Name:   "map",
-		Op:     ops.NewFilterProjectSpec(pred.e, toNamedExprs(cols)...),
-		Inputs: []engine.StageInput{{Stage: d.stage, Part: engine.Direct()}},
-	})
+	return d.Filter(pred).Select(cols...)
 }
 
 // JoinKind selects join semantics for DataFrame.Join.
@@ -102,31 +111,19 @@ const (
 	Anti      = ops.AntiJoin
 )
 
-// Join hash-joins d (the probe side) with build: rows are co-partitioned
-// on the join keys across the cluster. Output columns are d's columns
-// followed by build's non-key columns; names must not collide.
+// Join hash-joins d (the probe side) with build. The optimizer picks the
+// distribution: the build side is broadcast when catalog statistics say
+// it is small, otherwise both sides are co-partitioned on the join keys.
+// Output columns are d's columns followed by build's non-key columns;
+// name collisions are rejected at plan time with ErrDuplicateColumn.
 func (d *DataFrame) Join(build *DataFrame, kind JoinKind, probeKeys, buildKeys []string) *DataFrame {
-	return d.s.add(&engine.Stage{
-		Name: "join",
-		Op:   ops.NewHashJoinSpec(kind, buildKeys, probeKeys),
-		Inputs: []engine.StageInput{
-			{Stage: build.stage, Part: engine.Hash(buildKeys...), Phase: 0},
-			{Stage: d.stage, Part: engine.Hash(probeKeys...), Phase: 1},
-		},
-	})
+	return d.wrap(plan.Join(kind, plan.Auto, build.node, buildKeys, d.node, probeKeys))
 }
 
-// BroadcastJoin joins against a small build side replicated to every
-// channel; d's rows stay where they are (no shuffle of the probe side).
+// BroadcastJoin joins against a build side that is always replicated to
+// every channel, regardless of statistics; d's rows stay where they are.
 func (d *DataFrame) BroadcastJoin(build *DataFrame, kind JoinKind, probeKeys, buildKeys []string) *DataFrame {
-	return d.s.add(&engine.Stage{
-		Name: "join",
-		Op:   ops.NewHashJoinSpec(kind, buildKeys, probeKeys),
-		Inputs: []engine.StageInput{
-			{Stage: build.stage, Part: engine.Broadcast(), Phase: 0},
-			{Stage: d.stage, Part: engine.Direct(), Phase: 1},
-		},
-	})
+	return d.wrap(plan.Join(kind, plan.Broadcast, build.node, buildKeys, d.node, probeKeys))
 }
 
 // Agg is one aggregate output column.
@@ -147,25 +144,15 @@ func MinOf(name string, e Expr) Agg { return Agg{ops.Min(name, e.e)} }
 func MaxOf(name string, e Expr) Agg { return Agg{ops.Max(name, e.e)} }
 
 // GroupBy aggregates by the key columns; with no keys it computes a
-// single global row. Grouped aggregations are hash-partitioned so each
-// channel owns its groups; global ones run on one channel.
+// single global row. The optimizer lowers grouped aggregations to a
+// partial aggregate on the producers plus a hash-partitioned final merge,
+// so only per-channel partial states cross the shuffle.
 func (d *DataFrame) GroupBy(keys []string, aggs ...Agg) *DataFrame {
 	specs := make([]ops.AggExpr, len(aggs))
 	for i, a := range aggs {
 		specs[i] = a.spec
 	}
-	part := engine.Single()
-	parallelism := 1
-	if len(keys) > 0 {
-		part = engine.Hash(keys...)
-		parallelism = 0
-	}
-	return d.s.add(&engine.Stage{
-		Name:        "agg",
-		Op:          ops.NewHashAggSpec(keys, specs...),
-		Parallelism: parallelism,
-		Inputs:      []engine.StageInput{{Stage: d.stage, Part: part}},
-	})
+	return d.wrap(plan.Agg(d.node, keys, specs...))
 }
 
 // SortKey is one ORDER BY term.
@@ -180,22 +167,11 @@ func Desc(col string) SortKey { return ops.Desc(col) }
 // Sort totally orders the frame on a single output channel. limit > 0
 // truncates to the top rows (ORDER BY ... LIMIT).
 func (d *DataFrame) Sort(limit int, keys ...SortKey) *DataFrame {
-	var spec ops.Spec
-	if limit > 0 {
-		spec = ops.NewTopKSpec(limit, keys...)
-	} else {
-		spec = ops.NewSortSpec(keys...)
-	}
-	return d.s.add(&engine.Stage{
-		Name:        "sort",
-		Op:          spec,
-		Parallelism: 1,
-		Inputs:      []engine.StageInput{{Stage: d.stage, Part: engine.Single()}},
-	})
+	return d.wrap(plan.Sort(d.node, limit, keys...))
 }
 
-// WithConstant appends a constant key column ("one" = 1) used to join a
-// scalar pipeline back against a row pipeline.
+// withConstantKey appends a constant key column ("one" = 1) used to join
+// a scalar pipeline back against a row pipeline.
 func (d *DataFrame) withConstantKey(cols ...Named) *DataFrame {
 	all := append([]Named{{Name: "one", Expr: LitI(1)}}, cols...)
 	return d.Select(all...)
@@ -209,59 +185,56 @@ func (d *DataFrame) JoinScalar(scalar *DataFrame, dCols, scalarCols []Named) *Da
 	return dk.BroadcastJoin(sk, Inner, []string{"one"}, []string{"one"})
 }
 
-// Collect compiles the session's stages into a plan whose output is this
-// frame and executes it on the session's cluster.
-func (d *DataFrame) Collect(ctx context.Context, cfg RunConfig) (*Result, error) {
-	plan, err := d.compile()
-	if err != nil {
-		return nil, err
-	}
-	return runPlan(ctx, d.s.cluster, plan, cfg)
+// catalog resolves table metadata from the session's cluster store.
+func (d *DataFrame) catalog() plan.Catalog {
+	return plan.NewStoreCatalog(d.s.cluster.inner.ObjStore)
 }
 
-// compile extracts the stages reachable from this frame and renumbers
-// them into a valid plan.
-func (d *DataFrame) compile() (*engine.Plan, error) {
-	needed := make([]bool, len(d.s.stages))
-	var mark func(int)
-	mark = func(id int) {
-		if needed[id] {
-			return
-		}
-		needed[id] = true
-		for _, in := range d.s.stages[id].Inputs {
-			mark(in.Stage)
-		}
-	}
-	mark(d.stage)
-	remap := make([]int, len(d.s.stages))
-	var stages []*engine.Stage
-	for id, keep := range needed {
-		if !keep {
-			continue
-		}
-		src := d.s.stages[id]
-		cp := *src
-		cp.ID = len(stages)
-		cp.Inputs = append([]engine.StageInput(nil), src.Inputs...)
-		remap[id] = cp.ID
-		stages = append(stages, &cp)
-	}
-	for _, st := range stages {
-		for i := range st.Inputs {
-			st.Inputs[i].Stage = remap[st.Inputs[i].Stage]
-		}
-	}
-	plan, err := engine.NewPlan(stages...)
+// optimize validates the frame's logical plan against the cluster catalog
+// and runs the rule-based optimizer.
+func (d *DataFrame) optimize() (*plan.Node, error) {
+	opt, err := plan.Optimize(d.node, d.catalog(), plan.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("quokka: invalid query: %w", err)
 	}
-	return plan, nil
+	return opt, nil
+}
+
+// Explain returns the optimized logical plan, one node per line: pushed
+// scan predicates, pruned column lists, chosen join strategies. It
+// validates the query exactly as Collect does, without executing it.
+func (d *DataFrame) Explain() (string, error) {
+	opt, err := d.optimize()
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(opt), nil
+}
+
+// Collect optimizes the frame's logical plan, lowers it to the engine's
+// physical stages and executes it on the session's cluster. Planning is
+// deterministic (a pure function of the query and the catalog), so
+// write-ahead-lineage replay rebuilds identical stages.
+func (d *DataFrame) Collect(ctx context.Context, cfg RunConfig) (*Result, error) {
+	opt, err := d.optimize()
+	if err != nil {
+		return nil, err
+	}
+	phys, err := plan.Lower(opt, plan.Optimized)
+	if err != nil {
+		return nil, fmt.Errorf("quokka: invalid query: %w", err)
+	}
+	res, err := runPlan(ctx, d.s.cluster, phys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.explain = plan.Explain(opt)
+	return res, nil
 }
 
 // runPlan executes an engine plan on a cluster.
-func runPlan(ctx context.Context, c *Cluster, plan *engine.Plan, cfg RunConfig) (*Result, error) {
-	r, err := engine.NewRunner(c.inner, plan, cfg)
+func runPlan(ctx context.Context, c *Cluster, phys *engine.Plan, cfg RunConfig) (*Result, error) {
+	r, err := engine.NewRunner(c.inner, phys, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +244,3 @@ func runPlan(ctx context.Context, c *Cluster, plan *engine.Plan, cfg RunConfig) 
 	}
 	return &Result{batch: out, report: rep}, nil
 }
-
-// Ensure unused helper linkage for documentation examples.
-var _ = iexpr.Expr(nil)

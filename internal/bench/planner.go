@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+	"quokka/internal/plan"
+	"quokka/internal/tpch"
+)
+
+// The planner experiment measures what the rule-based optimizer is worth:
+// the same logical TPC-H queries lowered naively (exactly as typed — one
+// stage per node, no pushdown, no pruning, no fusion, no partial
+// aggregation, every Auto join shuffled) versus through the optimizer.
+// Reported per query: wall clock for both lowerings, the speedup, and
+// bytes shuffled between workers (network.bytes), where projection
+// pruning and broadcast selection show up directly. Results are verified
+// equal (standard cross-run float tolerance) before anything is reported.
+
+// DefaultPlannerQueries mixes scan-heavy (1, 6) and join-heavy (3, 5, 9,
+// 18) shapes, matching the equivalence suite's core set.
+var DefaultPlannerQueries = []int{1, 3, 5, 6, 9, 18}
+
+// plannerPlans builds both lowerings of one query, using the harness
+// store's catalog so broadcast selection sees the loaded row counts.
+func (h *Harness) plannerPlans(q int) (naive, optimized *engine.Plan, err error) {
+	node, err := tpch.LogicalQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat := plan.NewStoreCatalog(h.data)
+	if err := plan.Bind(node, cat); err != nil {
+		return nil, nil, err
+	}
+	naive, err = plan.Lower(node, plan.Naive)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := plan.Optimize(node, cat, plan.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	optimized, err = plan.Lower(opt, plan.Optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	return naive, optimized, nil
+}
+
+// runPhysical executes one pre-built physical plan once.
+func (h *Harness) runPhysical(workers int, p *engine.Plan, cfg engine.Config) (*batch.Batch, time.Duration, *engine.Report, error) {
+	cl := h.newCluster(workers)
+	r, err := engine.NewRunner(cl, p, cfg)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	out, rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, rep.Duration, rep, nil
+}
+
+// PlannerSweep measures naive-vs-optimized lowering on TPC-H and returns
+// the machine-readable record for quokka-bench -json.
+func (h *Harness) PlannerSweep(workers int, queries []int) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultPlannerQueries
+	}
+	h.printf("Query planner — naive vs optimized lowering, %d workers, SF %g\n", workers, h.P.SF)
+	h.printf("%-5s %12s %12s %8s %14s %14s\n",
+		"query", "naive(s)", "optimized(s)", "speedup", "shuffle naive", "shuffle opt")
+	res := JSONResult{
+		Experiment: "planner",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries, "repeats": h.P.Repeats,
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+	for _, q := range queries {
+		naive, optimized, err := h.plannerPlans(q)
+		if err != nil {
+			return res, fmt.Errorf("planner q%d: %w", q, err)
+		}
+		var naiveOut, optOut *batch.Batch
+		var naiveDur, optDur time.Duration
+		var naiveNet, optNet int64
+		for i := 0; i < h.P.Repeats; i++ {
+			out, dur, rep, err := h.runPhysical(workers, naive, engine.DefaultConfig())
+			if err != nil {
+				return res, fmt.Errorf("planner q%d naive: %w", q, err)
+			}
+			naiveOut, naiveDur, naiveNet = out, naiveDur+dur, rep.Metrics[metrics.NetworkBytes]
+			out, dur, rep, err = h.runPhysical(workers, optimized, engine.DefaultConfig())
+			if err != nil {
+				return res, fmt.Errorf("planner q%d optimized: %w", q, err)
+			}
+			optOut, optDur, optNet = out, optDur+dur, rep.Metrics[metrics.NetworkBytes]
+		}
+		if err := sameResult(naiveOut, optOut); err != nil {
+			return res, fmt.Errorf("planner q%d: optimized result differs from naive: %w", q, err)
+		}
+		nS := seconds(naiveDur) / float64(h.P.Repeats)
+		oS := seconds(optDur) / float64(h.P.Repeats)
+		speedup := nS / oS
+		h.printf("%-5d %12.3f %12.3f %7.2fx %13.1fK %13.1fK\n",
+			q, nS, oS, speedup, float64(naiveNet)/1e3, float64(optNet)/1e3)
+		res.DurationsS[fmt.Sprintf("q%d.naive", q)] = nS
+		res.DurationsS[fmt.Sprintf("q%d.optimized", q)] = oS
+		res.Speedup[fmt.Sprintf("q%d", q)] = speedup
+		res.Config[fmt.Sprintf("q%d.network.bytes.naive", q)] = naiveNet
+		res.Config[fmt.Sprintf("q%d.network.bytes.optimized", q)] = optNet
+	}
+	h.printf("\n")
+	return res, nil
+}

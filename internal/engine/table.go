@@ -8,24 +8,69 @@ import (
 	"quokka/internal/storage"
 )
 
-// Tables live in the object store as numbered splits of encoded batches:
+// Tables live in the object store as numbered splits of encoded batches
+// plus catalog metadata:
 //
-//	tbl/<name>/meta  number of splits
-//	tbl/<name>/<i>   encoded batch for split i
+//	tbl/<name>/meta    number of splits
+//	tbl/<name>/rows    total row count (planner statistics)
+//	tbl/<name>/schema  zero-row encoded batch carrying the table schema
+//	tbl/<name>/<i>     encoded batch for split i
 //
 // Splits are the reader stages' unit of work, like Parquet row groups on
-// S3 in the paper's setup.
+// S3 in the paper's setup. The rows/schema entries are what the query
+// planner's catalog reads: schemas drive plan-time column and type
+// checking, row counts drive automatic broadcast-join selection.
 
 func tableMetaKey(name string) string         { return "tbl/" + name + "/meta" }
+func tableRowsKey(name string) string         { return "tbl/" + name + "/rows" }
+func tableSchemaKey(name string) string       { return "tbl/" + name + "/schema" }
 func tableSplitKey(name string, i int) string { return fmt.Sprintf("tbl/%s/%d", name, i) }
 
 // WriteTable stores batches as the splits of a table, without I/O cost
-// (dataset preparation is not part of the measured query).
+// (dataset preparation is not part of the measured query). Splits must be
+// non-empty so the schema metadata can be recorded — represent an empty
+// table as one zero-row batch (both loaders already do), or the planner
+// catalog will not see the table.
 func WriteTable(store *storage.ObjectStore, name string, splits []*batch.Batch) {
+	rows := 0
 	for i, b := range splits {
 		store.PutFree(tableSplitKey(name, i), batch.Encode(b))
+		rows += b.NumRows()
 	}
 	store.PutFree(tableMetaKey(name), []byte(strconv.Itoa(len(splits))))
+	store.PutFree(tableRowsKey(name), []byte(strconv.Itoa(rows)))
+	if len(splits) > 0 {
+		empty := batch.NewBuilder(splits[0].Schema, 0).Build()
+		store.PutFree(tableSchemaKey(name), batch.Encode(empty))
+	}
+}
+
+// TableRowCount returns the table's total row count from the catalog
+// metadata. Metadata reads are free: planning is not part of the measured
+// query.
+func TableRowCount(store *storage.ObjectStore, name string) (int64, error) {
+	v, err := store.GetFree(tableRowsKey(name))
+	if err != nil {
+		return 0, fmt.Errorf("engine: table %q has no row-count metadata: %w", name, err)
+	}
+	n, err := strconv.Atoi(string(v))
+	if err != nil {
+		return 0, fmt.Errorf("engine: bad row count for table %q: %w", name, err)
+	}
+	return int64(n), nil
+}
+
+// TableSchema returns the table's schema from the catalog metadata.
+func TableSchema(store *storage.ObjectStore, name string) (*batch.Schema, error) {
+	v, err := store.GetFree(tableSchemaKey(name))
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %q not found: %w", name, err)
+	}
+	b, err := batch.Decode(v)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad schema for table %q: %w", name, err)
+	}
+	return b.Schema, nil
 }
 
 // TableSplits returns the number of splits of a table.

@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"strings"
+
+	"quokka/internal/batch"
+)
+
+// Fold performs constant folding: subtrees whose operands are all literals
+// collapse into a single literal, boolean connectives drop absorbing and
+// identity literals, and double negation cancels. Folding reproduces
+// Eval's value semantics exactly (integer arithmetic stays integral,
+// division always floats, float division by zero folds to ±Inf just as it
+// evaluates). Subtrees whose types would make Eval fail are left alone —
+// the planner's type check reports those with a proper error.
+func Fold(e Expr) Expr {
+	switch x := e.(type) {
+	case Col, Lit:
+		return e
+	case Arith:
+		l, r := Fold(x.L), Fold(x.R)
+		if ll, ok := l.(Lit); ok {
+			if rl, ok := r.(Lit); ok {
+				if v, ok := foldArith(x.Op, ll, rl); ok {
+					return v
+				}
+			}
+		}
+		return Arith{Op: x.Op, L: l, R: r}
+	case ExtractYear:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && isIntLike(l.Type) {
+			return Int64(int64(YearOfDays(l.Int)))
+		}
+		return ExtractYear{Of: of}
+	case Substr:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && l.Type == batch.String {
+			lo := x.Start - 1
+			if lo < 0 {
+				lo = 0
+			}
+			if lo > len(l.Str) {
+				lo = len(l.Str)
+			}
+			hi := lo + x.Length
+			if hi > len(l.Str) {
+				hi = len(l.Str)
+			}
+			return Str(l.Str[lo:hi])
+		}
+		return Substr{Of: of, Start: x.Start, Length: x.Length}
+	case Cmp:
+		l, r := Fold(x.L), Fold(x.R)
+		if ll, ok := l.(Lit); ok {
+			if rl, ok := r.(Lit); ok {
+				if v, ok := foldCmp(x.Op, ll, rl); ok {
+					return v
+				}
+			}
+		}
+		return Cmp{Op: x.Op, L: l, R: r}
+	case BoolExpr:
+		var kept []Expr
+		for _, a := range x.Args {
+			fa := Fold(a)
+			if l, ok := fa.(Lit); ok && l.Type == batch.Bool {
+				if x.IsAnd && !l.Bool {
+					return Boolean(false)
+				}
+				if !x.IsAnd && l.Bool {
+					return Boolean(true)
+				}
+				continue // identity element: drop
+			}
+			kept = append(kept, fa)
+		}
+		switch len(kept) {
+		case 0:
+			return Boolean(x.IsAnd) // and() = true, or() = false
+		case 1:
+			return kept[0]
+		}
+		return BoolExpr{IsAnd: x.IsAnd, Args: kept}
+	case Not:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && l.Type == batch.Bool {
+			return Boolean(!l.Bool)
+		}
+		if n, ok := of.(Not); ok {
+			return n.Of
+		}
+		return Not{Of: of}
+	case InStrings:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && l.Type == batch.String {
+			for _, s := range x.Set {
+				if s == l.Str {
+					return Boolean(true)
+				}
+			}
+			return Boolean(false)
+		}
+		return InStrings{Of: of, Set: x.Set}
+	case InInts:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && isIntLike(l.Type) {
+			for _, v := range x.Set {
+				if v == l.Int {
+					return Boolean(true)
+				}
+			}
+			return Boolean(false)
+		}
+		return InInts{Of: of, Set: x.Set}
+	case Like:
+		of := Fold(x.Of)
+		if l, ok := of.(Lit); ok && l.Type == batch.String {
+			return Boolean(compileLike(x.Pattern)(l.Str))
+		}
+		return Like{Of: of, Pattern: x.Pattern}
+	case Case:
+		var whens []When
+		for _, w := range x.Whens {
+			cond, then := Fold(w.Cond), Fold(w.Then)
+			if l, ok := cond.(Lit); ok && l.Type == batch.Bool {
+				if !l.Bool {
+					continue // branch can never fire
+				}
+				if len(whens) == 0 {
+					return then // first live branch always fires
+				}
+			}
+			whens = append(whens, When{Cond: cond, Then: then})
+		}
+		els := Fold(x.Else)
+		if len(whens) == 0 {
+			return els
+		}
+		return Case{Whens: whens, Else: els}
+	}
+	return e
+}
+
+// foldArith computes a literal arithmetic result, mirroring Arith.Eval's
+// promotion: both int-like and not division stays integral, otherwise
+// both operands must be numeric and the result is float64.
+func foldArith(op ArithOp, l, r Lit) (Lit, bool) {
+	if isIntLike(l.Type) && isIntLike(r.Type) && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return Int64(l.Int + r.Int), true
+		case OpSub:
+			return Int64(l.Int - r.Int), true
+		case OpMul:
+			return Int64(l.Int * r.Int), true
+		}
+		return Lit{}, false
+	}
+	lf, lok := litFloat(l)
+	rf, rok := litFloat(r)
+	if !lok || !rok {
+		return Lit{}, false
+	}
+	switch op {
+	case OpAdd:
+		return Float64(lf + rf), true
+	case OpSub:
+		return Float64(lf - rf), true
+	case OpMul:
+		return Float64(lf * rf), true
+	case OpDiv:
+		return Float64(lf / rf), true
+	}
+	return Lit{}, false
+}
+
+// foldCmp computes a literal comparison, mirroring Cmp.Eval's branches.
+func foldCmp(op CmpOp, l, r Lit) (Lit, bool) {
+	switch {
+	case l.Type == batch.String && r.Type == batch.String:
+		return Boolean(cmpToBool(op, strings.Compare(l.Str, r.Str))), true
+	case l.Type == batch.Bool && r.Type == batch.Bool:
+		c := 0
+		switch {
+		case !l.Bool && r.Bool:
+			c = -1
+		case l.Bool && !r.Bool:
+			c = 1
+		}
+		return Boolean(cmpToBool(op, c)), true
+	case isIntLike(l.Type) && isIntLike(r.Type):
+		c := 0
+		switch {
+		case l.Int < r.Int:
+			c = -1
+		case l.Int > r.Int:
+			c = 1
+		}
+		return Boolean(cmpToBool(op, c)), true
+	}
+	lf, lok := litFloat(l)
+	rf, rok := litFloat(r)
+	if !lok || !rok {
+		return Lit{}, false
+	}
+	c := 0
+	switch {
+	case lf < rf:
+		c = -1
+	case lf > rf:
+		c = 1
+	}
+	return Boolean(cmpToBool(op, c)), true
+}
+
+// litFloat views a numeric literal as float64, as asFloats does for
+// columns.
+func litFloat(l Lit) (float64, bool) {
+	switch {
+	case l.Type == batch.Float64:
+		return l.Float, true
+	case isIntLike(l.Type):
+		return float64(l.Int), true
+	}
+	return 0, false
+}

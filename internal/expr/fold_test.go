@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+
+	"quokka/internal/batch"
+)
+
+func lit(e Expr) (Lit, bool) {
+	l, ok := e.(Lit)
+	return l, ok
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Lit
+	}{
+		{Add(Int64(2), Int64(3)), Int64(5)},
+		{Sub(Int64(2), Int64(3)), Int64(-1)},
+		{Mul(Int64(4), Int64(3)), Int64(12)},
+		{Div(Int64(3), Int64(2)), Float64(1.5)}, // division always floats
+		{Mul(Float64(2), Float64(5)), Float64(10)},
+		{Add(Int64(1), Float64(0.5)), Float64(1.5)}, // mixed promotes
+		{Mul(DateLit(10), Int64(2)), Int64(20)},     // int-like stays integral
+	}
+	for _, tc := range cases {
+		got, ok := lit(Fold(tc.in))
+		if !ok || got != tc.want {
+			t.Errorf("Fold(%s) = %v, want %v", tc.in, Fold(tc.in), tc.want)
+		}
+	}
+}
+
+func TestFoldComparisonsAndBooleans(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want bool
+	}{
+		{Lt(Int64(1), Int64(2)), true},
+		{Ge(Float64(1), Int64(2)), false},
+		{Eq(Str("a"), Str("a")), true},
+		{Ne(Boolean(true), Boolean(false)), true},
+		{InStr(Str("x"), "x", "y"), true},
+		{InInt(Int64(7), 1, 2), false},
+		{LikePat(Str("PROMO BRUSHED"), "PROMO%"), true},
+		{Not{Of: Boolean(true)}, false},
+	}
+	for _, tc := range cases {
+		got, ok := lit(Fold(tc.in))
+		if !ok || got.Type != batch.Bool || got.Bool != tc.want {
+			t.Errorf("Fold(%s) = %v, want %t", tc.in, Fold(tc.in), tc.want)
+		}
+	}
+}
+
+func TestFoldConnectiveIdentities(t *testing.T) {
+	x := Gt(C("a"), Int64(1))
+	// true drops out of AND; false short-circuits it.
+	if got := Fold(And(Boolean(true), x)); got.String() != x.String() {
+		t.Errorf("and(true, x) = %s, want %s", got, x)
+	}
+	if got, ok := lit(Fold(And(x, Boolean(false)))); !ok || got.Bool {
+		t.Errorf("and(x, false) should fold to false")
+	}
+	// false drops out of OR; true short-circuits it.
+	if got := Fold(Or(Boolean(false), x)); got.String() != x.String() {
+		t.Errorf("or(false, x) = %s, want %s", got, x)
+	}
+	if got, ok := lit(Fold(Or(x, Boolean(true)))); !ok || !got.Bool {
+		t.Errorf("or(x, true) should fold to true")
+	}
+	// Double negation cancels.
+	if got := Fold(Not{Of: Not{Of: x}}); got.String() != x.String() {
+		t.Errorf("not not x = %s, want %s", got, x)
+	}
+	// Dead CASE branches drop; a literally-true first branch wins.
+	if got := Fold(CaseWhen(C("e"), When{Cond: Boolean(false), Then: C("t")})); got.String() != "e" {
+		t.Errorf("case(false->t, e) = %s, want e", got)
+	}
+	if got := Fold(CaseWhen(C("e"), When{Cond: Boolean(true), Then: C("t")})); got.String() != "t" {
+		t.Errorf("case(true->t, e) = %s, want t", got)
+	}
+}
+
+// TestFoldMatchesEval: folded literals must equal evaluating the original
+// expression (the optimizer must never change values).
+func TestFoldMatchesEval(t *testing.T) {
+	b := batch.MustNew(
+		batch.NewSchema(batch.F("x", batch.Int64)),
+		[]*batch.Column{batch.NewIntColumn([]int64{0})},
+	)
+	exprs := []Expr{
+		Div(Float64(1), Float64(0)), // +Inf, matching runtime division
+		Mul(Float64(0.1), Float64(3)),
+		Year(DateLit(DaysOfDate(1997, 6, 1))),
+		Substring(Str("quokka"), 2, 3),
+		Between(Float64(5), Float64(1), Float64(9)),
+	}
+	for _, e := range exprs {
+		folded := Fold(e)
+		if _, ok := folded.(Lit); !ok {
+			t.Errorf("Fold(%s) did not fold: %s", e, folded)
+			continue
+		}
+		want, err := e.Eval(b)
+		if err != nil {
+			t.Fatalf("eval %s: %v", e, err)
+		}
+		got, err := folded.Eval(b)
+		if err != nil {
+			t.Fatalf("eval folded %s: %v", folded, err)
+		}
+		if want.Value(0) != got.Value(0) {
+			t.Errorf("Fold(%s): folded value %v != evaluated %v", e, got.Value(0), want.Value(0))
+		}
+	}
+}
+
+func TestColumnsAndSubstitute(t *testing.T) {
+	e := And(
+		Gt(Add(C("a"), C("b")), Int64(1)),
+		LikePat(C("s"), "x%"),
+		CaseWhen(C("a"), When{Cond: C("flag"), Then: C("c")}),
+	)
+	got := Columns(e)
+	want := []string{"a", "b", "c", "flag", "s"}
+	if len(got) != len(want) {
+		t.Fatalf("Columns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", got, want)
+		}
+	}
+	// Substituting a definition rewrites every reference.
+	sub := map[string]Expr{"a": Mul(C("z"), Int64(2))}
+	s := Substitute(Gt(Add(C("a"), C("b")), C("a")), sub)
+	if s.String() != "(((z * 2) + b) > (z * 2))" {
+		t.Errorf("Substitute = %s", s)
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	s := batch.NewSchema(
+		batch.F("i", batch.Int64),
+		batch.F("f", batch.Float64),
+		batch.F("s", batch.String),
+		batch.F("b", batch.Bool),
+		batch.F("d", batch.Date),
+	)
+	ok := []struct {
+		e    Expr
+		want batch.Type
+	}{
+		{C("i"), batch.Int64},
+		{Add(C("i"), C("d")), batch.Int64},
+		{Div(C("i"), C("i")), batch.Float64},
+		{Add(C("i"), C("f")), batch.Float64},
+		{Gt(C("f"), C("i")), batch.Bool},
+		{Eq(C("s"), Str("x")), batch.Bool},
+		{Year(C("d")), batch.Int64},
+		{Substring(C("s"), 1, 2), batch.String},
+		{And(C("b"), Gt(C("i"), Int64(0))), batch.Bool},
+		{CaseWhen(Float64(0), When{Cond: C("b"), Then: C("i")}), batch.Float64},
+	}
+	for _, tc := range ok {
+		got, err := TypeOf(tc.e, s)
+		if err != nil || got != tc.want {
+			t.Errorf("TypeOf(%s) = %v, %v; want %v", tc.e, got, err, tc.want)
+		}
+	}
+	bad := []struct {
+		e    Expr
+		want error
+	}{
+		{C("missing"), ErrUnknownColumn},
+		{Add(C("s"), C("i")), ErrTypeMismatch},
+		{Eq(C("s"), C("i")), ErrTypeMismatch},
+		{Year(C("s")), ErrTypeMismatch},
+		{Substring(C("i"), 1, 2), ErrTypeMismatch},
+		{And(C("i"), C("b")), ErrTypeMismatch},
+		{Not{Of: C("i")}, ErrTypeMismatch},
+		{InStr(C("i"), "x"), ErrTypeMismatch},
+		{CaseWhen(Int64(0), When{Cond: C("b"), Then: C("s")}), ErrTypeMismatch},
+	}
+	for _, tc := range bad {
+		if _, err := TypeOf(tc.e, s); !errors.Is(err, tc.want) {
+			t.Errorf("TypeOf(%s) error = %v, want %v", tc.e, err, tc.want)
+		}
+	}
+}

@@ -91,6 +91,21 @@ type HashAgg struct {
 	GroupBy []string
 	Aggs    []AggExpr
 
+	// Partial marks the operator as the upstream half of a partial/final
+	// aggregation pair: a global (no-key) partial that never consumed a
+	// row finalizes to NOTHING instead of the one default row, so empty
+	// producer channels cannot inject spurious zero states (typed by an
+	// unseen aggState as Float64) into the final merge. The final stage
+	// keeps the default row, preserving SQL's one-row global aggregate
+	// over empty input.
+	Partial bool
+
+	// DefaultTypes, when set, types aggregate outputs whose state never
+	// saw a row (the empty-input global default row) — the planner knows
+	// the static output type, where an unseen aggState can only guess
+	// Float64. States that consumed data keep their data-derived type.
+	DefaultTypes []batch.Type
+
 	table      *batch.HashTable
 	states     []aggState      // len = groups * len(Aggs), strided per group
 	keyCols    []*batch.Column // group key values, one row per group
@@ -118,10 +133,26 @@ func NewHashAggSpec(groupBy []string, aggs ...AggExpr) Spec {
 	return hashAggSpec{groupBy: groupBy, aggs: aggs}
 }
 
+// NewHashAggPartialSpec builds the upstream half of a partial/final
+// aggregation pair: identical to NewHashAggSpec except that a global
+// aggregate which consumed nothing emits nothing (see HashAgg.Partial).
+func NewHashAggPartialSpec(groupBy []string, aggs ...AggExpr) Spec {
+	return hashAggSpec{groupBy: groupBy, aggs: aggs, partial: true}
+}
+
+// NewHashAggTypedSpec is NewHashAggSpec with planner-provided output
+// types for the empty-input default row (see HashAgg.DefaultTypes).
+// defaults[i] types aggs[i].
+func NewHashAggTypedSpec(groupBy []string, defaults []batch.Type, aggs ...AggExpr) Spec {
+	return hashAggSpec{groupBy: groupBy, aggs: aggs, defaults: defaults}
+}
+
 // hashAggSpec instantiates HashAgg operators, serial or partitioned.
 type hashAggSpec struct {
-	groupBy []string
-	aggs    []AggExpr
+	groupBy  []string
+	aggs     []AggExpr
+	partial  bool
+	defaults []batch.Type
 }
 
 // Name implements Spec.
@@ -131,7 +162,7 @@ func (s hashAggSpec) Name() string {
 
 // New implements Spec.
 func (s hashAggSpec) New(_, _ int) Operator {
-	return &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs}
+	return &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs, Partial: s.partial, DefaultTypes: s.defaults}
 }
 
 // NewParallel implements ParallelSpec.
@@ -363,6 +394,11 @@ func (a *HashAgg) Finalize() ([]*batch.Batch, error) {
 		return a.finalizeSpilled()
 	}
 	if len(a.GroupBy) == 0 && a.table == nil {
+		if a.Partial {
+			// A partial global aggregate that saw no rows contributes
+			// nothing; the final stage owns the empty-input default row.
+			return nil, nil
+		}
 		// Global aggregate with Consume never called: exactly one default
 		// row. (A global aggregate that consumed only zero-row batches
 		// emits nothing — a nil vs empty distinction preserved from the
@@ -383,7 +419,11 @@ func (a *HashAgg) Finalize() ([]*batch.Batch, error) {
 	first := a.states[order[0]*nAggs : (order[0]+1)*nAggs]
 	fields := append([]batch.Field(nil), a.keySchema.Fields...)
 	for i, ag := range a.Aggs {
-		fields = append(fields, batch.Field{Name: ag.Name, Type: aggOutType(ag.Kind, &first[i])})
+		t := aggOutType(ag.Kind, &first[i])
+		if !first[i].seen && i < len(a.DefaultTypes) {
+			t = a.DefaultTypes[i]
+		}
+		fields = append(fields, batch.Field{Name: ag.Name, Type: t})
 	}
 	schema := batch.NewSchema(fields...)
 	bl := batch.NewBuilder(schema, len(order))

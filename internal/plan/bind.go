@@ -1,0 +1,256 @@
+package plan
+
+import (
+	"fmt"
+
+	"quokka/internal/batch"
+	"quokka/internal/expr"
+	"quokka/internal/ops"
+)
+
+// Catalog resolves table metadata for planning. Schemas are required
+// (binding fails without them); row counts are optional statistics that
+// enable automatic broadcast-join selection.
+type Catalog interface {
+	// TableSchema returns the schema of a stored table.
+	TableSchema(name string) (*batch.Schema, error)
+	// TableRows returns the table's row count, or ok=false when the
+	// catalog has no statistics for it.
+	TableRows(name string) (rows int64, ok bool)
+}
+
+// Bind resolves every node's output schema bottom-up against the catalog
+// and validates the plan: column references must resolve, expressions must
+// type-check, projections and join outputs must not produce duplicate
+// column names. Errors wrap the typed sentinels (ErrUnknownColumn,
+// ErrTypeMismatch, ErrDuplicateColumn, ErrUnknownTable) so the public API
+// can surface them from Collect instead of deep in operator execution.
+//
+// Bind WRITES schemas into the nodes it visits. Callers binding a tree
+// that may be shared (or observed concurrently) must clone it first —
+// Optimize does this itself via cloneDAG.
+func Bind(root *Node, cat Catalog) error {
+	seen := make(map[*Node]bool)
+	var bind func(n *Node) error
+	bind = func(n *Node) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			if err := bind(in); err != nil {
+				return err
+			}
+		}
+		s, err := bindOne(n, cat)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n.Kind, err)
+		}
+		n.schema = s
+		return nil
+	}
+	return bind(root)
+}
+
+func bindOne(n *Node, cat Catalog) (*batch.Schema, error) {
+	switch n.Kind {
+	case KindScan:
+		s, err := cat.TableSchema(n.Table)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTable, n.Table)
+		}
+		// The pushed predicate runs in the scan's fused map BEFORE the
+		// pruned projection, so it binds against the full table schema —
+		// predicate columns need not survive into the scan's output.
+		if n.Pred != nil {
+			if err := bindPred(n.Pred, s); err != nil {
+				return nil, err
+			}
+		}
+		if n.Cols != nil {
+			for _, c := range n.Cols {
+				if s.Index(c) < 0 {
+					return nil, fmt.Errorf("%w: %q not in table %q %s", ErrUnknownColumn, c, n.Table, s)
+				}
+			}
+			s = s.Select(n.Cols...)
+		}
+		return s, nil
+
+	case KindFilter:
+		in := n.Inputs[0].schema
+		if err := bindPred(n.Pred, in); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case KindProject:
+		in := n.Inputs[0].schema
+		fields := make([]batch.Field, len(n.Exprs))
+		names := make(map[string]bool, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			if names[ne.Name] {
+				return nil, fmt.Errorf("%w: %q defined twice in projection", ErrDuplicateColumn, ne.Name)
+			}
+			names[ne.Name] = true
+			t, err := expr.TypeOf(ne.Expr, in)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", ne.Name, err)
+			}
+			fields[i] = batch.Field{Name: ne.Name, Type: t}
+		}
+		return batch.NewSchema(fields...), nil
+
+	case KindJoin:
+		return bindJoin(n)
+
+	case KindAgg:
+		in := n.Inputs[0].schema
+		fields := make([]batch.Field, 0, len(n.Keys)+len(n.Aggs))
+		names := make(map[string]bool)
+		for _, k := range n.Keys {
+			i := in.Index(k)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: group key %q not in %s", ErrUnknownColumn, k, in)
+			}
+			if names[k] {
+				return nil, fmt.Errorf("%w: group key %q listed twice", ErrDuplicateColumn, k)
+			}
+			names[k] = true
+			fields = append(fields, in.Fields[i])
+		}
+		for _, a := range n.Aggs {
+			if names[a.Name] {
+				return nil, fmt.Errorf("%w: aggregate %q collides", ErrDuplicateColumn, a.Name)
+			}
+			names[a.Name] = true
+			t, err := aggType(a, in)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, batch.Field{Name: a.Name, Type: t})
+		}
+		return batch.NewSchema(fields...), nil
+
+	case KindSort:
+		in := n.Inputs[0].schema
+		for _, k := range n.SortKeys {
+			if in.Index(k.Col) < 0 {
+				return nil, fmt.Errorf("%w: sort key %q not in %s", ErrUnknownColumn, k.Col, in)
+			}
+		}
+		return in, nil
+	}
+	return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)
+}
+
+// bindPred type-checks a predicate: it must evaluate to bool.
+func bindPred(pred expr.Expr, s *batch.Schema) error {
+	t, err := expr.TypeOf(pred, s)
+	if err != nil {
+		return err
+	}
+	if t != batch.Bool {
+		return fmt.Errorf("%w: predicate %s is %s, want bool", ErrTypeMismatch, pred, t)
+	}
+	return nil
+}
+
+// bindJoin validates keys and computes the join output schema, mirroring
+// ops.HashJoin exactly: probe columns, then non-key build columns (for
+// inner/left), then the __matched marker for left-outer; semi/anti emit
+// the probe columns only.
+func bindJoin(n *Node) (*batch.Schema, error) {
+	build, probe := n.Inputs[0].schema, n.Inputs[1].schema
+	if len(n.BuildKeys) == 0 || len(n.BuildKeys) != len(n.ProbeKeys) {
+		return nil, fmt.Errorf("%w: join needs matching non-empty key lists, got build=%v probe=%v",
+			ErrTypeMismatch, n.BuildKeys, n.ProbeKeys)
+	}
+	for i := range n.BuildKeys {
+		bi := build.Index(n.BuildKeys[i])
+		if bi < 0 {
+			return nil, fmt.Errorf("%w: build key %q not in %s", ErrUnknownColumn, n.BuildKeys[i], build)
+		}
+		pi := probe.Index(n.ProbeKeys[i])
+		if pi < 0 {
+			return nil, fmt.Errorf("%w: probe key %q not in %s", ErrUnknownColumn, n.ProbeKeys[i], probe)
+		}
+		bt, pt := build.Fields[bi].Type, probe.Fields[pi].Type
+		if !keyComparable(bt, pt) {
+			return nil, fmt.Errorf("%w: join key %q (%s) vs %q (%s)",
+				ErrTypeMismatch, n.BuildKeys[i], bt, n.ProbeKeys[i], pt)
+		}
+	}
+	if n.JoinType == ops.SemiJoin || n.JoinType == ops.AntiJoin {
+		return probe, nil
+	}
+	fields := append([]batch.Field(nil), probe.Fields...)
+	isKey := make(map[string]bool, len(n.BuildKeys))
+	for _, k := range n.BuildKeys {
+		isKey[k] = true
+	}
+	for _, f := range build.Fields {
+		if isKey[f.Name] {
+			continue
+		}
+		if probe.Index(f.Name) >= 0 {
+			return nil, fmt.Errorf("%w: join output column %q comes from both sides; project before joining",
+				ErrDuplicateColumn, f.Name)
+		}
+		fields = append(fields, f)
+	}
+	if n.JoinType == ops.LeftOuterJoin {
+		fields = append(fields, batch.Field{Name: "__matched", Type: batch.Bool})
+	}
+	return batch.NewSchema(fields...), nil
+}
+
+// keyComparable reports whether two join key columns hash-match: the key
+// encoding is type-tagged per physical representation, so types must agree
+// (Int64 and Date share the int64 encoding).
+func keyComparable(a, b batch.Type) bool {
+	if a == b {
+		return true
+	}
+	intLike := func(t batch.Type) bool { return t == batch.Int64 || t == batch.Date }
+	return intLike(a) && intLike(b)
+}
+
+// aggType computes an aggregate output type, mirroring ops.aggOutType:
+// counts are int64; sum/min/max preserve int-ness, min/max keep strings;
+// everything else floats.
+func aggType(a ops.AggExpr, in *batch.Schema) (batch.Type, error) {
+	switch a.Kind {
+	case ops.AggCount, ops.AggCountStar:
+		if a.Kind == ops.AggCountStar {
+			return batch.Int64, nil
+		}
+	}
+	t, err := expr.TypeOf(a.Of, in)
+	if err != nil {
+		return 0, fmt.Errorf("aggregate %q: %w", a.Name, err)
+	}
+	switch a.Kind {
+	case ops.AggCount:
+		return batch.Int64, nil
+	case ops.AggSum:
+		switch t {
+		case batch.Int64, batch.Date:
+			return batch.Int64, nil
+		case batch.Float64:
+			return batch.Float64, nil
+		}
+		return 0, fmt.Errorf("%w: sum over %s column", ErrTypeMismatch, t)
+	case ops.AggMin, ops.AggMax:
+		switch t {
+		case batch.Int64, batch.Date:
+			return batch.Int64, nil
+		case batch.Float64:
+			return batch.Float64, nil
+		case batch.String:
+			return batch.String, nil
+		}
+		return 0, fmt.Errorf("%w: %s over %s column", ErrTypeMismatch, a.Kind, t)
+	}
+	return 0, fmt.Errorf("%w: unknown aggregate kind", ErrTypeMismatch)
+}

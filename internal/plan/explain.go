@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"quokka/internal/ops"
+)
+
+// Explain renders a logical plan one node per line, children indented
+// under their parent (a join's build side first, then the probe side).
+// On an optimized plan the lines carry what the planner decided: pushed
+// scan predicates, pruned column lists, resolved join strategies. Shared
+// subtrees are tagged [tN] on first encounter and referenced afterwards,
+// so the rendering is linear even for DAG-shaped queries. The output is
+// deterministic — golden tests pin it.
+func Explain(root *Node) string {
+	counts := refCounts(root)
+	tags := make(map[*Node]string)
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if tag, ok := tags[n]; ok {
+			fmt.Fprintf(&b, "%sreuse %s (%s)\n", indent, tag, n.Kind)
+			return
+		}
+		line := n.describe()
+		if counts[n] > 1 {
+			tag := fmt.Sprintf("t%d", len(tags)+1)
+			tags[n] = tag
+			line += " [" + tag + "]"
+		}
+		b.WriteString(indent)
+		b.WriteString(line)
+		b.WriteByte('\n')
+		for _, in := range n.Inputs {
+			walk(in, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// strList renders a column list as "[a, b, c]".
+func strList(xs []string) string { return "[" + strings.Join(xs, ", ") + "]" }
+
+// namedExprList renders projection outputs; identity projections render
+// as the bare column name.
+func namedExprList(exprs []ops.NamedExpr) string {
+	parts := make([]string, len(exprs))
+	for i, ne := range exprs {
+		if s := ne.Expr.String(); s != ne.Name {
+			parts[i] = ne.Name + "=" + s
+		} else {
+			parts[i] = ne.Name
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// aggExprList renders aggregate outputs as "kind(arg) as name".
+func aggExprList(aggs []ops.AggExpr) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		switch a.Kind {
+		case ops.AggCountStar:
+			parts[i] = fmt.Sprintf("count(*) as %s", a.Name)
+		default:
+			parts[i] = fmt.Sprintf("%s(%s) as %s", a.Kind, a.Of, a.Name)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// sortKeyList renders ORDER BY terms.
+func sortKeyList(keys []ops.SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Col
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

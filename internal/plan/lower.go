@@ -1,0 +1,260 @@
+package plan
+
+import (
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/expr"
+	"quokka/internal/ops"
+)
+
+// Mode selects how a logical plan lowers to engine stages.
+type Mode uint8
+
+// Lowering modes.
+const (
+	// Optimized lowering expects an Optimize'd tree: scans fuse their
+	// pushed predicate and pruned column list into one map stage,
+	// projection-over-filter pairs fuse into the FilterProject fast path,
+	// aggregations split into a partial stage on the producer's channels
+	// plus a shuffled final merge (aggregation pushdown), and join
+	// strategies are taken as resolved.
+	Optimized Mode = iota
+	// Naive lowering emits exactly one stage per logical node, the way the
+	// user typed the query: no fusion, no partial aggregation, Auto joins
+	// shuffle. It is the baseline the planner benchmark compares against,
+	// and what lineage replay determinism is trivially preserved by.
+	Naive
+)
+
+// Lower compiles a bound logical plan into the engine's physical plan.
+// Shared subtrees lower to shared stages (emitted once, consumed by every
+// parent edge). Stage construction for the DataFrame API lives entirely
+// behind this function: the planner decides which columns and rows flow,
+// while key encoding and `hash mod P` routing stay the operators' pinned
+// contract.
+func Lower(root *Node, mode Mode) (*engine.Plan, error) {
+	l := &lowerer{mode: mode, memo: make(map[*Node]int), counts: refCounts(root)}
+	l.lower(root)
+	return engine.NewPlan(l.stages...)
+}
+
+type lowerer struct {
+	mode   Mode
+	stages []*engine.Stage
+	memo   map[*Node]int
+	counts map[*Node]int
+}
+
+func (l *lowerer) add(s *engine.Stage) int {
+	s.ID = len(l.stages)
+	l.stages = append(l.stages, s)
+	return s.ID
+}
+
+func direct(stage int) []engine.StageInput {
+	return []engine.StageInput{{Stage: stage, Part: engine.Direct()}}
+}
+
+func (l *lowerer) lower(n *Node) int {
+	if id, ok := l.memo[n]; ok {
+		return id
+	}
+	var id int
+	switch n.Kind {
+	case KindScan:
+		id = l.lowerScan(n)
+	case KindFilter:
+		id = l.lowerFilter(n)
+	case KindProject:
+		id = l.lowerProject(n)
+	case KindJoin:
+		id = l.lowerJoin(n)
+	case KindAgg:
+		id = l.lowerAgg(n)
+	case KindSort:
+		id = l.lowerSort(n)
+	}
+	l.memo[n] = id
+	return id
+}
+
+// reader emits the bare table-reader stage of a scan.
+func (l *lowerer) reader(n *Node) int {
+	return l.add(&engine.Stage{Name: "scan-" + n.Table, Reader: &engine.ReaderSpec{Table: n.Table}})
+}
+
+// scanKeep returns the scan's output column list (pruned or full).
+func scanKeep(n *Node) []string {
+	if n.Cols != nil {
+		return n.Cols
+	}
+	cols := make([]string, n.schema.Len())
+	for i, f := range n.schema.Fields {
+		cols[i] = f.Name
+	}
+	return cols
+}
+
+func (l *lowerer) lowerScan(n *Node) int {
+	r := l.reader(n)
+	if n.Pred == nil && n.Cols == nil {
+		return r
+	}
+	// The pushed predicate and pruned column list fuse into one map stage
+	// directly behind the reader — the shape of the hand-written TPC-H
+	// scan pipelines.
+	return l.add(&engine.Stage{
+		Name:   "map",
+		Op:     ops.NewFilterProjectSpec(n.Pred, ops.KeepCols(scanKeep(n)...)...),
+		Inputs: direct(r),
+	})
+}
+
+func (l *lowerer) lowerFilter(n *Node) int {
+	child := n.Inputs[0]
+	if l.mode == Optimized && l.fusable(child) && child.Kind == KindScan {
+		// Filter directly over a scan (pushdown normally merges these, but
+		// a caller can lower un-optimized trees too): one fused map.
+		r := l.reader(child)
+		pred := n.Pred
+		if child.Pred != nil {
+			pred = expr.And(child.Pred, n.Pred)
+		}
+		return l.add(&engine.Stage{
+			Name:   "map",
+			Op:     ops.NewFilterProjectSpec(pred, ops.KeepCols(scanKeep(child)...)...),
+			Inputs: direct(r),
+		})
+	}
+	return l.add(&engine.Stage{
+		Name:   "filter",
+		Op:     ops.NewFilterSpec(n.Pred),
+		Inputs: direct(l.lower(child)),
+	})
+}
+
+func (l *lowerer) lowerProject(n *Node) int {
+	child := n.Inputs[0]
+	if l.mode == Optimized && l.fusable(child) {
+		switch child.Kind {
+		case KindFilter:
+			// Projection over filter: the FilterProject fast path.
+			return l.add(&engine.Stage{
+				Name:   "map",
+				Op:     ops.NewFilterProjectSpec(child.Pred, n.Exprs...),
+				Inputs: direct(l.lower(child.Inputs[0])),
+			})
+		case KindScan:
+			// Projection over a scan: evaluate the projection in the scan's
+			// map stage (the pruned column list is subsumed by it).
+			r := l.reader(child)
+			return l.add(&engine.Stage{
+				Name:   "map",
+				Op:     ops.NewFilterProjectSpec(child.Pred, n.Exprs...),
+				Inputs: direct(r),
+			})
+		}
+	}
+	return l.add(&engine.Stage{
+		Name:   "select",
+		Op:     ops.NewProjectSpec(n.Exprs...),
+		Inputs: direct(l.lower(child)),
+	})
+}
+
+// fusable reports whether a child node may be absorbed into its parent's
+// stage: single-consumer only, since a shared child must exist as its own
+// stage for its other consumers.
+func (l *lowerer) fusable(child *Node) bool { return l.counts[child] == 1 }
+
+func (l *lowerer) lowerJoin(n *Node) int {
+	build := l.lower(n.Inputs[0])
+	probe := l.lower(n.Inputs[1])
+	bPart, pPart := engine.Hash(n.BuildKeys...), engine.Hash(n.ProbeKeys...)
+	if n.Strategy == Broadcast {
+		bPart, pPart = engine.Broadcast(), engine.Direct()
+	}
+	return l.add(&engine.Stage{
+		Name: "join",
+		Op:   ops.NewHashJoinSpec(n.JoinType, n.BuildKeys, n.ProbeKeys),
+		Inputs: []engine.StageInput{
+			{Stage: build, Part: bPart, Phase: 0},
+			{Stage: probe, Part: pPart, Phase: 1},
+		},
+	})
+}
+
+// aggPartition returns the final-stage routing of an aggregation: grouped
+// aggregations hash-partition so each channel owns its groups; global
+// ones run on a single channel.
+func aggPartition(keys []string) (engine.Partitioning, int) {
+	if len(keys) > 0 {
+		return engine.Hash(keys...), 0
+	}
+	return engine.Single(), 1
+}
+
+func (l *lowerer) lowerAgg(n *Node) int {
+	in := l.lower(n.Inputs[0])
+	part, parallelism := aggPartition(n.Keys)
+	// The binder's static aggregate output types feed the operator's
+	// empty-input default row (an unseen aggState cannot know an int sum
+	// from a float one).
+	defaults := make([]batch.Type, len(n.Aggs))
+	for i := range n.Aggs {
+		defaults[i] = n.schema.Fields[len(n.Keys)+i].Type
+	}
+	if l.mode == Naive {
+		return l.add(&engine.Stage{
+			Name:        "agg",
+			Op:          ops.NewHashAggTypedSpec(n.Keys, defaults, n.Aggs...),
+			Parallelism: parallelism,
+			Inputs:      []engine.StageInput{{Stage: in, Part: part}},
+		})
+	}
+	// Aggregation pushdown: a partial aggregate on the producer's channels
+	// (narrow edge), then only the per-channel partial states cross the
+	// shuffle to the final merge. The partial spec suppresses the global
+	// aggregate's empty-input default row — producer channels that saw no
+	// rows must contribute nothing, or their zero states (typed Float64 by
+	// the unseen aggState) would corrupt min/max/int-sum merges; the final
+	// stage still emits the default row when every channel was empty.
+	partial := l.add(&engine.Stage{
+		Name:   "agg-partial",
+		Op:     ops.NewHashAggPartialSpec(n.Keys, n.Aggs...),
+		Inputs: direct(in),
+	})
+	merged := make([]ops.AggExpr, len(n.Aggs))
+	for i, a := range n.Aggs {
+		switch a.Kind {
+		case ops.AggSum, ops.AggCount, ops.AggCountStar:
+			merged[i] = ops.Sum(a.Name, expr.C(a.Name))
+		case ops.AggMin:
+			merged[i] = ops.Min(a.Name, expr.C(a.Name))
+		case ops.AggMax:
+			merged[i] = ops.Max(a.Name, expr.C(a.Name))
+		}
+	}
+	return l.add(&engine.Stage{
+		Name:        "agg",
+		Op:          ops.NewHashAggTypedSpec(n.Keys, defaults, merged...),
+		Parallelism: parallelism,
+		Inputs:      []engine.StageInput{{Stage: partial, Part: part}},
+	})
+}
+
+func (l *lowerer) lowerSort(n *Node) int {
+	in := l.lower(n.Inputs[0])
+	var spec ops.Spec
+	if n.Limit > 0 {
+		spec = ops.NewTopKSpec(n.Limit, n.SortKeys...)
+	} else {
+		spec = ops.NewSortSpec(n.SortKeys...)
+	}
+	return l.add(&engine.Stage{
+		Name:        "sort",
+		Op:          spec,
+		Parallelism: 1,
+		Inputs:      []engine.StageInput{{Stage: in, Part: engine.Single()}},
+	})
+}

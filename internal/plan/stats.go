@@ -1,0 +1,145 @@
+package plan
+
+import (
+	"quokka/internal/expr"
+	"quokka/internal/ops"
+)
+
+// Cardinality estimation for broadcast selection. The estimates are the
+// textbook System-R constants — they only steer which join side crosses
+// the network, never correctness — and they are deterministic, so the
+// same query and catalog always produce the same physical plan.
+
+type estimator struct {
+	cat  Catalog
+	memo map[*Node]estimate
+}
+
+type estimate struct {
+	rows float64
+	ok   bool
+}
+
+func newEstimator(cat Catalog) *estimator {
+	return &estimator{cat: cat, memo: make(map[*Node]estimate)}
+}
+
+// rows estimates the node's output cardinality; ok=false when the catalog
+// has no statistics for some reachable table.
+func (e *estimator) rows(n *Node) (float64, bool) {
+	if r, done := e.memo[n]; done {
+		return r.rows, r.ok
+	}
+	r := e.compute(n)
+	e.memo[n] = r
+	return r.rows, r.ok
+}
+
+func (e *estimator) compute(n *Node) estimate {
+	switch n.Kind {
+	case KindScan:
+		rows, ok := e.cat.TableRows(n.Table)
+		if !ok {
+			return estimate{}
+		}
+		r := float64(rows)
+		if n.Pred != nil {
+			r *= selectivity(n.Pred)
+		}
+		return estimate{clampRows(r), true}
+	case KindFilter:
+		in, ok := e.rows(n.Inputs[0])
+		if !ok {
+			return estimate{}
+		}
+		return estimate{clampRows(in * selectivity(n.Pred)), true}
+	case KindProject:
+		in, ok := e.rows(n.Inputs[0])
+		return estimate{in, ok}
+	case KindJoin:
+		probe, ok := e.rows(n.Inputs[1])
+		if !ok {
+			return estimate{}
+		}
+		switch n.JoinType {
+		case ops.SemiJoin, ops.AntiJoin:
+			return estimate{clampRows(probe * 0.5), true}
+		}
+		// Key-joins are lookups against the build side: probe cardinality
+		// dominates.
+		return estimate{probe, true}
+	case KindAgg:
+		if len(n.Keys) == 0 {
+			return estimate{1, true}
+		}
+		in, ok := e.rows(n.Inputs[0])
+		if !ok {
+			return estimate{}
+		}
+		return estimate{clampRows(in * 0.2), true}
+	case KindSort:
+		in, ok := e.rows(n.Inputs[0])
+		if !ok {
+			return estimate{}
+		}
+		if n.Limit > 0 && float64(n.Limit) < in {
+			in = float64(n.Limit)
+		}
+		return estimate{in, true}
+	}
+	return estimate{}
+}
+
+func clampRows(r float64) float64 {
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// selectivity estimates the surviving fraction of a predicate.
+func selectivity(p expr.Expr) float64 {
+	switch x := p.(type) {
+	case expr.BoolExpr:
+		if x.IsAnd {
+			s := 1.0
+			for _, a := range x.Args {
+				s *= selectivity(a)
+			}
+			return s
+		}
+		s := 0.0
+		for _, a := range x.Args {
+			s += selectivity(a)
+		}
+		if s > 1 {
+			return 1
+		}
+		return s
+	case expr.Not:
+		return 1 - selectivity(x.Of)
+	case expr.Cmp:
+		switch x.Op {
+		case expr.OpEq:
+			return 0.05
+		case expr.OpNe:
+			return 0.95
+		}
+		return 0.3
+	case expr.InStrings:
+		return inSelectivity(len(x.Set))
+	case expr.InInts:
+		return inSelectivity(len(x.Set))
+	case expr.Like:
+		return 0.1
+	}
+	return 0.5
+}
+
+func inSelectivity(n int) float64 {
+	s := 0.05 * float64(n)
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -88,6 +88,20 @@ func (s *ObjectStore) Get(key string) ([]byte, error) {
 	return v, nil
 }
 
+// GetFree retrieves the value under key without applying I/O cost or
+// metrics. The query planner uses it for catalog metadata (table schemas
+// and row counts): planning reads are not part of the measured query, just
+// as PutFree keeps dataset preparation off the bill.
+func (s *ObjectStore) GetFree(key string) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: object %q not found", key)
+	}
+	return v, nil
+}
+
 // Has reports whether key exists, without I/O cost.
 func (s *ObjectStore) Has(key string) bool {
 	s.mu.RLock()

@@ -81,6 +81,110 @@ var (
 	}
 )
 
+// Table schemas, straight from the spec (scaled-down column sets). They
+// are package-level so the generator and the planner catalog share one
+// definition.
+var (
+	regionSchema = batch.NewSchema(
+		batch.F("r_regionkey", batch.Int64),
+		batch.F("r_name", batch.String),
+	)
+	nationSchema = batch.NewSchema(
+		batch.F("n_nationkey", batch.Int64),
+		batch.F("n_name", batch.String),
+		batch.F("n_regionkey", batch.Int64),
+	)
+	partSchema = batch.NewSchema(
+		batch.F("p_partkey", batch.Int64),
+		batch.F("p_name", batch.String),
+		batch.F("p_mfgr", batch.String),
+		batch.F("p_brand", batch.String),
+		batch.F("p_type", batch.String),
+		batch.F("p_size", batch.Int64),
+		batch.F("p_container", batch.String),
+		batch.F("p_retailprice", batch.Float64),
+	)
+	supplierSchema = batch.NewSchema(
+		batch.F("s_suppkey", batch.Int64),
+		batch.F("s_name", batch.String),
+		batch.F("s_nationkey", batch.Int64),
+		batch.F("s_phone", batch.String),
+		batch.F("s_acctbal", batch.Float64),
+		batch.F("s_comment", batch.String),
+	)
+	partSuppSchema = batch.NewSchema(
+		batch.F("ps_partkey", batch.Int64),
+		batch.F("ps_suppkey", batch.Int64),
+		batch.F("ps_availqty", batch.Int64),
+		batch.F("ps_supplycost", batch.Float64),
+	)
+	customerSchema = batch.NewSchema(
+		batch.F("c_custkey", batch.Int64),
+		batch.F("c_name", batch.String),
+		batch.F("c_nationkey", batch.Int64),
+		batch.F("c_phone", batch.String),
+		batch.F("c_acctbal", batch.Float64),
+		batch.F("c_mktsegment", batch.String),
+	)
+	ordersSchema = batch.NewSchema(
+		batch.F("o_orderkey", batch.Int64),
+		batch.F("o_custkey", batch.Int64),
+		batch.F("o_orderstatus", batch.String),
+		batch.F("o_totalprice", batch.Float64),
+		batch.F("o_orderdate", batch.Date),
+		batch.F("o_orderpriority", batch.String),
+		batch.F("o_shippriority", batch.Int64),
+		batch.F("o_comment", batch.String),
+	)
+	lineitemSchema = batch.NewSchema(
+		batch.F("l_orderkey", batch.Int64),
+		batch.F("l_partkey", batch.Int64),
+		batch.F("l_suppkey", batch.Int64),
+		batch.F("l_linenumber", batch.Int64),
+		batch.F("l_quantity", batch.Float64),
+		batch.F("l_extendedprice", batch.Float64),
+		batch.F("l_discount", batch.Float64),
+		batch.F("l_tax", batch.Float64),
+		batch.F("l_returnflag", batch.String),
+		batch.F("l_linestatus", batch.String),
+		batch.F("l_shipdate", batch.Date),
+		batch.F("l_commitdate", batch.Date),
+		batch.F("l_receiptdate", batch.Date),
+		batch.F("l_shipinstruct", batch.String),
+		batch.F("l_shipmode", batch.String),
+	)
+)
+
+// TableSchemas returns the catalog's table name -> schema mapping.
+func TableSchemas() map[string]*batch.Schema {
+	return map[string]*batch.Schema{
+		"region":   regionSchema,
+		"nation":   nationSchema,
+		"supplier": supplierSchema,
+		"customer": customerSchema,
+		"part":     partSchema,
+		"partsupp": partSuppSchema,
+		"orders":   ordersSchema,
+		"lineitem": lineitemSchema,
+	}
+}
+
+// TableRowsAt returns the spec's table cardinalities at scale factor sf —
+// the planner statistics behind automatic broadcast selection (lineitem
+// averages four rows per order).
+func TableRowsAt(sf float64) map[string]int64 {
+	return map[string]int64{
+		"region":   int64(len(regionNames)),
+		"nation":   int64(len(nationDefs)),
+		"supplier": int64(scaled(baseSupplier, sf)),
+		"customer": int64(scaled(baseCustomer, sf)),
+		"part":     int64(scaled(basePart, sf)),
+		"partsupp": 4 * int64(scaled(basePart, sf)),
+		"orders":   int64(scaled(baseOrders, sf)),
+		"lineitem": 4 * int64(scaled(baseOrders, sf)),
+	}
+}
+
 // Data holds the generated tables as single batches plus derived metadata.
 type Data struct {
 	SF       float64
@@ -132,23 +236,14 @@ func comment(rng *rand.Rand, inject string, prob float64) string {
 }
 
 func (d *Data) genRegionNation() {
-	rs := batch.NewSchema(
-		batch.F("r_regionkey", batch.Int64),
-		batch.F("r_name", batch.String),
-	)
 	rk := make([]int64, len(regionNames))
 	for i := range rk {
 		rk[i] = int64(i)
 	}
-	d.Region = batch.MustNew(rs, []*batch.Column{
+	d.Region = batch.MustNew(regionSchema, []*batch.Column{
 		batch.NewIntColumn(rk), batch.NewStringColumn(append([]string(nil), regionNames...)),
 	})
 
-	ns := batch.NewSchema(
-		batch.F("n_nationkey", batch.Int64),
-		batch.F("n_name", batch.String),
-		batch.F("n_regionkey", batch.Int64),
-	)
 	nk := make([]int64, len(nationDefs))
 	nn := make([]string, len(nationDefs))
 	nr := make([]int64, len(nationDefs))
@@ -157,23 +252,13 @@ func (d *Data) genRegionNation() {
 		nn[i] = n.Name
 		nr[i] = int64(n.Region)
 	}
-	d.Nation = batch.MustNew(ns, []*batch.Column{
+	d.Nation = batch.MustNew(nationSchema, []*batch.Column{
 		batch.NewIntColumn(nk), batch.NewStringColumn(nn), batch.NewIntColumn(nr),
 	})
 }
 
 func (d *Data) genPart(n int) []float64 {
 	rng := rand.New(rand.NewSource(7001))
-	s := batch.NewSchema(
-		batch.F("p_partkey", batch.Int64),
-		batch.F("p_name", batch.String),
-		batch.F("p_mfgr", batch.String),
-		batch.F("p_brand", batch.String),
-		batch.F("p_type", batch.String),
-		batch.F("p_size", batch.Int64),
-		batch.F("p_container", batch.String),
-		batch.F("p_retailprice", batch.Float64),
-	)
 	keys := make([]int64, n)
 	names := make([]string, n)
 	mfgrs := make([]string, n)
@@ -200,7 +285,7 @@ func (d *Data) genPart(n int) []float64 {
 			containerT[rng.Intn(len(containerT))]
 		prices[i] = 900 + float64((i+1)%1000)/10 + float64(rng.Intn(100))
 	}
-	d.Part = batch.MustNew(s, []*batch.Column{
+	d.Part = batch.MustNew(partSchema, []*batch.Column{
 		batch.NewIntColumn(keys), batch.NewStringColumn(names),
 		batch.NewStringColumn(mfgrs), batch.NewStringColumn(brands),
 		batch.NewStringColumn(types), batch.NewIntColumn(sizes),
@@ -211,14 +296,6 @@ func (d *Data) genPart(n int) []float64 {
 
 func (d *Data) genSupplier(n int) {
 	rng := rand.New(rand.NewSource(7002))
-	s := batch.NewSchema(
-		batch.F("s_suppkey", batch.Int64),
-		batch.F("s_name", batch.String),
-		batch.F("s_nationkey", batch.Int64),
-		batch.F("s_phone", batch.String),
-		batch.F("s_acctbal", batch.Float64),
-		batch.F("s_comment", batch.String),
-	)
 	keys := make([]int64, n)
 	names := make([]string, n)
 	nats := make([]int64, n)
@@ -233,7 +310,7 @@ func (d *Data) genSupplier(n int) {
 		bals[i] = float64(rng.Intn(1100000))/100 - 1000
 		comms[i] = comment(rng, "Customer Complaints", 0.005)
 	}
-	d.Supplier = batch.MustNew(s, []*batch.Column{
+	d.Supplier = batch.MustNew(supplierSchema, []*batch.Column{
 		batch.NewIntColumn(keys), batch.NewStringColumn(names),
 		batch.NewIntColumn(nats), batch.NewStringColumn(phones),
 		batch.NewFloatColumn(bals), batch.NewStringColumn(comms),
@@ -242,12 +319,6 @@ func (d *Data) genSupplier(n int) {
 
 func (d *Data) genPartSupp(nPart, nSupp int) {
 	rng := rand.New(rand.NewSource(7003))
-	s := batch.NewSchema(
-		batch.F("ps_partkey", batch.Int64),
-		batch.F("ps_suppkey", batch.Int64),
-		batch.F("ps_availqty", batch.Int64),
-		batch.F("ps_supplycost", batch.Float64),
-	)
 	n := nPart * 4
 	pk := make([]int64, 0, n)
 	sk := make([]int64, 0, n)
@@ -262,7 +333,7 @@ func (d *Data) genPartSupp(nPart, nSupp int) {
 			sc = append(sc, 1+float64(rng.Intn(99900))/100)
 		}
 	}
-	d.PartSupp = batch.MustNew(s, []*batch.Column{
+	d.PartSupp = batch.MustNew(partSuppSchema, []*batch.Column{
 		batch.NewIntColumn(pk), batch.NewIntColumn(sk),
 		batch.NewIntColumn(aq), batch.NewFloatColumn(sc),
 	})
@@ -270,14 +341,6 @@ func (d *Data) genPartSupp(nPart, nSupp int) {
 
 func (d *Data) genCustomer(n int) {
 	rng := rand.New(rand.NewSource(7004))
-	s := batch.NewSchema(
-		batch.F("c_custkey", batch.Int64),
-		batch.F("c_name", batch.String),
-		batch.F("c_nationkey", batch.Int64),
-		batch.F("c_phone", batch.String),
-		batch.F("c_acctbal", batch.Float64),
-		batch.F("c_mktsegment", batch.String),
-	)
 	keys := make([]int64, n)
 	names := make([]string, n)
 	nats := make([]int64, n)
@@ -292,7 +355,7 @@ func (d *Data) genCustomer(n int) {
 		bals[i] = float64(rng.Intn(1100000))/100 - 1000
 		segs[i] = segments[rng.Intn(len(segments))]
 	}
-	d.Customer = batch.MustNew(s, []*batch.Column{
+	d.Customer = batch.MustNew(customerSchema, []*batch.Column{
 		batch.NewIntColumn(keys), batch.NewStringColumn(names),
 		batch.NewIntColumn(nats), batch.NewStringColumn(phones),
 		batch.NewFloatColumn(bals), batch.NewStringColumn(segs),
@@ -301,33 +364,6 @@ func (d *Data) genCustomer(n int) {
 
 func (d *Data) genOrdersLineitem(nOrd, nCust, nPart, nSupp int, retail []float64) {
 	rng := rand.New(rand.NewSource(7005))
-	os := batch.NewSchema(
-		batch.F("o_orderkey", batch.Int64),
-		batch.F("o_custkey", batch.Int64),
-		batch.F("o_orderstatus", batch.String),
-		batch.F("o_totalprice", batch.Float64),
-		batch.F("o_orderdate", batch.Date),
-		batch.F("o_orderpriority", batch.String),
-		batch.F("o_shippriority", batch.Int64),
-		batch.F("o_comment", batch.String),
-	)
-	ls := batch.NewSchema(
-		batch.F("l_orderkey", batch.Int64),
-		batch.F("l_partkey", batch.Int64),
-		batch.F("l_suppkey", batch.Int64),
-		batch.F("l_linenumber", batch.Int64),
-		batch.F("l_quantity", batch.Float64),
-		batch.F("l_extendedprice", batch.Float64),
-		batch.F("l_discount", batch.Float64),
-		batch.F("l_tax", batch.Float64),
-		batch.F("l_returnflag", batch.String),
-		batch.F("l_linestatus", batch.String),
-		batch.F("l_shipdate", batch.Date),
-		batch.F("l_commitdate", batch.Date),
-		batch.F("l_receiptdate", batch.Date),
-		batch.F("l_shipinstruct", batch.String),
-		batch.F("l_shipmode", batch.String),
-	)
 
 	oKey := make([]int64, nOrd)
 	oCust := make([]int64, nOrd)
@@ -418,13 +454,13 @@ func (d *Data) genOrdersLineitem(nOrd, nCust, nPart, nSupp int, retail []float64
 		oTotal[i] = total
 	}
 
-	d.Orders = batch.MustNew(os, []*batch.Column{
+	d.Orders = batch.MustNew(ordersSchema, []*batch.Column{
 		batch.NewIntColumn(oKey), batch.NewIntColumn(oCust),
 		batch.NewStringColumn(oStat), batch.NewFloatColumn(oTotal),
 		batch.NewDateColumn(oDate), batch.NewStringColumn(oPrio),
 		batch.NewIntColumn(oShip), batch.NewStringColumn(oComm),
 	})
-	d.Lineitem = batch.MustNew(ls, []*batch.Column{
+	d.Lineitem = batch.MustNew(lineitemSchema, []*batch.Column{
 		batch.NewIntColumn(lKey), batch.NewIntColumn(lPart),
 		batch.NewIntColumn(lSupp), batch.NewIntColumn(lNum),
 		batch.NewFloatColumn(lQty), batch.NewFloatColumn(lPrice),

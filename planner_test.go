@@ -1,0 +1,263 @@
+package quokka
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Plan-time validation: schema and type errors surface from Collect (and
+// Explain) as typed errors, not runtime panics deep in operators.
+func TestCollectTypedErrors(t *testing.T) {
+	c := newTestCluster(t, 2)
+	salesTable(t, c, 50)
+	sess := NewSession(c)
+	sales := func() *DataFrame { return sess.Read("sales") }
+
+	cases := []struct {
+		name string
+		df   *DataFrame
+		want error
+	}{
+		{"unknown table", sess.Read("nope"), ErrUnknownTable},
+		{"unknown filter column", sales().Filter(Col("missing").Gt(LitI(1))), ErrUnknownColumn},
+		{"unknown select column", sales().Select(As("x", Col("missing"))), ErrUnknownColumn},
+		{"non-bool predicate", sales().Filter(Col("amount").Add(LitF(1))), ErrTypeMismatch},
+		{"string vs number", sales().Filter(Col("id").Eq(LitS("x"))), ErrTypeMismatch},
+		{"duplicate select names", sales().Select(As("x", Col("id")), As("x", Col("amount"))), ErrDuplicateColumn},
+		{"duplicate keep names", sales().Select(Keep("id", "amount", "id")...), ErrDuplicateColumn},
+		{"unknown group key", sales().GroupBy([]string{"missing"}, CountAll("n")), ErrUnknownColumn},
+		{"unknown sort key", sales().Sort(0, Asc("missing")), ErrUnknownColumn},
+		{"unknown join key", sales().Join(sales(), Inner, []string{"nope"}, []string{"id"}), ErrUnknownColumn},
+		{"join key type mismatch", sales().Join(sales(), Inner, []string{"amount"}, []string{"id"}), ErrTypeMismatch},
+		{"join output collision", sales().Join(sales(), Inner, []string{"id"}, []string{"id"}), ErrDuplicateColumn},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.df.Collect(context.Background(), DefaultConfig())
+			if err == nil {
+				t.Fatalf("Collect succeeded, want %v", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Collect error = %v, want %v", err, tc.want)
+			}
+			// Explain validates identically.
+			if _, err := tc.df.Explain(); !errors.Is(err, tc.want) {
+				t.Fatalf("Explain error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// DataFrame.Explain shows what the planner did: pushed predicates, pruned
+// scan columns, and the statistics-driven broadcast of a small build side
+// for a plain Join (no BroadcastJoin hint needed).
+func TestDataFrameExplain(t *testing.T) {
+	c := newTestCluster(t, 2)
+	salesTable(t, c, 700)
+	if err := c.CreateTable("regions", []ColumnDef{
+		{Name: "rid", Type: Int64},
+		{Name: "rname", Type: String},
+	}, [][]any{{int64(0), "north"}, {int64(1), "south"}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c)
+	df := sess.Read("sales").
+		Join(sess.Read("regions"), Inner, []string{"region"}, []string{"rid"}).
+		Filter(Col("amount").Gt(LitF(10)).And(Col("rname").Eq(LitS("north")))).
+		GroupBy([]string{"rname"}, SumOf("total", Col("amount"))).
+		Sort(0, Desc("total"))
+	out, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"join inner (broadcast)",              // 2-row build side: statistics chose broadcast
+		"scan sales cols=[region, amount]",    // pruned from 4 columns
+		"pred=(amount > 10)",                  // pushed through join and group-by
+		`scan regions pred=(rname = "north")`, // pushed to the build side
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// The executed query reports the same plan.
+	res, err := df.Collect(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain() != out {
+		t.Errorf("Result.Explain differs from DataFrame.Explain:\n%s\nvs\n%s", res.Explain(), out)
+	}
+	if res.NumRows() == 0 {
+		t.Error("query returned no rows")
+	}
+}
+
+// FilterSelect must stay equivalent to Filter followed by Select (the
+// optimizer fuses both spellings into the same FilterProject stage).
+func TestFilterSelectEquivalence(t *testing.T) {
+	c := newTestCluster(t, 2)
+	salesTable(t, c, 300)
+	sess := NewSession(c)
+	fused, err := sess.Read("sales").
+		FilterSelect(Col("online").Eq(LitB(true)),
+			As("region", Col("region")), As("twice", Col("amount").Mul(LitF(2)))).
+		GroupBy([]string{"region"}, SumOf("t", Col("twice"))).
+		Sort(0, Asc("region")).
+		Collect(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := sess.Read("sales").
+		Filter(Col("online").Eq(LitB(true))).
+		Select(As("region", Col("region")), As("twice", Col("amount").Mul(LitF(2)))).
+		GroupBy([]string{"region"}, SumOf("t", Col("twice"))).
+		Sort(0, Asc("region")).
+		Collect(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fused.Rows(), split.Rows()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Errorf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// A shared frame (used by two pipelines) executes once: the explain tags
+// it and the engine sees a single scan.
+func TestSharedFrameExplain(t *testing.T) {
+	c := newTestCluster(t, 2)
+	salesTable(t, c, 100)
+	sess := NewSession(c)
+	sales := sess.Read("sales")
+	avg := sales.GroupBy(nil, SumOf("s", Col("amount")), CountAll("n"))
+	df := sales.JoinScalar(avg,
+		[]Named{As("id", Col("id")), As("amount", Col("amount"))},
+		[]Named{As("avg_amount", Col("s").Div(Col("n")))}).
+		Filter(Col("amount").Gt(Col("avg_amount"))).
+		GroupBy(nil, CountAll("above"))
+	out, err := df.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[t1]") || !strings.Contains(out, "reuse t1") {
+		t.Errorf("shared frame not tagged in explain:\n%s", out)
+	}
+}
+
+// Global (no-key) aggregates under partial aggregation: producer
+// channels whose input was entirely filtered away must contribute
+// nothing to the final merge — a default zero row would corrupt min/max
+// and int sums. Regression test for the partial/final split of global
+// GroupBy.
+func TestGlobalAggEmptyChannels(t *testing.T) {
+	c := newTestCluster(t, 4)
+	rows := make([][]any, 40)
+	for i := range rows {
+		rows[i] = []any{int64(100 + i)}
+	}
+	if err := c.CreateTable("nums", []ColumnDef{{Name: "v", Type: Int64}}, rows, 4); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c)
+	collect := func(df *DataFrame) []any {
+		t.Helper()
+		res, err := df.Collect(context.Background(), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("global aggregate rows = %d, want 1", res.NumRows())
+		}
+		return res.Rows()[0]
+	}
+	// Only one row survives the filter; most channels see nothing.
+	one := sess.Read("nums").Filter(Col("v").Eq(LitI(105)))
+	if got := collect(one.GroupBy(nil, MinOf("m", Col("v"))))[0]; got != int64(105) {
+		t.Errorf("min over single surviving row = %v, want 105", got)
+	}
+	if got := collect(one.GroupBy(nil, SumOf("s", Col("v"))))[0]; got != int64(105) {
+		t.Errorf("int sum over single surviving row = %v, want 105", got)
+	}
+	// Max over all-negative values must not see a spurious zero.
+	neg := sess.Read("nums").Select(As("w", Col("v").Mul(LitI(-1))))
+	if got := collect(neg.GroupBy(nil, MaxOf("mx", Col("w"))))[0]; got != int64(-100) {
+		t.Errorf("max over negatives = %v, want -100", got)
+	}
+	// Nothing survives at all: the final stage still emits the one
+	// default row (SQL's global aggregate over empty input).
+	none := sess.Read("nums").Filter(Col("v").Gt(LitI(1000)))
+	if got := collect(none.GroupBy(nil, CountAll("n")))[0]; got != int64(0) {
+		t.Errorf("count over empty input = %v, want 0", got)
+	}
+}
+
+// Concurrent planning of frames sharing a subtree must not race: Bind
+// writes schemas, so Optimize clones the DAG first (run with -race to
+// see the regression this pins). Execution itself stays one query per
+// cluster at a time — a pre-existing engine constraint; the planner must
+// simply not add a new race on the user's shared nodes.
+func TestConcurrentPlanningSharedFrame(t *testing.T) {
+	c := newTestCluster(t, 2)
+	salesTable(t, c, 200)
+	sess := NewSession(c)
+	base := sess.Read("sales").Filter(Col("online").Eq(LitB(true)))
+	a := base.GroupBy([]string{"region"}, SumOf("t", Col("amount"))).Sort(0, Asc("region"))
+	b := base.GroupBy(nil, CountAll("n"))
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := a.Explain()
+			errs <- err
+		}()
+		go func() {
+			_, err := b.Explain()
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Planning must leave the user's tree untouched, so collecting after
+	// concurrent planning still works.
+	res, err := a.Collect(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 7 {
+		t.Fatalf("rows = %d, want 7", res.NumRows())
+	}
+}
+
+// TPC-H explain through the public API.
+func TestExplainTPCH(t *testing.T) {
+	c := newTestCluster(t, 2)
+	LoadTPCH(c, 0.002, 256)
+	out, err := ExplainTPCH(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "scan lineitem cols=") || !strings.Contains(out, "join") {
+		t.Errorf("tpch explain looks wrong:\n%s", out)
+	}
+	if _, err := ExplainTPCH(c, 99); err == nil {
+		t.Error("ExplainTPCH(99) should fail")
+	}
+	// RunTPCH carries the plan on the result.
+	res, err := RunTPCH(context.Background(), c, 6, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Explain(), "scan lineitem") {
+		t.Errorf("result explain missing plan:\n%s", res.Explain())
+	}
+}

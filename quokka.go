@@ -9,7 +9,10 @@
 //     NVMe disks and Flight mailboxes, a durable object store, and a
 //     transactional global control store (GCS).
 //   - Session / DataFrame: a Spark/Polars-style lazy DataFrame API that
-//     compiles to the engine's pipelined physical plans.
+//     builds a logical plan, optimized at Collect (predicate pushdown,
+//     projection pruning, operator fusion, broadcast-join selection) and
+//     lowered to the engine's pipelined physical plans; Explain shows
+//     the optimized plan.
 //   - RunConfig: execution / fault-tolerance / recovery knobs, with
 //     presets for the paper's three systems (Quokka, SparkSQL-like,
 //     Trino-like).

@@ -11,9 +11,15 @@ import (
 
 // Result holds a query's output rows and its execution report.
 type Result struct {
-	batch  *batch.Batch
-	report *engine.Report
+	batch   *batch.Batch
+	report  *engine.Report
+	explain string
 }
+
+// Explain returns the optimized logical plan the query executed (the same
+// rendering DataFrame.Explain produces), or "" for plans that bypassed
+// the planner.
+func (r *Result) Explain() string { return r.explain }
 
 // NumRows returns the number of output rows.
 func (r *Result) NumRows() int {

@@ -3,6 +3,7 @@ package quokka
 import (
 	"context"
 
+	"quokka/internal/plan"
 	"quokka/internal/tpch"
 )
 
@@ -13,13 +14,49 @@ func LoadTPCH(c *Cluster, sf float64, splitRows int) {
 	tpch.Load(c.inner.ObjStore, tpch.Generate(sf), splitRows)
 }
 
-// RunTPCH executes TPC-H query q (1..22) on the cluster.
-func RunTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Result, error) {
-	plan, err := tpch.Query(q)
+// tpchPlan optimizes TPC-H query q against the cluster's own catalog, so
+// broadcast selection sees the actually-loaded row counts.
+func tpchPlan(c *Cluster, q int) (*plan.Node, error) {
+	node, err := tpch.LogicalQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return runPlan(ctx, c, plan, cfg)
+	return plan.Optimize(node, plan.NewStoreCatalog(c.inner.ObjStore), plan.Options{})
+}
+
+// RunTPCH executes TPC-H query q (1..22) on the cluster.
+func RunTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Result, error) {
+	opt, err := tpchPlan(c, q)
+	if err != nil {
+		return nil, err
+	}
+	phys, err := plan.Lower(opt, plan.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runPlan(ctx, c, phys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.explain = plan.Explain(opt)
+	return res, nil
+}
+
+// ExplainTPCH renders the optimized logical plan of TPC-H query q against
+// the cluster's catalog, without executing it.
+func ExplainTPCH(c *Cluster, q int) (string, error) {
+	opt, err := tpchPlan(c, q)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(opt), nil
+}
+
+// ExplainTPCHPlan renders the optimized plan of TPC-H query q planned
+// against the benchmark's catalog statistics at scale factor sf — no
+// cluster, no data generation. The quokka CLI's -explain uses it.
+func ExplainTPCHPlan(q int, sf float64) (string, error) {
+	return tpch.ExplainAt(q, sf)
 }
 
 // TPCHQueries lists the implemented TPC-H query numbers (1..22).
