@@ -11,9 +11,13 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the race-detector job (stateful operator + engine concurrency).
+## race: the race-detector job (stateful operator + engine concurrency,
+## plus the concurrent-session suites: N runners on one cluster, streaming
+## cursors, cancellation, KillWorker recovery).
 race:
 	$(GO) test -race ./internal/engine/... ./internal/ops/...
+	$(GO) test -race -run 'TestConcurrentTPCH' ./internal/tpch/
+	$(GO) test -race -run 'TestSubmit|TestAdmissionLimitPublic' .
 
 ## bench: one iteration of every benchmark in short mode (CI smoke), plus
 ## the allocation-regression guard over the hash-path inner loops. For
@@ -24,11 +28,13 @@ bench:
 	$(GO) test -short -run 'ZeroAllocs' ./internal/ops/
 
 ## bench-json: regenerate the checked-in perf records (hash path, the
-## out-of-core spill sweep, and the planner's naive-vs-optimized sweep).
+## out-of-core spill sweep, the planner's naive-vs-optimized sweep, and
+## the concurrent-session admission sweep).
 bench-json:
 	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
 	$(GO) run ./cmd/quokka-bench -exp spill -json BENCH_spill.json
 	$(GO) run ./cmd/quokka-bench -exp planner -repeats 3 -json BENCH_planner.json
+	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
 
 fmt:
 	gofmt -w .

@@ -215,32 +215,23 @@ func (d *DataFrame) Explain() (string, error) {
 // physical stages and executes it on the session's cluster. Planning is
 // deterministic (a pure function of the query and the catalog), so
 // write-ahead-lineage replay rebuilds identical stages.
+//
+// Collect is sugar over Submit + Result: submit the query, wait for it,
+// materialize every output row. Use Submit directly to run queries
+// concurrently, stream results through a Cursor, or cancel mid-flight.
 func (d *DataFrame) Collect(ctx context.Context, cfg RunConfig) (*Result, error) {
-	opt, err := d.optimize()
+	q, err := d.Submit(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	phys, err := plan.Lower(opt, plan.Optimized)
-	if err != nil {
-		return nil, fmt.Errorf("quokka: invalid query: %w", err)
-	}
-	res, err := runPlan(ctx, d.s.cluster, phys, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res.explain = plan.Explain(opt)
-	return res, nil
+	return q.Result()
 }
 
-// runPlan executes an engine plan on a cluster.
+// runPlan executes an engine plan on a cluster to completion.
 func runPlan(ctx context.Context, c *Cluster, phys *engine.Plan, cfg RunConfig) (*Result, error) {
-	r, err := engine.NewRunner(c.inner, phys, cfg)
+	q, err := submitPlan(ctx, c, phys, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out, rep, err := r.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{batch: out, report: rep}, nil
+	return q.Result()
 }

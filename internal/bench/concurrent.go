@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+	"quokka/internal/tpch"
+)
+
+// The concurrent experiment measures the Submit API's aggregate throughput:
+// the same batch of TPC-H queries is run to completion with the cluster's
+// admission limit at 1 (strictly serial), 2 and 4. Because modelled I/O
+// waits release CPU slots, overlapping queries fill each other's stalls —
+// the throughput gain at admission 2/4 over 1 is the whole point of
+// concurrent query sessions. Every result is verified against its serial
+// reference before anything is reported.
+
+// DefaultConcurrentQueries mixes scan-aggregate and join-heavy shapes.
+var DefaultConcurrentQueries = []int{1, 3, 6, 9}
+
+// concurrentBatchPerQuery is how many instances of each query form the
+// workload batch (mixed Parallelism and MemoryBudget across instances).
+const concurrentBatchPerQuery = 2
+
+// ConcurrentSweep runs the admission-level sweep and returns the
+// machine-readable record for quokka-bench -json.
+func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultConcurrentQueries
+	}
+	levels := []int{1, 2, 4}
+	h.printf("Concurrent query sessions — admission-level sweep, %d workers, SF %g\n", workers, h.P.SF)
+	h.printf("workload: %d instances of queries %v (alternating parallelism/budget)\n",
+		concurrentBatchPerQuery*len(queries), queries)
+	h.printf("%-10s %9s %12s %9s %6s\n", "admission", "wall(s)", "thruput(q/s)", "speedup", "peak")
+
+	res := JSONResult{
+		Experiment: "concurrent",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries,
+			"batch": concurrentBatchPerQuery * len(queries),
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+
+	// Workload: each query twice, alternating operator parallelism and
+	// memory budget so the mix exercises spill + CPU-pool sharing.
+	type inst struct {
+		q   int
+		cfg engine.Config
+	}
+	var batchList []inst
+	for i := 0; i < concurrentBatchPerQuery; i++ {
+		for _, q := range queries {
+			cfg := engine.DefaultConfig()
+			if i%2 == 1 {
+				cfg.Parallelism = 1
+				cfg.MemoryBudget = 256 << 10
+			}
+			batchList = append(batchList, inst{q, cfg})
+		}
+	}
+
+	// Serial references, one per instance (cfg matters for nothing but
+	// timing, yet verify against the exact same cfg to keep it airtight).
+	refs := make([]*batch.Batch, len(batchList))
+	{
+		cl := h.newCluster(workers)
+		for i, in := range batchList {
+			plan, err := tpch.Query(in.q)
+			if err != nil {
+				return res, err
+			}
+			r, err := engine.NewRunner(cl, plan, in.cfg)
+			if err != nil {
+				return res, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			out, _, err := r.Run(ctx)
+			cancel()
+			if err != nil {
+				return res, fmt.Errorf("concurrent ref q%d: %w", in.q, err)
+			}
+			refs[i] = out
+		}
+	}
+
+	var baseWall float64
+	for _, level := range levels {
+		cl := h.newCluster(workers)
+		engine.SetAdmissionLimit(cl, level)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		start := time.Now()
+		qs := make([]*engine.Query, len(batchList))
+		for i, in := range batchList {
+			plan, err := tpch.Query(in.q)
+			if err != nil {
+				cancel()
+				return res, err
+			}
+			r, err := engine.NewRunner(cl, plan, in.cfg)
+			if err != nil {
+				cancel()
+				return res, err
+			}
+			qs[i] = r.Start(ctx)
+		}
+		for i, q := range qs {
+			out, _, err := q.Result()
+			if err != nil {
+				cancel()
+				return res, fmt.Errorf("concurrent c%d q%d: %w", level, batchList[i].q, err)
+			}
+			if err := sameResult(refs[i], out); err != nil {
+				cancel()
+				return res, fmt.Errorf("concurrent c%d q%d: result differs from serial: %w",
+					level, batchList[i].q, err)
+			}
+		}
+		wall := time.Since(start)
+		cancel()
+		peak := cl.Metrics.Get(metrics.QueriesPeak)
+		if peak > int64(level) {
+			return res, fmt.Errorf("concurrent c%d: queries.peak %d exceeds admission limit", level, peak)
+		}
+		thruput := float64(len(batchList)) / seconds(wall)
+		key := fmt.Sprintf("c%d", level)
+		res.DurationsS[key+".wall"] = seconds(wall)
+		res.Config[key+".throughput_qps"] = thruput
+		res.Config[key+".queries_peak"] = peak
+		speedup := 1.0
+		if level == levels[0] {
+			baseWall = seconds(wall)
+		} else {
+			speedup = baseWall / seconds(wall)
+			res.Speedup[key] = speedup
+		}
+		h.printf("%-10d %9.3f %12.2f %8.2fx %6d\n", level, seconds(wall), thruput, speedup, peak)
+	}
+	h.printf("\n")
+	return res, nil
+}

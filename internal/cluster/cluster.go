@@ -55,6 +55,22 @@ type Cluster struct {
 	ObjStore *storage.ObjectStore
 	Cost     storage.CostModel
 	Metrics  *metrics.Collector
+
+	sharedMu sync.Mutex
+	shared   any
+}
+
+// SharedExec returns the cluster's cross-query execution state, creating
+// it with init on first use. The engine stores its per-cluster admission
+// controller and per-worker resource pools here; the cluster package keeps
+// the slot opaque so it does not depend on the engine.
+func (c *Cluster) SharedExec(init func() any) any {
+	c.sharedMu.Lock()
+	defer c.sharedMu.Unlock()
+	if c.shared == nil {
+		c.shared = init()
+	}
+	return c.shared
 }
 
 // Options configures cluster construction.

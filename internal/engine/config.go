@@ -115,6 +115,11 @@ type Config struct {
 	// ThreadsPerWorker is the number of executor threads per TaskManager.
 	// Threads model in-flight tasks, not cores: modelled I/O waits do not
 	// consume CPU. CPUPerWorker bounds concurrently modelled *compute*.
+	// Cores are a property of the worker machine, not of a query: the
+	// first query executed on a cluster sizes each worker's shared CPU
+	// slot pool from its CPUPerWorker, and concurrently running queries
+	// share that pool — a later query's differing CPUPerWorker does not
+	// resize it. The value only shapes modelled timing, never results.
 	ThreadsPerWorker int
 	CPUPerWorker     int
 
@@ -140,6 +145,15 @@ type Config struct {
 	// of key hash mod Parallelism, and write-ahead lineage replay relies on
 	// rebuilding identical per-partition state.
 	Parallelism int
+
+	// CursorBufferBytes bounds the head-node buffer of committed-but-unread
+	// output partitions while a streaming Cursor is attached to the query.
+	// Deliveries beyond the bound are refused and the producing tasks stay
+	// pending, so a slow consumer backpressures the output stage through
+	// the normal task-retry machinery. 0 uses DefaultCursorBufferBytes;
+	// negative disables the bound. Ignored without a cursor (the one-shot
+	// Result path buffers everything, as it must).
+	CursorBufferBytes int64
 
 	// PollInterval is the TaskManager's idle backoff between GCS polls.
 	PollInterval time.Duration

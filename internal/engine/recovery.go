@@ -38,12 +38,12 @@ import (
 func (r *Runner) recover(ctx context.Context) error {
 	started := time.Now()
 	r.recovered++
-	r.met.Add(metrics.RecoveryTasks, 1)
+	r.count(metrics.RecoveryTasks, 1)
 
 	// Raise the barrier.
 	gen := r.recovered
-	if err := r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		txPutInt(tx, keyBarrier(), gen)
+	if err := r.gcsUpdate(func(tx *gcs.Txn) error {
+		txPutInt(tx, r.keyBarrier(), gen)
 		return nil
 	}); err != nil {
 		return err
@@ -57,12 +57,12 @@ func (r *Runner) recover(ctx context.Context) error {
 			return ctx.Err()
 		}
 		allAcked := true
-		err := r.cl.GCS.View(func(tx *gcs.Txn) error {
+		err := r.gcsView(func(tx *gcs.Txn) error {
 			for _, w := range r.cl.Workers {
 				if !w.Alive() {
 					continue
 				}
-				if txGetInt(tx, keyAck(int(w.ID)), 0) != gen {
+				if txGetInt(tx, r.keyAck(int(w.ID)), 0) != gen {
 					allAcked = false
 					return nil
 				}
@@ -83,7 +83,7 @@ func (r *Runner) recover(ctx context.Context) error {
 
 	// With the barrier held the coordinator has exclusive access; plan and
 	// apply the whole reconciliation in one transaction.
-	err := r.cl.GCS.Update(func(tx *gcs.Txn) error {
+	err := r.gcsUpdate(func(tx *gcs.Txn) error {
 		return r.reconcile(tx)
 	})
 	if err != nil {
@@ -92,10 +92,10 @@ func (r *Runner) recover(ctx context.Context) error {
 
 	// Drop the barrier; bump the global epoch so TaskManagers reload
 	// placements.
-	if err := r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		tx.Delete(keyBarrier())
-		txPutInt(tx, keyGlobalEpoch(), txGetInt(tx, keyGlobalEpoch(), 0)+1)
-		txPutInt(tx, keyRecoveries(), r.recovered)
+	if err := r.gcsUpdate(func(tx *gcs.Txn) error {
+		tx.Delete(r.keyBarrier())
+		txPutInt(tx, r.keyGlobalEpoch(), txGetInt(tx, r.keyGlobalEpoch(), 0)+1)
+		txPutInt(tx, r.keyRecoveries(), r.recovered)
 		return nil
 	}); err != nil {
 		return err
@@ -126,7 +126,7 @@ func (r *Runner) reconcile(tx *gcs.Txn) error {
 	for s := range r.plan.Stages {
 		for c := 0; c < r.par[s]; c++ {
 			id := lineage.ChannelID{Stage: s, Channel: c}
-			if !aliveSet[txGetInt(tx, keyPlacement(id), -1)] {
+			if !aliveSet[txGetInt(tx, r.keyPlacement(id), -1)] {
 				rewind[id] = true
 			}
 		}
@@ -151,10 +151,10 @@ func (r *Runner) reconcile(tx *gcs.Txn) error {
 				up := in.Stage
 				for uc := 0; uc < r.par[up]; uc++ {
 					uid := lineage.ChannelID{Stage: up, Channel: uc}
-					committed := txGetInt(tx, keyCursor(uid), 0)
+					committed := txGetInt(tx, r.keyCursor(uid), 0)
 					for q := 0; q < committed; q++ {
 						utask := lineage.TaskName{Stage: up, Channel: uc, Seq: q}
-						owner := txGetInt(tx, keyPartDir(utask), -1)
+						owner := txGetInt(tx, r.keyPartDir(utask), -1)
 						switch {
 						case r.cfg.FT == FTSpool && r.spooled[up]:
 							// Spooled partitions are durable: fetch them
@@ -162,17 +162,17 @@ func (r *Runner) reconcile(tx *gcs.Txn) error {
 							// No cascade — the whole point of spooling.
 							w := int(aliveIDs[rrInput%len(aliveIDs)])
 							rrInput++
-							addReplayDest(tx, keyReplay(w, utask), id)
+							addReplayDest(tx, r.keyReplay(w, utask), id)
 						case r.cfg.FT != FTSpool && aliveSet[owner]:
 							// Replay from the owner's local backup — the
 							// cheap, common case of Figure 5.
-							addReplayDest(tx, keyReplay(owner, utask), id)
+							addReplayDest(tx, r.keyReplay(owner, utask), id)
 						case r.plan.Stages[up].Reader != nil:
 							// Input task: re-read the lost split anywhere
 							// (data-parallel, like Spark, §III-B).
 							w := int(aliveIDs[rrInput%len(aliveIDs)])
 							rrInput++
-							addReplayDest(tx, keyInputReplay(w, utask), id)
+							addReplayDest(tx, r.keyInputReplay(w, utask), id)
 						default:
 							// Backup lost with its worker (or spool mode
 							// with an unspooled narrow stage): rewind the
@@ -216,22 +216,22 @@ func (r *Runner) reconcile(tx *gcs.Txn) error {
 			// everything data-parallel.
 			w = int(aliveIDs[i%len(aliveIDs)])
 		}
-		txPutInt(tx, keyPlacement(id), w)
-		txPutInt(tx, keyChanEpoch(id), txGetInt(tx, keyChanEpoch(id), 0)+1)
+		txPutInt(tx, r.keyPlacement(id), w)
+		txPutInt(tx, r.keyChanEpoch(id), txGetInt(tx, r.keyChanEpoch(id), 0)+1)
 
 		restart := 0
 		wm := lineage.Watermark{}
 		if r.cfg.FT == FTCheckpoint {
-			if v, ok := tx.Get(keyCheckpoint(id)); ok {
+			if v, ok := tx.Get(r.keyCheckpoint(id)); ok {
 				if ck, err := decodeCheckpoint(v); err == nil {
 					restart = ck.Seq
 					wm = ck.WM
 				}
 			}
 		}
-		txPutInt(tx, keyCursor(id), restart)
-		txPutWatermark(tx, id, wm)
-		r.met.Add(metrics.RecoveryRewinds, 1)
+		txPutInt(tx, r.keyCursor(id), restart)
+		txPutWatermark(tx, r.keyWatermark(id), wm)
+		r.count(metrics.RecoveryRewinds, 1)
 
 		// Any partitions this channel had buffered on other live workers
 		// remain valid (idempotent re-pushes overwrite them); partitions

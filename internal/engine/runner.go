@@ -24,8 +24,11 @@ var ErrQueryFailed = errors.New("engine: query failed due to worker failure (no 
 // ErrNoWorkers is returned when every worker has died.
 var ErrNoWorkers = errors.New("engine: all workers failed")
 
-// Report summarizes one query execution.
+// Report summarizes one query execution. All counters are per query, even
+// when other queries ran concurrently on the same cluster: the runner
+// counts its own events into a private collector alongside the cluster's.
 type Report struct {
+	QueryID       string
 	Duration      time.Duration
 	Recoveries    int
 	TasksExecuted int64
@@ -33,14 +36,22 @@ type Report struct {
 	Metrics       map[string]int64
 }
 
-// Runner executes one plan on one cluster under one configuration.
+// Runner executes one plan on one cluster under one configuration. Any
+// number of runners may execute concurrently on one cluster: every piece
+// of a runner's state — GCS keys, flight mailbox slots, upstream backups,
+// spill namespaces, metrics — is namespaced by its query id, and the
+// cluster's admission controller bounds how many run at once.
 type Runner struct {
-	cl   *cluster.Cluster
-	plan *Plan
-	cfg  Config
+	cl     *cluster.Cluster
+	plan   *Plan
+	cfg    Config
+	qid    string         // cluster-unique query id; prefixes all per-query state
+	shared *clusterShared // per-cluster admission + worker resource pools
 
 	spool *storage.ObjectStore // durable target for FTSpool/FTCheckpoint
-	met   *metrics.Collector
+	met   *metrics.Collector   // cluster-wide collector
+	qmet  *metrics.Collector   // per-query collector (feeds the Report)
+	tee   *metrics.Collector   // write-only fan-out to both of the above
 
 	out     int    // output stage
 	par     []int  // parallelism per stage
@@ -91,13 +102,19 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 	if !cfg.Dynamic && cfg.StaticBatch <= 0 {
 		return nil, fmt.Errorf("engine: static dependency mode requires StaticBatch > 0")
 	}
+	shared := sharedFor(cl)
+	qmet := &metrics.Collector{}
 	r := &Runner{
-		cl:    cl,
-		plan:  plan,
-		cfg:   cfg,
-		met:   cl.Metrics,
-		out:   out,
-		spool: storage.NewObjectStore(cl.Cost, cfg.SpoolProfile, cl.Metrics),
+		cl:     cl,
+		plan:   plan,
+		cfg:    cfg,
+		qid:    shared.newQueryID(),
+		shared: shared,
+		met:    cl.Metrics,
+		qmet:   qmet,
+		tee:    metrics.Tee(cl.Metrics, qmet),
+		out:    out,
+		spool:  storage.NewObjectStore(cl.Cost, cfg.SpoolProfile, cl.Metrics),
 	}
 	r.par = make([]int, len(plan.Stages))
 	for i := range plan.Stages {
@@ -114,27 +131,80 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 			}
 		}
 	}
-	r.collector = newCollector()
+	r.collector = newCollector(out, r.par[out])
 	r.place = make(map[lineage.ChannelID]int)
 	r.failCh = make(chan error, 1)
 	return r, nil
 }
 
+// QueryID returns the runner's cluster-unique query id.
+func (r *Runner) QueryID() string { return r.qid }
+
 // Spool exposes the durable spool store (tests and benches inspect it).
 func (r *Runner) Spool() *storage.ObjectStore { return r.spool }
 
+// count records an engine event into both the cluster-wide collector and
+// this query's private collector.
+func (r *Runner) count(name string, delta int64) {
+	r.met.Add(name, delta)
+	r.qmet.Add(name, delta)
+}
+
+// gcsUpdate runs a read-write GCS transaction and attributes its traffic
+// to this query: every engine transaction touches only the query's own
+// namespace, so the attribution is exact. The store keeps counting the
+// cluster totals itself.
+func (r *Runner) gcsUpdate(fn func(tx *gcs.Txn) error) error {
+	var bytes int64
+	err := r.cl.GCS.Update(func(tx *gcs.Txn) error {
+		if err := fn(tx); err != nil {
+			return err
+		}
+		bytes = tx.WriteBytes()
+		return nil
+	})
+	if err == nil {
+		r.qmet.Add(metrics.GCSTxns, 1)
+		r.qmet.Add(metrics.GCSBytes, bytes)
+	}
+	return err
+}
+
+// gcsView runs a read-only GCS transaction, counted into the per-query
+// transaction total (views carry no payload).
+func (r *Runner) gcsView(fn func(tx *gcs.Txn) error) error {
+	err := r.cl.GCS.View(fn)
+	if err == nil {
+		r.qmet.Add(metrics.GCSTxns, 1)
+	}
+	return err
+}
+
 // Run executes the query to completion, returning the concatenated output
 // and a report. It blocks until the query finishes, fails, or ctx is
-// cancelled.
+// cancelled. Run is sugar over Start + Query.Result — every caller that
+// wants concurrent queries, streaming output or cancellation handles uses
+// Start directly.
 func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
-	start := time.Now()
-	if err := r.seed(); err != nil {
-		return nil, nil, err
+	return r.Start(ctx).Result()
+}
+
+// execute is the query lifecycle: admission, seed, task managers,
+// coordination, teardown. It runs on the Query's goroutine and returns the
+// terminal error (nil on success). Teardown happens on EVERY exit path —
+// including cancellation and failure — and only after all of this query's
+// task-manager threads have stopped, so a torn-down query leaves no spill
+// files, mailbox slots, disk backups or GCS keys behind, without
+// disturbing concurrent queries.
+func (r *Runner) execute(ctx context.Context) error {
+	if err := r.shared.admit.acquire(ctx); err != nil {
+		return err
 	}
-	// Per-query spill files must not outlive the query — on ANY exit path
-	// (success, failure, cancellation). Seed also sweeps, covering a
-	// cluster whose previous query died without running deferred cleanup.
-	defer r.sweepSpill()
+	defer r.shared.admit.release()
+	if err := r.seed(); err != nil {
+		r.cleanup()
+		return err
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -156,79 +226,80 @@ func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
 	err := r.coordinate(ctx)
 	cancel()
 	wg.Wait()
-	if err != nil {
-		return nil, nil, err
-	}
-
-	result, err := r.assembleResult()
-	if err != nil {
-		return nil, nil, err
-	}
-	rep := &Report{
-		Duration:      time.Since(start),
-		Recoveries:    r.recovered,
-		TasksExecuted: r.met.Get(metrics.TasksExecuted),
-		TasksReplayed: r.met.Get(metrics.TasksReplayed),
-		Metrics:       r.met.Snapshot(),
-	}
-	return result, rep, nil
+	r.cleanup()
+	return err
 }
 
-// sweepSpill deletes every spill run file from the live workers' disks.
-// Run at seed time (a reused cluster must not inherit a failed query's
-// files) and at query completion (the no-leak guarantee tests assert on).
+// sweepSpill deletes every spill run file of THIS query from the live
+// workers' disks. Run at seed time (defensive: query ids are unique, so
+// the namespace should be empty) and at query teardown on every exit path
+// — completion, failure and cancellation — which is the no-leak guarantee
+// the tests assert on. Other queries' spill namespaces are untouched.
 func (r *Runner) sweepSpill() {
 	for _, w := range r.cl.Workers {
 		if w.Alive() {
-			w.Disk.DeletePrefix("spill/")
+			w.Disk.DeletePrefix("spill/" + r.qid + "/")
 		}
 	}
 }
 
-// seed writes the initial execution state into the GCS: placement of every
-// channel, zero cursors and epochs. Channel c of every stage starts on
-// worker c mod W, so each worker hosts one channel of each data-parallel
-// stage, as in §IV-A.
+// cleanup tears down every trace of the query outside the head node: spill
+// namespaces, flight mailbox slots, upstream backups, and the query's
+// whole GCS namespace. Must only run after the query's task managers have
+// stopped (they would otherwise re-create state behind the sweep).
+func (r *Runner) cleanup() {
+	r.sweepSpill()
+	for _, w := range r.cl.Workers {
+		if !w.Alive() {
+			continue
+		}
+		w.Flight.DropQuery(r.qid)
+		w.Disk.DeletePrefix("bk/" + r.qid + "/")
+	}
+	ns := r.keyNS()
+	r.gcsUpdate(func(tx *gcs.Txn) error {
+		for _, k := range tx.List(ns) {
+			tx.Delete(k)
+		}
+		return nil
+	})
+}
+
+// seed writes the initial execution state into the query's GCS namespace:
+// placement of every channel, zero cursors and epochs. Channel c of every
+// stage starts on worker c mod W, so each worker hosts one channel of each
+// data-parallel stage, as in §IV-A. Nothing outside q/<qid>/ is touched —
+// concurrent queries' state is invisible from here.
 func (r *Runner) seed() error {
 	alive := r.cl.Alive()
 	if len(alive) == 0 {
 		return ErrNoWorkers
 	}
 	r.sweepSpill()
-	return r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		// Purge any previous query's execution state: the GCS outlives
-		// queries (it is the cluster's control store), but lineage and
-		// cursors are per-query.
-		for _, prefix := range []string{
-			"lin/", "cur/", "wm/", "done/", "pd/", "pl/", "cep/",
-			"rp/", "rpi/", "ck/", "ack/",
-		} {
-			for _, k := range tx.List(prefix) {
-				tx.Delete(k)
-			}
-		}
-		tx.Delete(keyBarrier())
+	return r.gcsUpdate(func(tx *gcs.Txn) error {
 		for s := range r.plan.Stages {
 			for c := 0; c < r.par[s]; c++ {
 				id := lineage.ChannelID{Stage: s, Channel: c}
 				w := alive[c%len(alive)]
-				txPutInt(tx, keyPlacement(id), int(w))
-				txPutInt(tx, keyCursor(id), 0)
-				txPutInt(tx, keyChanEpoch(id), 0)
+				txPutInt(tx, r.keyPlacement(id), int(w))
+				txPutInt(tx, r.keyCursor(id), 0)
+				txPutInt(tx, r.keyChanEpoch(id), 0)
 			}
 		}
 		// Record the operator partition count: every TaskManager — including
 		// ones that replay lineage onto fresh workers after a failure — must
 		// split stateful operator state into the same hash partitions, or
 		// replayed state would not match what the dead worker had built.
-		txPutInt(tx, keyOpParallelism(), r.cfg.Parallelism)
-		txPutInt(tx, keyGlobalEpoch(), txGetInt(tx, keyGlobalEpoch(), 0)+1)
+		txPutInt(tx, r.keyOpParallelism(), r.cfg.Parallelism)
+		txPutInt(tx, r.keyGlobalEpoch(), 1)
 		return nil
 	})
 }
 
 // coordinate is the head-node loop: it watches worker liveness, triggers
-// recovery, and detects query completion.
+// recovery, and detects query completion. Each in-flight query runs its
+// own coordinator; a worker failure makes every one of them replay its own
+// lineage independently.
 func (r *Runner) coordinate(ctx context.Context) error {
 	aliveBefore := r.cl.AliveCount()
 	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
@@ -266,24 +337,35 @@ func (r *Runner) coordinate(ctx context.Context) error {
 }
 
 // queryDone reports whether every output-stage channel has finished and
-// the collector holds all of their partitions.
+// the collector has received all of their partitions. As a side effect it
+// records known per-channel task counts in the collector, which is what
+// lets an attached Cursor advance past a channel's last partition.
 func (r *Runner) queryDone() (bool, error) {
 	counts := make([]int, r.par[r.out])
 	complete := true
-	err := r.cl.GCS.View(func(tx *gcs.Txn) error {
+	err := r.gcsView(func(tx *gcs.Txn) error {
 		for c := 0; c < r.par[r.out]; c++ {
 			id := lineage.ChannelID{Stage: r.out, Channel: c}
-			n := txGetInt(tx, keyDone(id), -1)
+			n := txGetInt(tx, r.keyDone(id), -1)
 			if n < 0 {
 				complete = false
-				return nil
+				counts[c] = -1
+				continue
 			}
 			counts[c] = n
 		}
 		return nil
 	})
-	if err != nil || !complete {
+	if err != nil {
 		return false, err
+	}
+	for c, n := range counts {
+		if n >= 0 {
+			r.collector.setDoneCount(c, n)
+		}
+	}
+	if !complete {
+		return false, nil
 	}
 	for c := 0; c < r.par[r.out]; c++ {
 		for q := 0; q < counts[c]; q++ {
@@ -295,8 +377,9 @@ func (r *Runner) queryDone() (bool, error) {
 	return true, nil
 }
 
-// assembleResult decodes and concatenates the collected output partitions
-// in (channel, seq) order.
+// assembleResult decodes and concatenates the output partitions still held
+// by the collector in (channel, seq) order. Partitions already consumed
+// through a Cursor have been released and are not re-assembled.
 func (r *Runner) assembleResult() (*batch.Batch, error) {
 	parts := r.collector.snapshot()
 	names := make([]lineage.TaskName, 0, len(parts))
@@ -336,8 +419,8 @@ func (r *Runner) placement(id lineage.ChannelID) (int, error) {
 		return w, nil
 	}
 	var got int
-	err := r.cl.GCS.View(func(tx *gcs.Txn) error {
-		got = txGetInt(tx, keyPlacement(id), -1)
+	err := r.gcsView(func(tx *gcs.Txn) error {
+		got = txGetInt(tx, r.keyPlacement(id), -1)
 		return nil
 	})
 	if err != nil {
@@ -373,26 +456,146 @@ func (r *Runner) invalidatePlacement() {
 // collector receives the output stage's partitions on the head node. It
 // deduplicates retransmissions by task name, so recovery replays are
 // harmless.
+//
+// When a Cursor is attached it doubles as the streaming buffer: partitions
+// are released as the cursor consumes them (the consumed prefix is then
+// tracked as a per-channel watermark so replayed retransmissions stay
+// deduplicated), and deliveries beyond the configured buffer bound are
+// rejected — the producing task then simply stays pending and retries,
+// which turns the head-node buffer bound into end-to-end backpressure
+// through the existing task-retry machinery.
 type collector struct {
-	mu    sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond
+
 	parts map[lineage.TaskName][]byte
+	bytes int64 // buffered encoded payload bytes
+
+	outStage  int
+	channels  int
+	doneCount []int // committed task count per output channel; -1 = unknown
+	read      []int // cursor watermark: partitions consumed + released
+
+	streaming bool  // a cursor is attached
+	limit     int64 // buffer bound while streaming; <=0 = unbounded
+	needCh    int   // next partition the cursor will pull; always accepted
+	needSeq   int
+
+	term    bool // query reached a terminal state
+	termErr error
 }
 
-func newCollector() *collector {
-	return &collector{parts: make(map[lineage.TaskName][]byte)}
+func newCollector(outStage, channels int) *collector {
+	c := &collector{
+		parts:     make(map[lineage.TaskName][]byte),
+		outStage:  outStage,
+		channels:  channels,
+		doneCount: make([]int, channels),
+		read:      make([]int, channels),
+	}
+	for i := range c.doneCount {
+		c.doneCount[i] = -1
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
 }
 
-func (c *collector) deliver(t lineage.TaskName, data []byte) {
+// deliver offers a partition to the head node. It reports false only under
+// cursor backpressure (buffer full); the producing task must then retry.
+func (c *collector) deliver(t lineage.TaskName, data []byte) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if t.Channel < c.channels && t.Seq < c.read[t.Channel] {
+		return true // already consumed through the cursor; drop the rerun
+	}
+	if old, ok := c.parts[t]; ok {
+		c.bytes -= int64(len(old))
+	} else if c.streaming && c.limit > 0 && c.bytes+int64(len(data)) > c.limit &&
+		!(t.Channel == c.needCh && t.Seq == c.needSeq) {
+		// Buffer full and this is not the partition the cursor is waiting
+		// for: refuse, so the producer keeps it pending. The next-needed
+		// partition is always accepted, which keeps the cursor livelock-free
+		// even when out-of-order channels fill the buffer.
+		return false
+	}
 	c.parts[t] = data
+	c.bytes += int64(len(data))
+	c.cond.Broadcast()
+	return true
 }
 
 func (c *collector) has(t lineage.TaskName) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if t.Channel < c.channels && t.Seq < c.read[t.Channel] {
+		return true
+	}
 	_, ok := c.parts[t]
 	return ok
+}
+
+// setDoneCount records the committed task count of an output channel.
+func (c *collector) setDoneCount(channel, n int) {
+	c.mu.Lock()
+	if c.doneCount[channel] != n {
+		c.doneCount[channel] = n
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// terminate marks the query terminal (nil err = clean completion), waking
+// any blocked cursor.
+func (c *collector) terminate(err error) {
+	c.mu.Lock()
+	c.term = true
+	c.termErr = err
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// stream switches the collector into cursor mode with the given buffer
+// bound (<=0 = unbounded).
+func (c *collector) stream(limit int64) {
+	c.mu.Lock()
+	c.streaming = true
+	c.limit = limit
+	c.mu.Unlock()
+}
+
+// next blocks until the next output partition in (channel, seq) order is
+// available, consumes and releases it, and returns its payload. It returns
+// (nil, false, nil) at end of stream and the query's terminal error if it
+// failed. Empty payloads (empty partitions) are returned like any other;
+// the cursor skips them.
+func (c *collector) next() (data []byte, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		// Skip past exhausted channels.
+		for c.needCh < c.channels && c.doneCount[c.needCh] >= 0 && c.needSeq >= c.doneCount[c.needCh] {
+			c.needCh++
+			c.needSeq = 0
+		}
+		if c.needCh >= c.channels {
+			return nil, false, nil
+		}
+		t := lineage.TaskName{Stage: c.outStage, Channel: c.needCh, Seq: c.needSeq}
+		if data, found := c.parts[t]; found {
+			delete(c.parts, t)
+			c.bytes -= int64(len(data))
+			c.read[c.needCh] = c.needSeq + 1
+			c.needSeq++
+			return data, true, nil
+		}
+		if c.term {
+			if c.termErr != nil {
+				return nil, false, c.termErr
+			}
+			return nil, false, fmt.Errorf("engine: result partition %d.%d missing after completion", c.needCh, c.needSeq)
+		}
+		c.cond.Wait()
+	}
 }
 
 func (c *collector) snapshot() map[lineage.TaskName][]byte {

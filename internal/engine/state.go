@@ -11,57 +11,72 @@ import (
 
 // GCS key schema. Everything the engine coordinates through lives in the
 // GCS under these prefixes (§IV-B: "the single source of truth for the
-// execution state of the entire system"):
+// execution state of the entire system"). Every key is namespaced under
+// the owning query's id — q/<qid>/... — so any number of in-flight queries
+// coexist in one GCS without clobbering each other's lineage, cursors,
+// barriers or recovery queues. A query's whole namespace is deleted when
+// it finishes (success, failure or cancellation):
 //
-//	pl/<s>.<c>      channel placement: worker id
-//	cep/<s>.<c>     channel epoch; bumped on rewind so TaskManagers drop
-//	                cached operator state
-//	cur/<s>.<c>     task cursor: next sequence number == number of
+//	q/<qid>/pl/<s>.<c>      channel placement: worker id
+//	q/<qid>/cep/<s>.<c>     channel epoch; bumped on rewind so TaskManagers
+//	                drop cached operator state
+//	q/<qid>/cur/<s>.<c>     task cursor: next sequence number == number of
 //	                committed tasks. Consumers use it as the "lineage is
 //	                committed" check of Algorithm 1.
-//	lin/<s>.<c>.<q> committed lineage record of task (s,c,q)
-//	wm/<s>.<c>      consumption watermark vector of channel (s,c)
-//	done/<s>.<c>    set when the channel finished; value = task count
-//	pd/<s>.<c>.<q>  partition directory: worker holding the task's backup
-//	bar             recovery barrier flag (value = barrier generation)
-//	ack/<w>         TaskManager w's acknowledgment of the barrier
-//	gep             global placement epoch; bumped when recovery ends
-//	rp/<w>/<s>.<c>.<q>   replay task: worker w re-reads its backed-up
+//	q/<qid>/lin/<s>.<c>.<q> committed lineage record of task (s,c,q)
+//	q/<qid>/wm/<s>.<c>      consumption watermark vector of channel (s,c)
+//	q/<qid>/done/<s>.<c>    set when the channel finished; value = task count
+//	q/<qid>/pd/<s>.<c>.<q>  partition directory: worker holding the task's
+//	                backup
+//	q/<qid>/bar             recovery barrier flag (value = barrier generation)
+//	q/<qid>/ack/<w>         TaskManager w's acknowledgment of the barrier
+//	q/<qid>/gep             global placement epoch; bumped when recovery ends
+//	q/<qid>/rp/<w>/<s>.<c>.<q>   replay task: worker w re-reads its backed-up
 //	                partition (s,c,q) once and re-pushes a piece to each
 //	                consumer channel in the entry's value ("ds.dc;...")
-//	rpi/<w>/<s>.<c>.<q>  input replay: re-read the split of reader task
-//	                (s,c,q) from the object store; same value format
-//	recn            recovery generation; replay queues are only scanned
-//	                after it becomes non-zero
-//	ck/<s>.<c>      checkpoint marker: "<seq> <objkey> <wm>"
-//	opp             operator partition count for this query; recorded at
-//	                seed time so TaskManagers (including replacements that
+//	q/<qid>/rpi/<w>/<s>.<c>.<q>  input replay: re-read the split of reader
+//	                task (s,c,q) from the object store; same value format
+//	q/<qid>/recn            recovery generation; replay queues are only
+//	                scanned after it becomes non-zero
+//	q/<qid>/ck/<s>.<c>      checkpoint marker: "<seq> <objkey> <wm>"
+//	q/<qid>/opp             operator partition count for this query; recorded
+//	                at seed time so TaskManagers (including replacements that
 //	                replay lineage after a failure) all split stateful
-//	                operator state into the same hash partitions
-type keys struct{}
+//	                operator state into the same hash partitions. Recovery
+//	                depends on the per-query opp record: partition routing is
+//	                fnv-1a(key) mod P with P read from here, never from the
+//	                local config.
+//
+// The key helpers are Runner methods because the Runner owns the query id;
+// barriers, acks, epochs and recovery generations are per query, which is
+// what lets one query recover from a worker failure without quiescing the
+// others.
 
-func keyPlacement(c lineage.ChannelID) string { return "pl/" + c.String() }
-func keyChanEpoch(c lineage.ChannelID) string { return "cep/" + c.String() }
-func keyCursor(c lineage.ChannelID) string    { return "cur/" + c.String() }
-func keyLineage(t lineage.TaskName) string    { return "lin/" + t.String() }
-func keyWatermark(c lineage.ChannelID) string { return "wm/" + c.String() }
-func keyDone(c lineage.ChannelID) string      { return "done/" + c.String() }
-func keyPartDir(t lineage.TaskName) string    { return "pd/" + t.String() }
-func keyBarrier() string                      { return "bar" }
-func keyAck(w int) string                     { return fmt.Sprintf("ack/%d", w) }
-func keyGlobalEpoch() string                  { return "gep" }
-func keyRecoveries() string                   { return "recn" }
-func keyOpParallelism() string                { return "opp" }
-func keyCheckpoint(c lineage.ChannelID) string {
-	return "ck/" + c.String()
+// keyNS returns the runner's whole GCS namespace prefix ("q/<qid>/").
+func (r *Runner) keyNS() string { return "q/" + r.qid + "/" }
+
+func (r *Runner) keyPlacement(c lineage.ChannelID) string { return r.keyNS() + "pl/" + c.String() }
+func (r *Runner) keyChanEpoch(c lineage.ChannelID) string { return r.keyNS() + "cep/" + c.String() }
+func (r *Runner) keyCursor(c lineage.ChannelID) string    { return r.keyNS() + "cur/" + c.String() }
+func (r *Runner) keyLineage(t lineage.TaskName) string    { return r.keyNS() + "lin/" + t.String() }
+func (r *Runner) keyWatermark(c lineage.ChannelID) string { return r.keyNS() + "wm/" + c.String() }
+func (r *Runner) keyDone(c lineage.ChannelID) string      { return r.keyNS() + "done/" + c.String() }
+func (r *Runner) keyPartDir(t lineage.TaskName) string    { return r.keyNS() + "pd/" + t.String() }
+func (r *Runner) keyBarrier() string                      { return r.keyNS() + "bar" }
+func (r *Runner) keyAck(w int) string                     { return fmt.Sprintf("%sack/%d", r.keyNS(), w) }
+func (r *Runner) keyGlobalEpoch() string                  { return r.keyNS() + "gep" }
+func (r *Runner) keyRecoveries() string                   { return r.keyNS() + "recn" }
+func (r *Runner) keyOpParallelism() string                { return r.keyNS() + "opp" }
+func (r *Runner) keyCheckpoint(c lineage.ChannelID) string {
+	return r.keyNS() + "ck/" + c.String()
 }
 
-func keyReplay(w int, t lineage.TaskName) string {
-	return fmt.Sprintf("rp/%d/%s", w, t)
+func (r *Runner) keyReplay(w int, t lineage.TaskName) string {
+	return fmt.Sprintf("%srp/%d/%s", r.keyNS(), w, t)
 }
 
-func keyInputReplay(w int, t lineage.TaskName) string {
-	return fmt.Sprintf("rpi/%d/%s", w, t)
+func (r *Runner) keyInputReplay(w int, t lineage.TaskName) string {
+	return fmt.Sprintf("%srpi/%d/%s", r.keyNS(), w, t)
 }
 
 // addReplayDest appends a consumer channel to a replay entry's destination
@@ -120,13 +135,13 @@ func txHas(tx *gcs.Txn, key string) bool {
 	return ok
 }
 
-func txGetWatermark(tx *gcs.Txn, c lineage.ChannelID) (lineage.Watermark, error) {
-	v, _ := tx.Get(keyWatermark(c))
+func txGetWatermark(tx *gcs.Txn, key string) (lineage.Watermark, error) {
+	v, _ := tx.Get(key)
 	return lineage.DecodeWatermark(v)
 }
 
-func txPutWatermark(tx *gcs.Txn, c lineage.ChannelID, w lineage.Watermark) {
-	tx.Put(keyWatermark(c), w.Encode())
+func txPutWatermark(tx *gcs.Txn, key string, w lineage.Watermark) {
+	tx.Put(key, w.Encode())
 }
 
 // checkpointMark is the decoded ck/ value.

@@ -11,18 +11,23 @@ import (
 )
 
 func TestKeySchema(t *testing.T) {
+	// Every key lives under the owning query's namespace: that prefix is
+	// what lets concurrent queries share one GCS without collisions.
+	r := &Runner{qid: "q7"}
 	c := lineage.ChannelID{Stage: 2, Channel: 5}
 	n := lineage.TaskName{Stage: 2, Channel: 5, Seq: 9}
 	for key, want := range map[string]string{
-		keyPlacement(c):  "pl/2.5",
-		keyChanEpoch(c):  "cep/2.5",
-		keyCursor(c):     "cur/2.5",
-		keyLineage(n):    "lin/2.5.9",
-		keyWatermark(c):  "wm/2.5",
-		keyDone(c):       "done/2.5",
-		keyPartDir(n):    "pd/2.5.9",
-		keyCheckpoint(c): "ck/2.5",
-		keyReplay(3, n):  "rp/3/2.5.9",
+		r.keyPlacement(c):    "q/q7/pl/2.5",
+		r.keyChanEpoch(c):    "q/q7/cep/2.5",
+		r.keyCursor(c):       "q/q7/cur/2.5",
+		r.keyLineage(n):      "q/q7/lin/2.5.9",
+		r.keyWatermark(c):    "q/q7/wm/2.5",
+		r.keyDone(c):         "q/q7/done/2.5",
+		r.keyPartDir(n):      "q/q7/pd/2.5.9",
+		r.keyCheckpoint(c):   "q/q7/ck/2.5",
+		r.keyReplay(3, n):    "q/q7/rp/3/2.5.9",
+		r.keyBarrier():       "q/q7/bar",
+		r.keyOpParallelism(): "q/q7/opp",
 	} {
 		if key != want {
 			t.Errorf("key = %q, want %q", key, want)
@@ -31,18 +36,19 @@ func TestKeySchema(t *testing.T) {
 }
 
 func TestReplayDestRoundTrip(t *testing.T) {
+	r := &Runner{qid: "q1"}
 	store := gcs.New(storage.TestCostModel(), &metrics.Collector{})
 	task := lineage.TaskName{Stage: 1, Channel: 2, Seq: 3}
 	d1 := lineage.ChannelID{Stage: 4, Channel: 0}
 	d2 := lineage.ChannelID{Stage: 5, Channel: 7}
 	store.Update(func(tx *gcs.Txn) error {
-		addReplayDest(tx, keyReplay(0, task), d1)
-		addReplayDest(tx, keyReplay(0, task), d2)
-		addReplayDest(tx, keyReplay(0, task), d1) // dedup
+		addReplayDest(tx, r.keyReplay(0, task), d1)
+		addReplayDest(tx, r.keyReplay(0, task), d2)
+		addReplayDest(tx, r.keyReplay(0, task), d1) // dedup
 		return nil
 	})
 	store.View(func(tx *gcs.Txn) error {
-		v, ok := tx.Get(keyReplay(0, task))
+		v, ok := tx.Get(r.keyReplay(0, task))
 		if !ok {
 			t.Fatal("replay entry missing")
 		}

@@ -103,15 +103,26 @@ func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
 		channels: map[lineage.ChannelID]*chanState{},
 		gep:      -1,
 		opp:      1,
-		cpu:      make(chan struct{}, r.cfg.CPUPerWorker),
-		doneIDs:  map[lineage.ChannelID]bool{},
+		// The CPU slot pool is a WORKER resource shared by every in-flight
+		// query: concurrent queries' channels (and their partition lanes)
+		// compete for the same modelled cores instead of each bringing
+		// their own.
+		cpu:     r.shared.cpuFor(w.ID, r.cfg.CPUPerWorker),
+		doneIDs: map[lineage.ChannelID]bool{},
 	}
 	t.pool = ops.NewPool(t.cpu, func(n int) {
-		r.met.Add(metrics.PartitionTasks, int64(n))
+		r.count(metrics.PartitionTasks, int64(n))
 	})
 	if r.cfg.MemoryBudget > 0 {
-		t.spill = spill.NewContext(w.Disk,
-			spill.NewAccountant(r.cfg.MemoryBudget, r.met), r.met, spill.DefaultPartitions)
+		// The accountant is per query per worker (MemoryBudget is a query
+		// knob); the worker's cross-query ledger tracks total accounted
+		// state across queries and, when SetWorkerMemoryBudget configured a
+		// cap, makes concurrent queries spill against the worker's total as
+		// well. The tee collector routes spill metrics into both the
+		// cluster-wide and the per-query counters.
+		acct := spill.NewAccountant(r.cfg.MemoryBudget, r.tee)
+		acct.AttachLedger(r.shared.ledgerFor(w.ID))
+		t.spill = spill.NewContext(w.Disk, acct, r.tee, spill.DefaultPartitions)
 	}
 	return t
 }
@@ -155,10 +166,10 @@ func (t *taskManager) loop(ctx context.Context) {
 // naming scheme (§IV-B).
 func (t *taskManager) poll() (progressed, barrier bool) {
 	var bar, gep, recn int
-	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-		bar = txGetInt(tx, keyBarrier(), 0)
-		gep = txGetInt(tx, keyGlobalEpoch(), 0)
-		recn = txGetInt(tx, keyRecoveries(), 0)
+	t.r.gcsView(func(tx *gcs.Txn) error {
+		bar = txGetInt(tx, t.r.keyBarrier(), 0)
+		gep = txGetInt(tx, t.r.keyGlobalEpoch(), 0)
+		recn = txGetInt(tx, t.r.keyRecoveries(), 0)
 		return nil
 	})
 	if bar != 0 {
@@ -229,8 +240,8 @@ func (t *taskManager) poll() (progressed, barrier bool) {
 // barrier generation, implementing the GCS-level lock of §IV-B.
 func (t *taskManager) ackBarrier() {
 	var gen int
-	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-		gen = txGetInt(tx, keyBarrier(), 0)
+	t.r.gcsView(func(tx *gcs.Txn) error {
+		gen = txGetInt(tx, t.r.keyBarrier(), 0)
 		return nil
 	})
 	t.mu.Lock()
@@ -242,8 +253,8 @@ func (t *taskManager) ackBarrier() {
 	if already {
 		return
 	}
-	t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		txPutInt(tx, keyAck(int(t.w.ID)), gen)
+	t.r.gcsUpdate(func(tx *gcs.Txn) error {
+		txPutInt(tx, t.r.keyAck(int(t.w.ID)), gen)
 		return nil
 	})
 }
@@ -257,12 +268,12 @@ func (t *taskManager) refreshChannels(gep int) {
 		return
 	}
 	mine := make(map[lineage.ChannelID]bool)
-	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-		t.opp = txGetInt(tx, keyOpParallelism(), t.r.cfg.Parallelism)
+	t.r.gcsView(func(tx *gcs.Txn) error {
+		t.opp = txGetInt(tx, t.r.keyOpParallelism(), t.r.cfg.Parallelism)
 		for s := range t.r.plan.Stages {
 			for c := 0; c < t.r.par[s]; c++ {
 				id := lineage.ChannelID{Stage: s, Channel: c}
-				if txGetInt(tx, keyPlacement(id), -1) == int(t.w.ID) {
+				if txGetInt(tx, t.r.keyPlacement(id), -1) == int(t.w.ID) {
 					mine[id] = true
 				}
 			}
@@ -362,21 +373,24 @@ func (t *taskManager) newOperator(cs *chanState) ops.Operator {
 		op = cs.stage.Op.New(cs.id.Channel, t.r.par[cs.id.Stage])
 	}
 	// Memory governance: spill-capable operators get a handle namespaced
-	// by channel AND channel epoch, so a rewound channel's replacement
-	// operator never collides with (or reads) stale pre-failure run files.
+	// by query, channel AND channel epoch, so a rewound channel's
+	// replacement operator never collides with (or reads) stale
+	// pre-failure run files — and concurrent queries' spill files never
+	// collide with each other.
 	if t.spill != nil {
 		if sb, ok := op.(ops.Spillable); ok {
-			sb.SetSpill(t.spill.NewOp(spillNS(cs.id, cs.cep)))
+			sb.SetSpill(t.spill.NewOp(spillNS(t.r.qid, cs.id, cs.cep)))
 		}
 	}
 	return op
 }
 
 // spillNS is the disk-key namespace for one channel incarnation's spill
-// run files. Everything under "spill/" is swept at query seed and after
-// completion; "spill/<id>." (all epochs) is swept when the channel resets.
-func spillNS(id lineage.ChannelID, cep int) string {
-	return fmt.Sprintf("spill/%s.e%d", id, cep)
+// run files. Everything under "spill/<qid>/" is swept at that query's seed
+// and teardown (completion, failure or cancellation);
+// "spill/<qid>/<id>." (all epochs) is swept when the channel resets.
+func spillNS(qid string, id lineage.ChannelID, cep int) string {
+	return fmt.Sprintf("spill/%s/%s.e%d", qid, id, cep)
 }
 
 // opSharesFor returns how many CPU slots an operator actually fans work on
@@ -397,17 +411,17 @@ func opSharesFor(op ops.Operator, rows int) int {
 // loadMetas reads every channel's coordination state in one GCS view.
 func (t *taskManager) loadMetas(states []*chanState) ([]*chanMeta, error) {
 	out := make([]*chanMeta, len(states))
-	err := t.r.cl.GCS.View(func(tx *gcs.Txn) error {
+	err := t.r.gcsView(func(tx *gcs.Txn) error {
 		for i, cs := range states {
 			m := &chanMeta{
 				upCursor:  make(map[lineage.EdgeChannel]int),
 				upDone:    make(map[lineage.EdgeChannel]int),
 				stageDone: make(map[int]bool),
 			}
-			m.cep = txGetInt(tx, keyChanEpoch(cs.id), 0)
-			m.cursor = txGetInt(tx, keyCursor(cs.id), 0)
+			m.cep = txGetInt(tx, t.r.keyChanEpoch(cs.id), 0)
+			m.cursor = txGetInt(tx, t.r.keyCursor(cs.id), 0)
 			tn := lineage.TaskName{Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: m.cursor}
-			if v, ok := tx.Get(keyLineage(tn)); ok {
+			if v, ok := tx.Get(t.r.keyLineage(tn)); ok {
 				rec, err := lineage.DecodeRecord(v)
 				if err != nil {
 					return err
@@ -420,8 +434,8 @@ func (t *taskManager) loadMetas(states []*chanState) ([]*chanMeta, error) {
 				for uc := 0; uc < t.r.par[up]; uc++ {
 					ec := lineage.EdgeChannel{Input: e, UpChannel: uc}
 					uid := lineage.ChannelID{Stage: up, Channel: uc}
-					m.upCursor[ec] = txGetInt(tx, keyCursor(uid), 0)
-					d := txGetInt(tx, keyDone(uid), -1)
+					m.upCursor[ec] = txGetInt(tx, t.r.keyCursor(uid), 0)
+					d := txGetInt(tx, t.r.keyDone(uid), -1)
 					m.upDone[ec] = d
 					if d < 0 {
 						allDone = false
@@ -430,7 +444,7 @@ func (t *taskManager) loadMetas(states []*chanState) ([]*chanMeta, error) {
 				m.stageDone[up] = allDone
 			}
 			if t.r.cfg.FT == FTCheckpoint {
-				if v, ok := tx.Get(keyCheckpoint(cs.id)); ok {
+				if v, ok := tx.Get(t.r.keyCheckpoint(cs.id)); ok {
 					ck, err := decodeCheckpoint(v)
 					if err != nil {
 						return err
@@ -459,7 +473,7 @@ func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
 		sb.DropSpill()
 	}
 	if t.spill != nil {
-		t.w.Disk.DeletePrefix("spill/" + cs.id.String() + ".")
+		t.w.Disk.DeletePrefix("spill/" + t.r.qid + "/" + cs.id.String() + ".")
 	}
 	cs.cep = meta.cep
 	cs.cursor = meta.cursor
@@ -469,9 +483,9 @@ func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
 	cs.lastCkpt = meta.cursor
 	var wmErr error
 	var done int
-	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-		cs.wm, wmErr = txGetWatermark(tx, cs.id)
-		done = txGetInt(tx, keyDone(cs.id), -1)
+	t.r.gcsView(func(tx *gcs.Txn) error {
+		cs.wm, wmErr = txGetWatermark(tx, t.r.keyWatermark(cs.id))
+		done = txGetInt(tx, t.r.keyDone(cs.id), -1)
 		return nil
 	})
 	if wmErr != nil {
@@ -600,9 +614,9 @@ func (t *taskManager) chooseInput(cs *chanState, meta *chanMeta) (*inputChoice, 
 			ec := lineage.EdgeChannel{Input: e, UpChannel: uc}
 			wm := cs.wm[ec]
 			// Clear retransmissions below the watermark.
-			t.w.Flight.DropBelow(cs.id, e, uc, wm)
+			t.w.Flight.DropBelow(t.r.qid, cs.id, e, uc, wm)
 			committed := meta.upCursor[ec]
-			avail := t.w.Flight.ContiguousFrom(cs.id, e, uc, wm)
+			avail := t.w.Flight.ContiguousFrom(t.r.qid, cs.id, e, uc, wm)
 			if committed-wm < avail {
 				avail = committed - wm // only lineage-committed inputs count
 			}
@@ -646,7 +660,7 @@ func (t *taskManager) chooseInput(cs *chanState, meta *chanMeta) (*inputChoice, 
 // consume runs the operator over the chosen inputs and returns the
 // concatenated output (nil if no rows).
 func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, error) {
-	datas, err := t.w.Flight.Take(cs.id, rec.Input, rec.UpChannel, rec.FromSeq, rec.Count)
+	datas, err := t.w.Flight.Take(t.r.qid, cs.id, rec.Input, rec.UpChannel, rec.FromSeq, rec.Count)
 	if err != nil {
 		return nil, err
 	}
@@ -738,7 +752,7 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 	case lineage.KindConsume:
 		// All replayed inputs must be present; if replays are still in
 		// flight, wait.
-		if got := t.w.Flight.ContiguousFrom(cs.id, rec.Input, rec.UpChannel, rec.FromSeq); got < rec.Count {
+		if got := t.w.Flight.ContiguousFrom(t.r.qid, cs.id, rec.Input, rec.UpChannel, rec.FromSeq); got < rec.Count {
 			return false, nil
 		}
 		out, err := t.consume(cs, rec)
@@ -765,7 +779,7 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, finalize: true}
 	}
 	cs.pending = p
-	t.r.met.Add(metrics.TasksReplayed, 1)
+	t.r.count(metrics.TasksReplayed, 1)
 	return t.finishTask(cs, p, true)
 }
 
@@ -790,7 +804,7 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 			if err := t.r.spool.Put(spoolKey, encoded); err != nil {
 				return false, err
 			}
-			t.r.met.Add(metrics.SpoolWriteBytes, int64(len(encoded)))
+			t.r.count(metrics.SpoolWriteBytes, int64(len(encoded)))
 		}
 	}
 
@@ -809,10 +823,10 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 	// Algorithm 2's "input task" S3 re-read.
 	needBackup := t.r.cfg.FT == FTWriteAheadLineage || t.r.cfg.FT == FTCheckpoint
 	if needBackup {
-		if err := t.w.Disk.Write("bk/"+task.String(), encoded); err != nil {
+		if err := t.w.Disk.Write("bk/"+t.r.qid+"/"+task.String(), encoded); err != nil {
 			return false, err
 		}
-		t.r.met.Add(metrics.BackupWriteBytes, int64(len(encoded)))
+		t.r.count(metrics.BackupWriteBytes, int64(len(encoded)))
 	}
 
 	// Commit: lineage + cursor + watermark (+ done marker) atomically.
@@ -821,30 +835,30 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 		wmAfter = cs.wm.Clone()
 		wmAfter[lineage.EdgeChannel{Input: p.rec.Input, UpChannel: p.rec.UpChannel}] += p.rec.Count
 	}
-	err := t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
+	err := t.r.gcsUpdate(func(tx *gcs.Txn) error {
 		if !t.w.Alive() {
 			return gcs.ErrAborted
 		}
-		if txGetInt(tx, keyBarrier(), 0) != 0 {
+		if txGetInt(tx, t.r.keyBarrier(), 0) != 0 {
 			return gcs.ErrAborted // recovery holds the GCS lock
 		}
-		if txGetInt(tx, keyChanEpoch(cs.id), 0) != cs.cep {
+		if txGetInt(tx, t.r.keyChanEpoch(cs.id), 0) != cs.cep {
 			return gcs.ErrAborted // channel was rewound under us
 		}
-		if txGetInt(tx, keyGlobalEpoch(), 0) != cs.stepGep {
+		if txGetInt(tx, t.r.keyGlobalEpoch(), 0) != cs.stepGep {
 			// Placement may have changed since our pushes; retry with a
 			// fresh view so no partition lands on a stale worker.
 			return gcs.ErrAborted
 		}
 		if !isReplay && t.r.cfg.FT != FTNone {
-			tx.Put(keyLineage(task), p.rec.Encode())
-			t.r.met.Add(metrics.LineageRecords, 1)
+			tx.Put(t.r.keyLineage(task), p.rec.Encode())
+			t.r.count(metrics.LineageRecords, 1)
 		}
-		txPutInt(tx, keyCursor(cs.id), p.seq+1)
-		txPutWatermark(tx, cs.id, wmAfter)
-		txPutInt(tx, keyPartDir(task), int(t.w.ID))
+		txPutInt(tx, t.r.keyCursor(cs.id), p.seq+1)
+		txPutWatermark(tx, t.r.keyWatermark(cs.id), wmAfter)
+		txPutInt(tx, t.r.keyPartDir(task), int(t.w.ID))
 		if p.finalize {
-			txPutInt(tx, keyDone(cs.id), p.seq+1)
+			txPutInt(tx, t.r.keyDone(cs.id), p.seq+1)
 		}
 		return nil
 	})
@@ -857,7 +871,7 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 
 	// Post-commit bookkeeping.
 	if p.rec.Kind == lineage.KindConsume {
-		t.w.Flight.Drop(cs.id, p.rec.Input, p.rec.UpChannel, p.rec.FromSeq, p.rec.Count)
+		t.w.Flight.Drop(t.r.qid, cs.id, p.rec.Input, p.rec.UpChannel, p.rec.FromSeq, p.rec.Count)
 	}
 	cs.wm = wmAfter
 	cs.cursor = p.seq + 1
@@ -871,7 +885,7 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 			sb.DropSpill()
 		}
 	}
-	t.r.met.Add(metrics.TasksExecuted, 1)
+	t.r.count(metrics.TasksExecuted, 1)
 
 	if t.r.cfg.FT == FTCheckpoint && !p.finalize {
 		t.maybeCheckpoint(cs)
@@ -886,7 +900,11 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *batch.Batch, encoded []byte) error {
 	edges := t.r.plan.Consumers(cs.id.Stage)
 	if len(edges) == 0 {
-		t.r.collector.deliver(task, encoded)
+		if !t.r.collector.deliver(task, encoded) {
+			// Cursor backpressure: the head-node buffer is full. Keep the
+			// task pending (uncommitted) and retry once the consumer pulls.
+			return errCollectorFull
+		}
 		return nil
 	}
 	for _, e := range edges {
@@ -901,17 +919,29 @@ func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *bat
 				return err
 			}
 			dw := t.r.cl.Worker(cluster.WorkerID(wid))
+			local := dw.ID == t.w.ID || len(data) == 0
 			if err := dw.Flight.Push(flight.Partition{
-				From: task, Dest: dest, Input: e.Input, Data: data,
-				Local: dw.ID == t.w.ID || len(data) == 0,
+				Query: t.r.qid, From: task, Dest: dest, Input: e.Input, Data: data,
+				Local: local,
 			}); err != nil {
 				return err
 			}
-			t.r.met.Add(metrics.PartitionsMoved, 1)
+			t.r.count(metrics.PartitionsMoved, 1)
+			if !local {
+				// The flight server counts network traffic into the cluster
+				// collector; attribute it to this query as well.
+				t.r.qmet.Add(metrics.NetworkBytes, int64(len(data)))
+				t.r.qmet.Add(metrics.NetworkPushes, 1)
+			}
 		}
 	}
 	return nil
 }
+
+// errCollectorFull is the transient push failure raised when the streaming
+// cursor's head-node buffer is full; like a dead-consumer push failure it
+// keeps the task pending instead of failing the query.
+var errCollectorFull = fmt.Errorf("engine: head-node cursor buffer full")
 
 // partitionFor splits an output batch for one consumer edge, returning one
 // encoded payload per consumer channel (nil payload = empty partition).
@@ -970,17 +1000,17 @@ func (t *taskManager) maybeCheckpoint(cs *chanState) {
 	if err != nil || len(data) == 0 {
 		return
 	}
-	objKey := fmt.Sprintf("ckpt/%s/%d", cs.id, cs.cursor)
+	objKey := fmt.Sprintf("ckpt/%s/%s/%d", t.r.qid, cs.id, cs.cursor)
 	if err := t.r.spool.Put(objKey, data); err != nil {
 		return
 	}
-	t.r.met.Add(metrics.CheckpointBytes, int64(len(data)))
+	t.r.count(metrics.CheckpointBytes, int64(len(data)))
 	mark := checkpointMark{Seq: cs.cursor, ObjKey: objKey, WM: cs.wm}
-	t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		if txGetInt(tx, keyChanEpoch(cs.id), 0) != cs.cep {
+	t.r.gcsUpdate(func(tx *gcs.Txn) error {
+		if txGetInt(tx, t.r.keyChanEpoch(cs.id), 0) != cs.cep {
 			return gcs.ErrAborted
 		}
-		tx.Put(keyCheckpoint(cs.id), encodeCheckpoint(mark))
+		tx.Put(t.r.keyCheckpoint(cs.id), encodeCheckpoint(mark))
 		return nil
 	})
 	cs.lastCkpt = cs.cursor
@@ -990,13 +1020,13 @@ func (t *taskManager) maybeCheckpoint(cs *chanState) {
 // partitions (rp/) and re-reading input splits (rpi/) for rewound
 // consumers. These are the light-blue recovery tasks of Figure 5.
 func (t *taskManager) runReplays() (ran, drained bool) {
-	prefixRp := fmt.Sprintf("rp/%d/", t.w.ID)
-	prefixRpi := fmt.Sprintf("rpi/%d/", t.w.ID)
+	prefixRp := fmt.Sprintf("%srp/%d/", t.r.keyNS(), t.w.ID)
+	prefixRpi := fmt.Sprintf("%srpi/%d/", t.r.keyNS(), t.w.ID)
 	var rp, rpi []string
 	dests := make(map[string][]byte)
 	var gep int
-	t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-		gep = txGetInt(tx, keyGlobalEpoch(), 0)
+	t.r.gcsView(func(tx *gcs.Txn) error {
+		gep = txGetInt(tx, t.r.keyGlobalEpoch(), 0)
 		rp = tx.List(prefixRp)
 		rpi = tx.List(prefixRpi)
 		for _, k := range append(append([]string(nil), rp...), rpi...) {
@@ -1034,8 +1064,8 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 		// Re-read the split named by the committed lineage.
 		var rec lineage.Record
 		found := false
-		t.r.cl.GCS.View(func(tx *gcs.Txn) error {
-			if v, ok := tx.Get(keyLineage(task)); ok {
+		t.r.gcsView(func(tx *gcs.Txn) error {
+			if v, ok := tx.Get(t.r.keyLineage(task)); ok {
 				if r2, err := lineage.DecodeRecord(v); err == nil {
 					rec, found = r2, true
 				}
@@ -1076,7 +1106,7 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 			out = b
 		}
 	} else {
-		data, err := t.w.Disk.Read("bk/" + task.String())
+		data, err := t.w.Disk.Read("bk/" + t.r.qid + "/" + task.String())
 		if err != nil {
 			return false // disk lost; the next recovery pass reroutes
 		}
@@ -1108,11 +1138,16 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 			}
 			dw := t.r.cl.Worker(cluster.WorkerID(wid))
 			data := pieces[dest.Channel]
+			local := dw.ID == t.w.ID || len(data) == 0
 			if err := dw.Flight.Push(flight.Partition{
-				From: task, Dest: dest, Input: e.Input, Data: data,
-				Local: dw.ID == t.w.ID || len(data) == 0,
+				Query: t.r.qid, From: task, Dest: dest, Input: e.Input, Data: data,
+				Local: local,
 			}); err != nil {
 				return false
+			}
+			if !local {
+				t.r.qmet.Add(metrics.NetworkBytes, int64(len(data)))
+				t.r.qmet.Add(metrics.NetworkPushes, 1)
 			}
 			pushed = true
 		}
@@ -1120,9 +1155,9 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 	if !pushed {
 		return false
 	}
-	t.r.met.Add(metrics.RecoveryReplays, 1)
-	err = t.r.cl.GCS.Update(func(tx *gcs.Txn) error {
-		if txGetInt(tx, keyGlobalEpoch(), 0) != gep {
+	t.r.count(metrics.RecoveryReplays, 1)
+	err = t.r.gcsUpdate(func(tx *gcs.Txn) error {
+		if txGetInt(tx, t.r.keyGlobalEpoch(), 0) != gep {
 			return gcs.ErrAborted // placement changed; redo with a fresh view
 		}
 		tx.Delete(fullKey)

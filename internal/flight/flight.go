@@ -22,9 +22,13 @@ import (
 )
 
 // Partition is one pushed shuffle piece: the bytes of an encoded batch,
-// produced by task From, destined for consumer channel Dest on its input
-// edge Input.
+// produced by task From of query Query, destined for consumer channel Dest
+// on its input edge Input.
 type Partition struct {
+	// Query is the submitting query's id. Channel and task names are only
+	// unique within one query; the mailbox keys every slot by query id so
+	// concurrent queries on one cluster never read each other's partitions.
+	Query string
 	From  lineage.TaskName
 	Dest  lineage.ChannelID
 	Input int
@@ -35,8 +39,10 @@ type Partition struct {
 	Local bool
 }
 
-// edgeKey identifies a consumer's view of one upstream channel.
+// edgeKey identifies a consumer's view of one upstream channel within one
+// query.
 type edgeKey struct {
+	query     string
 	dest      lineage.ChannelID
 	input     int
 	upChannel int
@@ -77,7 +83,7 @@ func (s *Server) Push(p Partition) error {
 	if s.failed {
 		return ErrServerDown
 	}
-	k := edgeKey{p.Dest, p.Input, p.From.Channel}
+	k := edgeKey{p.Query, p.Dest, p.Input, p.From.Channel}
 	box := s.boxes[k]
 	if box == nil {
 		box = make(map[int][]byte)
@@ -99,10 +105,10 @@ func (s *Server) Push(p Partition) error {
 // starting at from are present for the given consumer edge. This is what
 // lets a task decide how many outputs of one upstream channel it can
 // consume (its inputs must be taken in order, §III-A).
-func (s *Server) ContiguousFrom(dest lineage.ChannelID, input, upChannel, from int) int {
+func (s *Server) ContiguousFrom(query string, dest lineage.ChannelID, input, upChannel, from int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	box := s.boxes[edgeKey{dest, input, upChannel}]
+	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	n := 0
 	for {
 		if _, ok := box[from+n]; !ok {
@@ -114,13 +120,13 @@ func (s *Server) ContiguousFrom(dest lineage.ChannelID, input, upChannel, from i
 
 // Take returns the partitions [from, from+count) for the consumer edge
 // without removing them. It fails if any is missing.
-func (s *Server) Take(dest lineage.ChannelID, input, upChannel, from, count int) ([][]byte, error) {
+func (s *Server) Take(query string, dest lineage.ChannelID, input, upChannel, from, count int) ([][]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed {
 		return nil, ErrServerDown
 	}
-	box := s.boxes[edgeKey{dest, input, upChannel}]
+	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	out := make([][]byte, count)
 	for i := 0; i < count; i++ {
 		d, ok := box[from+i]
@@ -134,10 +140,10 @@ func (s *Server) Take(dest lineage.ChannelID, input, upChannel, from, count int)
 }
 
 // Drop removes consumed partitions [from, from+count), freeing memory.
-func (s *Server) Drop(dest lineage.ChannelID, input, upChannel, from, count int) {
+func (s *Server) Drop(query string, dest lineage.ChannelID, input, upChannel, from, count int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	box := s.boxes[edgeKey{dest, input, upChannel}]
+	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	for i := 0; i < count; i++ {
 		if d, ok := box[from+i]; ok {
 			s.bytes -= int64(len(d))
@@ -151,10 +157,10 @@ func (s *Server) Drop(dest lineage.ChannelID, input, upChannel, from, count int)
 // whole history; consumers discard what their watermark says they already
 // consumed (the paper's "ignore the recovered task's re-transmitted
 // output", §III).
-func (s *Server) DropBelow(dest lineage.ChannelID, input, upChannel, wm int) {
+func (s *Server) DropBelow(query string, dest lineage.ChannelID, input, upChannel, wm int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	box := s.boxes[edgeKey{dest, input, upChannel}]
+	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	for seq, d := range box {
 		if seq < wm {
 			s.bytes -= int64(len(d))
@@ -163,13 +169,31 @@ func (s *Server) DropBelow(dest lineage.ChannelID, input, upChannel, wm int) {
 	}
 }
 
-// DropChannel clears every partition buffered for a consumer channel; the
-// coordinator uses it when that channel is rewound elsewhere.
-func (s *Server) DropChannel(dest lineage.ChannelID) {
+// DropChannel clears every partition buffered for a consumer channel of
+// one query; the coordinator uses it when that channel is rewound
+// elsewhere.
+func (s *Server) DropChannel(query string, dest lineage.ChannelID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, box := range s.boxes {
-		if k.dest == dest {
+		if k.query == query && k.dest == dest {
+			for _, d := range box {
+				s.bytes -= int64(len(d))
+			}
+			delete(s.boxes, k)
+		}
+	}
+}
+
+// DropQuery clears every partition buffered for one query, leaving the
+// other queries' mailboxes untouched. Called when a query completes, fails
+// or is cancelled, so a torn-down query never leaks shuffle memory on the
+// workers.
+func (s *Server) DropQuery(query string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, box := range s.boxes {
+		if k.query == query {
 			for _, d := range box {
 				s.bytes -= int64(len(d))
 			}

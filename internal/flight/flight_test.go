@@ -14,6 +14,7 @@ func newServer() *Server {
 
 func part(stage, ch, seq int, dest lineage.ChannelID, input int, data string) Partition {
 	return Partition{
+		Query: "q1",
 		From:  lineage.TaskName{Stage: stage, Channel: ch, Seq: seq},
 		Dest:  dest,
 		Input: input,
@@ -29,21 +30,21 @@ func TestPushTakeDrop(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := s.ContiguousFrom(dest, 0, 2, 0); got != 3 {
+	if got := s.ContiguousFrom("q1", dest, 0, 2, 0); got != 3 {
 		t.Errorf("ContiguousFrom(0) = %d, want 3", got)
 	}
-	if got := s.ContiguousFrom(dest, 0, 2, 1); got != 2 {
+	if got := s.ContiguousFrom("q1", dest, 0, 2, 1); got != 2 {
 		t.Errorf("ContiguousFrom(1) = %d, want 2", got)
 	}
-	data, err := s.Take(dest, 0, 2, 0, 2)
+	data, err := s.Take("q1", dest, 0, 2, 0, 2)
 	if err != nil || len(data) != 2 {
 		t.Fatalf("Take: %v, %v", data, err)
 	}
-	s.Drop(dest, 0, 2, 0, 2)
-	if got := s.ContiguousFrom(dest, 0, 2, 0); got != 0 {
+	s.Drop("q1", dest, 0, 2, 0, 2)
+	if got := s.ContiguousFrom("q1", dest, 0, 2, 0); got != 0 {
 		t.Errorf("after drop ContiguousFrom(0) = %d", got)
 	}
-	if got := s.ContiguousFrom(dest, 0, 2, 2); got != 1 {
+	if got := s.ContiguousFrom("q1", dest, 0, 2, 2); got != 1 {
 		t.Errorf("seq 2 should remain: %d", got)
 	}
 }
@@ -53,10 +54,10 @@ func TestContiguityGap(t *testing.T) {
 	dest := lineage.ChannelID{Stage: 1, Channel: 0}
 	s.Push(part(0, 0, 0, dest, 0, "a"))
 	s.Push(part(0, 0, 2, dest, 0, "c")) // gap at 1
-	if got := s.ContiguousFrom(dest, 0, 0, 0); got != 1 {
+	if got := s.ContiguousFrom("q1", dest, 0, 0, 0); got != 1 {
 		t.Errorf("ContiguousFrom with gap = %d, want 1", got)
 	}
-	if _, err := s.Take(dest, 0, 0, 0, 3); err == nil {
+	if _, err := s.Take("q1", dest, 0, 0, 0, 3); err == nil {
 		t.Error("Take across gap must fail")
 	}
 }
@@ -69,7 +70,7 @@ func TestPushIdempotent(t *testing.T) {
 	if s.BufferedBytes() != int64(len("retransmit")) {
 		t.Errorf("BufferedBytes = %d after overwrite", s.BufferedBytes())
 	}
-	data, err := s.Take(dest, 0, 0, 0, 1)
+	data, err := s.Take("q1", dest, 0, 0, 0, 1)
 	if err != nil || string(data[0]) != "retransmit" {
 		t.Fatalf("Take after overwrite: %q, %v", data, err)
 	}
@@ -82,17 +83,17 @@ func TestEdgesAreIsolated(t *testing.T) {
 	s.Push(part(0, 0, 0, d1, 0, "x"))
 	s.Push(part(0, 0, 0, d2, 0, "y"))
 	s.Push(part(0, 0, 0, d1, 1, "z")) // same dest, different input edge
-	if got := s.ContiguousFrom(d1, 0, 0, 0); got != 1 {
+	if got := s.ContiguousFrom("q1", d1, 0, 0, 0); got != 1 {
 		t.Errorf("d1 input0 = %d", got)
 	}
-	if got := s.ContiguousFrom(d1, 1, 0, 0); got != 1 {
+	if got := s.ContiguousFrom("q1", d1, 1, 0, 0); got != 1 {
 		t.Errorf("d1 input1 = %d", got)
 	}
-	s.DropChannel(d1)
-	if got := s.ContiguousFrom(d1, 0, 0, 0); got != 0 {
+	s.DropChannel("q1", d1)
+	if got := s.ContiguousFrom("q1", d1, 0, 0, 0); got != 0 {
 		t.Error("DropChannel should clear all d1 edges")
 	}
-	if got := s.ContiguousFrom(d2, 0, 0, 0); got != 1 {
+	if got := s.ContiguousFrom("q1", d2, 0, 0, 0); got != 1 {
 		t.Error("DropChannel must not touch other channels")
 	}
 }
@@ -105,11 +106,41 @@ func TestFailDropsAndRejects(t *testing.T) {
 	if err := s.Push(part(0, 0, 1, dest, 0, "y")); err != ErrServerDown {
 		t.Errorf("Push after fail = %v", err)
 	}
-	if _, err := s.Take(dest, 0, 0, 0, 1); err != ErrServerDown {
+	if _, err := s.Take("q1", dest, 0, 0, 0, 1); err != ErrServerDown {
 		t.Errorf("Take after fail = %v", err)
 	}
 	if s.BufferedBytes() != 0 {
 		t.Error("failed server should hold nothing")
+	}
+}
+
+func TestQueriesAreIsolated(t *testing.T) {
+	s := newServer()
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	// Two queries deliver to the SAME channel id and sequence numbers.
+	p1 := part(0, 0, 0, dest, 0, "query-one")
+	p2 := part(0, 0, 0, dest, 0, "query-two")
+	p2.Query = "q2"
+	s.Push(p1)
+	s.Push(p2)
+	d1, err := s.Take("q1", dest, 0, 0, 0, 1)
+	if err != nil || string(d1[0]) != "query-one" {
+		t.Fatalf("q1 Take: %q, %v", d1, err)
+	}
+	d2, err := s.Take("q2", dest, 0, 0, 0, 1)
+	if err != nil || string(d2[0]) != "query-two" {
+		t.Fatalf("q2 Take: %q, %v", d2, err)
+	}
+	// Tearing one query down leaves the other untouched.
+	s.DropQuery("q1")
+	if got := s.ContiguousFrom("q1", dest, 0, 0, 0); got != 0 {
+		t.Errorf("q1 after DropQuery = %d", got)
+	}
+	if got := s.ContiguousFrom("q2", dest, 0, 0, 0); got != 1 {
+		t.Errorf("q2 after q1 DropQuery = %d", got)
+	}
+	if s.BufferedBytes() != int64(len("query-two")) {
+		t.Errorf("BufferedBytes = %d", s.BufferedBytes())
 	}
 }
 

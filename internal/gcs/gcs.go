@@ -95,6 +95,11 @@ func (s *Store) View(fn func(tx *Txn) error) error {
 	return err
 }
 
+// WriteBytes returns the transaction's accumulated write payload (keys +
+// values). The engine reads it to attribute GCS traffic to the query the
+// transaction belongs to; the store itself keeps counting cluster totals.
+func (tx *Txn) WriteBytes() int64 { return tx.bytes }
+
 // Get returns the value for key, observing earlier writes in the same
 // transaction. ok is false when the key is absent.
 func (tx *Txn) Get(key string) (val []byte, ok bool) {

@@ -18,6 +18,26 @@ import (
 type Collector struct {
 	mu       sync.Mutex
 	counters map[string]*atomic.Int64
+
+	// fan, when non-nil, makes this collector a write-only tee: Add and
+	// Max forward to every target and nothing is recorded locally. Reads
+	// (Get, Snapshot) come from the LAST target — by convention the most
+	// specific one (e.g. the per-query collector behind a cluster-wide one).
+	fan []*Collector
+}
+
+// Tee returns a write-only collector forwarding Add and Max to every
+// target. The engine uses it to count one event into both the cluster-wide
+// collector and a per-query collector without double bookkeeping at every
+// call site. Reads resolve against the last target.
+func Tee(targets ...*Collector) *Collector {
+	fan := make([]*Collector, 0, len(targets))
+	for _, t := range targets {
+		if t != nil {
+			fan = append(fan, t)
+		}
+	}
+	return &Collector{fan: fan}
 }
 
 // Counter names used across the engine. Keeping them centralized makes the
@@ -49,6 +69,11 @@ const (
 	SpillRuns        = "spill.runs"       // run files written
 	SpillPartitions  = "spill.partitions" // spill partitions that received data
 	SpillPeakBytes   = "spill.peak.bytes" // high-water mark of accounted operator memory (gauge)
+	QueriesAdmitted  = "queries.admitted" // queries admitted to execute
+	QueriesQueued    = "queries.queued"   // queries that waited in the admission queue
+	QueriesActive    = "queries.active"   // currently admitted queries (up/down counter)
+	QueriesPeak      = "queries.peak"     // high-water mark of concurrently admitted queries (gauge)
+	WorkerMemPeak    = "mem.worker.peak"  // peak accounted operator bytes on any worker, across queries (gauge)
 )
 
 func (c *Collector) counter(name string) *atomic.Int64 {
@@ -71,6 +96,12 @@ func (c *Collector) Add(name string, delta int64) {
 	if c == nil {
 		return
 	}
+	if c.fan != nil {
+		for _, t := range c.fan {
+			t.Add(name, delta)
+		}
+		return
+	}
 	c.counter(name).Add(delta)
 }
 
@@ -79,6 +110,12 @@ func (c *Collector) Add(name string, delta int64) {
 // counters. A nil Collector is a no-op.
 func (c *Collector) Max(name string, v int64) {
 	if c == nil {
+		return
+	}
+	if c.fan != nil {
+		for _, t := range c.fan {
+			t.Max(name, v)
+		}
 		return
 	}
 	ctr := c.counter(name)
@@ -95,6 +132,12 @@ func (c *Collector) Get(name string) int64 {
 	if c == nil {
 		return 0
 	}
+	if c.fan != nil {
+		if len(c.fan) == 0 {
+			return 0
+		}
+		return c.fan[len(c.fan)-1].Get(name)
+	}
 	c.mu.Lock()
 	v, ok := c.counters[name]
 	c.mu.Unlock()
@@ -108,6 +151,12 @@ func (c *Collector) Get(name string) int64 {
 func (c *Collector) Snapshot() map[string]int64 {
 	if c == nil {
 		return nil
+	}
+	if c.fan != nil {
+		if len(c.fan) == 0 {
+			return map[string]int64{}
+		}
+		return c.fan[len(c.fan)-1].Snapshot()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,11 +18,13 @@
 // reproducible — the accountant can be shared across a worker's channels
 // and react to live memory pressure without perturbing lineage replay.
 //
-// Run files live on the worker's volatile LocalDisk under the per-channel
-// namespace "spill/<stage>.<channel>.e<epoch>/..." and are read strictly
-// through the operator's in-memory manifest: stale files left behind by a
-// pre-failure incarnation of a channel are invisible to the replacement
-// operator and are swept on channel reset and at query completion.
+// Run files live on the worker's volatile LocalDisk under the per-query,
+// per-channel namespace "spill/<qid>/<stage>.<channel>.e<epoch>/..." and
+// are read strictly through the operator's in-memory manifest: stale files
+// left behind by a pre-failure incarnation of a channel are invisible to
+// the replacement operator and are swept on channel reset and at query
+// teardown — completion, failure or cancellation — without touching the
+// namespaces of concurrent queries on the same worker.
 package spill
 
 import (
@@ -45,13 +47,58 @@ const DefaultPartitions = 16
 // single giant key, which no amount of hash partitioning can split.
 const MaxDepth = 4
 
+// Ledger tracks accounted operator state bytes for one worker ACROSS
+// queries. Each concurrent query's per-worker Accountant can attach to the
+// worker's ledger; grows and releases then also flow through the ledger, so
+// worker-wide pressure is visible (and, when the ledger carries a budget,
+// enforced) no matter which query allocated the state. A nil ledger, and a
+// ledger with budget 0, preserve the per-query-only semantics exactly.
+type Ledger struct {
+	budget int64 // 0 = track only, never reject
+	met    *metrics.Collector
+	cur    atomic.Int64
+	peak   atomic.Int64
+}
+
+// NewLedger creates a worker-wide ledger. budget 0 tracks usage without
+// enforcing a cap.
+func NewLedger(budget int64, met *metrics.Collector) *Ledger {
+	return &Ledger{budget: budget, met: met}
+}
+
+// Used returns the currently accounted bytes across all attached
+// accountants.
+func (l *Ledger) Used() int64 { return l.cur.Load() }
+
+// Peak returns the high-water mark of accounted bytes.
+func (l *Ledger) Peak() int64 { return l.peak.Load() }
+
+func (l *Ledger) grow(delta int64) {
+	cur := l.cur.Add(delta)
+	for {
+		p := l.peak.Load()
+		if cur <= p || l.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	l.met.Max(metrics.WorkerMemPeak, cur)
+}
+
+func (l *Ledger) fits(delta int64) bool {
+	return l.budget <= 0 || l.cur.Load()+delta <= l.budget
+}
+
 // Accountant tracks accounted operator state bytes for one worker under a
 // budget. Safe for concurrent use: a worker's channels (and the partition
 // lanes inside partitioned operators) share one accountant, so spill
 // pressure reflects the worker's total state, like a real memory pool.
+// When several queries run concurrently, each query has its own accountant
+// per worker (its MemoryBudget is a per-query knob), optionally attached to
+// the worker's cross-query Ledger.
 type Accountant struct {
 	budget int64
 	met    *metrics.Collector
+	parent *Ledger // optional worker-wide ledger shared across queries
 	cur    atomic.Int64
 	peak   atomic.Int64
 }
@@ -60,6 +107,10 @@ type Accountant struct {
 func NewAccountant(budget int64, met *metrics.Collector) *Accountant {
 	return &Accountant{budget: budget, met: met}
 }
+
+// AttachLedger routes this accountant's grows and releases through the
+// worker-wide ledger as well. Call before any accounting happens.
+func (a *Accountant) AttachLedger(l *Ledger) { a.parent = l }
 
 // Budget returns the configured budget.
 func (a *Accountant) Budget() int64 { return a.budget }
@@ -70,8 +121,15 @@ func (a *Accountant) Used() int64 { return a.cur.Load() }
 // Peak returns the high-water mark of accounted bytes.
 func (a *Accountant) Peak() int64 { return a.peak.Load() }
 
-// Fits reports whether growing by delta would stay within the budget.
+// Fits reports whether growing by delta would stay within the budget —
+// both this query's own budget and, when attached, the worker-wide ledger
+// shared with concurrent queries. Rejection only ever makes an operator
+// spill, and spilling is output-transparent, so cross-query pressure may
+// be arbitrarily racy without perturbing lineage replay.
 func (a *Accountant) Fits(delta int64) bool {
+	if a.parent != nil && !a.parent.fits(delta) {
+		return false
+	}
 	return a.cur.Load()+delta <= a.budget
 }
 
@@ -80,14 +138,28 @@ func (a *Accountant) Fits(delta int64) bool {
 // past the budget is reserved for ForceReserve-style last resorts.
 func (a *Accountant) Grow(delta int64) {
 	a.bumpPeak(a.cur.Add(delta))
+	if a.parent != nil {
+		a.parent.grow(delta)
+	}
 }
 
 // Release subtracts delta from the accounted bytes.
-func (a *Accountant) Release(delta int64) { a.cur.Add(-delta) }
+func (a *Accountant) Release(delta int64) {
+	a.cur.Add(-delta)
+	if a.parent != nil {
+		a.parent.grow(-delta)
+	}
+}
 
 // TryGrow atomically grows by delta only if the result stays within the
 // budget (no check-then-grow race between concurrent partition lanes).
+// The worker-wide ledger check is advisory (checked up front, not held
+// atomically with the grow): overshoot between queries only means a later
+// Fits turns negative sooner, which is safe by output transparency.
 func (a *Accountant) TryGrow(delta int64) bool {
+	if a.parent != nil && !a.parent.fits(delta) {
+		return false
+	}
 	for {
 		cur := a.cur.Load()
 		if cur+delta > a.budget {
@@ -95,6 +167,9 @@ func (a *Accountant) TryGrow(delta int64) bool {
 		}
 		if a.cur.CompareAndSwap(cur, cur+delta) {
 			a.bumpPeak(cur + delta)
+			if a.parent != nil {
+				a.parent.grow(delta)
+			}
 			return true
 		}
 	}

@@ -13,6 +13,11 @@
 //     projection pruning, operator fusion, broadcast-join selection) and
 //     lowered to the engine's pipelined physical plans; Explain shows
 //     the optimized plan.
+//   - Query / Cursor: Submit returns a per-query handle immediately; any
+//     number of queries run concurrently on one cluster (bounded by the
+//     admission controller, FIFO beyond the bound), stream results
+//     through pull-based cursors with backpressure, and cancel cleanly
+//     without disturbing each other. Collect is Submit + Result.
 //   - RunConfig: execution / fault-tolerance / recovery knobs, with
 //     presets for the paper's three systems (Quokka, SparkSQL-like,
 //     Trino-like).
@@ -140,6 +145,21 @@ func (c *Cluster) KillWorker(i int) error {
 // Metrics returns a snapshot of the cluster's counters (bytes shuffled,
 // backed up, spooled, GCS transactions, tasks executed/replayed, ...).
 func (c *Cluster) Metrics() map[string]int64 { return c.inner.Metrics.Snapshot() }
+
+// SetAdmissionLimit bounds how many queries the cluster executes
+// concurrently (default engine.DefaultAdmissionLimit = 4). Submissions
+// beyond the bound queue FIFO and are admitted as slots free up. n <= 0
+// restores the default.
+func (c *Cluster) SetAdmissionLimit(n int) { engine.SetAdmissionLimit(c.inner, n) }
+
+// SetWorkerMemoryBudget installs a per-worker accounted-memory cap shared
+// by ALL in-flight queries: concurrent budgeted queries then spill against
+// the worker's total accounted operator state, not just their own
+// RunConfig.MemoryBudget. 0 (the default) disables the cross-query cap.
+// Only queries submitted after the call observe it.
+func (c *Cluster) SetWorkerMemoryBudget(bytes int64) {
+	engine.SetWorkerMemoryBudget(c.inner, bytes)
+}
 
 // Internal accessor for the benchmark harness.
 func (c *Cluster) internalCluster() *cluster.Cluster { return c.inner }

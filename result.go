@@ -76,29 +76,59 @@ func (r *Result) TasksReplayed() int64 { return r.report.TasksReplayed }
 // the full set).
 func (r *Result) Metric(name string) int64 { return r.report.Metrics[name] }
 
-// String renders up to 25 rows as an aligned table.
+// String renders up to 25 rows as an aligned table: every cell is padded
+// to its column's widest rendered value among the shown rows (and the
+// header), so columns line up vertically.
 func (r *Result) String() string {
 	if r.batch == nil || r.batch.NumRows() == 0 {
 		return "(empty result)"
 	}
-	var b strings.Builder
 	cols := r.Columns()
-	b.WriteString(strings.Join(cols, " | "))
-	b.WriteByte('\n')
-	b.WriteString(strings.Repeat("-", len(strings.Join(cols, " | "))))
-	b.WriteByte('\n')
 	n := r.batch.NumRows()
 	shown := n
 	if shown > 25 {
 		shown = 25
 	}
+	// Render all cells first, then size each column.
+	cells := make([][]string, shown)
+	widths := make([]int, len(cols))
+	for c, name := range cols {
+		widths[c] = len(name)
+	}
 	for i := 0; i < shown; i++ {
-		parts := make([]string, len(r.batch.Cols))
+		row := make([]string, len(r.batch.Cols))
 		for c, col := range r.batch.Cols {
-			parts[c] = fmt.Sprintf("%v", col.Value(i))
+			row[c] = fmt.Sprintf("%v", col.Value(i))
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
 		}
-		b.WriteString(strings.Join(parts, " | "))
+		cells[i] = row
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(cell)
+			// Pad to the column width; the last column stays ragged so
+			// lines carry no trailing spaces.
+			if c < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+			}
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(cols)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+3*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
 	}
 	if shown < n {
 		fmt.Fprintf(&b, "... (%d more rows)\n", n-shown)

@@ -24,8 +24,20 @@ func tpchPlan(c *Cluster, q int) (*plan.Node, error) {
 	return plan.Optimize(node, plan.NewStoreCatalog(c.inner.ObjStore), plan.Options{})
 }
 
-// RunTPCH executes TPC-H query q (1..22) on the cluster.
+// RunTPCH executes TPC-H query q (1..22) on the cluster to completion:
+// SubmitTPCH followed by Result.
 func RunTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Result, error) {
+	h, err := SubmitTPCH(ctx, c, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.Result()
+}
+
+// SubmitTPCH starts TPC-H query q (1..22) on the cluster and returns its
+// handle without waiting. Any number of TPC-H queries may be submitted
+// concurrently on one cluster.
+func SubmitTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Query, error) {
 	opt, err := tpchPlan(c, q)
 	if err != nil {
 		return nil, err
@@ -34,12 +46,12 @@ func RunTPCH(ctx context.Context, c *Cluster, q int, cfg RunConfig) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPlan(ctx, c, phys, cfg)
+	h, err := submitPlan(ctx, c, phys, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res.explain = plan.Explain(opt)
-	return res, nil
+	h.explain = plan.Explain(opt)
+	return h, nil
 }
 
 // ExplainTPCH renders the optimized logical plan of TPC-H query q against
