@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-concurrent fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ bench-json:
 	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
 	$(GO) run ./cmd/quokka-bench -exp spill -json BENCH_spill.json
 	$(GO) run ./cmd/quokka-bench -exp planner -repeats 3 -json BENCH_planner.json
+	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
+
+## bench-concurrent: just the admission-level sweep (1/2/4/8/16 plus the
+## group-commit-off ablation at 4); regenerates BENCH_concurrent.json.
+## Every concurrent result is verified byte-identical against its serial
+## reference as part of the run.
+bench-concurrent:
 	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
 
 fmt:

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"quokka/internal/bench"
@@ -38,8 +39,20 @@ func main() {
 		workers   = flag.Int("workers", 0, "override worker count (0 = per-figure defaults)")
 		queries   = flag.String("queries", "", "comma-separated query list for fig6/fig11a (default: all 22)")
 		jsonOut   = flag.String("json", "", "write machine-readable results (JSON array) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// The simulated cluster (and its TPC-H dataset) is built lazily: the
 	// kernel-level hashpath experiment does not need it.

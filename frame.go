@@ -32,8 +32,16 @@ type Session struct {
 	cluster *Cluster
 }
 
-// NewSession creates a query-building session on the cluster.
-func NewSession(c *Cluster) *Session { return &Session{cluster: c} }
+// NewSession creates a query-building session on the cluster. Any options
+// are applied to the cluster's shared execution state, exactly as
+// c.Configure(opts...) would — sessions are thin and all sessions on one
+// cluster share it.
+func NewSession(c *Cluster, opts ...Option) *Session {
+	if len(opts) > 0 {
+		c.Configure(opts...)
+	}
+	return &Session{cluster: c}
+}
 
 // Read scans a table previously loaded with CreateTable or LoadTPCH.
 func (s *Session) Read(table string) *DataFrame {

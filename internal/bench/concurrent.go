@@ -13,18 +13,89 @@ import (
 
 // The concurrent experiment measures the Submit API's aggregate throughput:
 // the same batch of TPC-H queries is run to completion with the cluster's
-// admission limit at 1 (strictly serial), 2 and 4. Because modelled I/O
-// waits release CPU slots, overlapping queries fill each other's stalls —
-// the throughput gain at admission 2/4 over 1 is the whole point of
-// concurrent query sessions. Every result is verified against its serial
-// reference before anything is reported.
+// admission limit swept over 1 (strictly serial), 2, 4, 8 and 16. Because
+// modelled I/O waits release CPU slots, overlapping queries fill each
+// other's stalls — the throughput gain over admission 1 is the whole point
+// of concurrent query sessions, and keeping it growing past admission 4 is
+// what group-commit lineage, worker-side result spooling and the sharded
+// GCS keyspace buy. At admission 4 an extra pass runs with group commit
+// disabled (WithLineageFlushInterval(-1)) so the per-query commit-txn
+// reduction is measured directly. Every result is verified against its
+// serial reference before anything is reported.
 
 // DefaultConcurrentQueries mixes scan-aggregate and join-heavy shapes.
 var DefaultConcurrentQueries = []int{1, 3, 6, 9}
 
 // concurrentBatchPerQuery is how many instances of each query form the
 // workload batch (mixed Parallelism and MemoryBudget across instances).
-const concurrentBatchPerQuery = 2
+const concurrentBatchPerQuery = 4
+
+// concurrentInst is one workload entry: a TPC-H query plus its run config.
+type concurrentInst struct {
+	q   int
+	cfg engine.Config
+}
+
+// concurrentStats aggregates per-query reports for one admission level.
+type concurrentStats struct {
+	flushes, batched, commits, txns, headBytes, tasks int64
+}
+
+func (s *concurrentStats) add(rep *engine.Report) {
+	s.flushes += rep.Metrics[metrics.LineageFlushes]
+	s.batched += rep.Metrics[metrics.GCSTxnBatched]
+	s.txns += rep.Metrics[metrics.GCSTxns]
+	s.headBytes += rep.Metrics[metrics.HeadResultBytes]
+	s.tasks += rep.TasksExecuted
+	if s.flushes > 0 {
+		s.commits = s.flushes // group commit on: one txn per flush
+	} else {
+		s.commits = s.tasks // group commit off: one txn per task commit
+	}
+}
+
+// runConcurrentBatch submits the whole workload on a fresh cluster with the
+// given admission limit, verifies every result against its serial
+// reference, and returns the wall time, peak concurrency and aggregated
+// per-query metrics.
+func (h *Harness) runConcurrentBatch(workers, level int, batchList []concurrentInst,
+	refs []*batch.Batch, opts ...engine.Option) (time.Duration, int64, concurrentStats, error) {
+	var st concurrentStats
+	cl := h.newCluster(workers)
+	engine.Configure(cl, append([]engine.Option{engine.WithAdmissionLimit(level)}, opts...)...)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	qs := make([]*engine.Query, len(batchList))
+	for i, in := range batchList {
+		plan, err := tpch.Query(in.q)
+		if err != nil {
+			return 0, 0, st, err
+		}
+		r, err := engine.NewRunner(cl, plan, in.cfg)
+		if err != nil {
+			return 0, 0, st, err
+		}
+		qs[i] = r.Start(ctx)
+	}
+	for i, q := range qs {
+		out, rep, err := q.Result()
+		if err != nil {
+			return 0, 0, st, fmt.Errorf("concurrent c%d q%d: %w", level, batchList[i].q, err)
+		}
+		if err := sameResult(refs[i], out); err != nil {
+			return 0, 0, st, fmt.Errorf("concurrent c%d q%d: result differs from serial: %w",
+				level, batchList[i].q, err)
+		}
+		st.add(rep)
+	}
+	wall := time.Since(start)
+	peak := cl.Metrics.Get(metrics.QueriesPeak)
+	if peak > int64(level) {
+		return 0, 0, st, fmt.Errorf("concurrent c%d: queries.peak %d exceeds admission limit", level, peak)
+	}
+	return wall, peak, st, nil
+}
 
 // ConcurrentSweep runs the admission-level sweep and returns the
 // machine-readable record for quokka-bench -json.
@@ -32,11 +103,12 @@ func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error
 	if len(queries) == 0 {
 		queries = DefaultConcurrentQueries
 	}
-	levels := []int{1, 2, 4}
+	levels := []int{1, 2, 4, 8, 16}
 	h.printf("Concurrent query sessions — admission-level sweep, %d workers, SF %g\n", workers, h.P.SF)
 	h.printf("workload: %d instances of queries %v (alternating parallelism/budget)\n",
 		concurrentBatchPerQuery*len(queries), queries)
-	h.printf("%-10s %9s %12s %9s %6s\n", "admission", "wall(s)", "thruput(q/s)", "speedup", "peak")
+	h.printf("%-10s %9s %12s %9s %6s %8s %10s\n",
+		"admission", "wall(s)", "thruput(q/s)", "speedup", "peak", "batchx", "head(KiB)")
 
 	res := JSONResult{
 		Experiment: "concurrent",
@@ -48,13 +120,9 @@ func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error
 		Speedup:    map[string]float64{},
 	}
 
-	// Workload: each query twice, alternating operator parallelism and
-	// memory budget so the mix exercises spill + CPU-pool sharing.
-	type inst struct {
-		q   int
-		cfg engine.Config
-	}
-	var batchList []inst
+	// Workload: each query several times, alternating operator parallelism
+	// and memory budget so the mix exercises spill + CPU-pool sharing.
+	var batchList []concurrentInst
 	for i := 0; i < concurrentBatchPerQuery; i++ {
 		for _, q := range queries {
 			cfg := engine.DefaultConfig()
@@ -62,7 +130,7 @@ func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error
 				cfg.Parallelism = 1
 				cfg.MemoryBudget = 256 << 10
 			}
-			batchList = append(batchList, inst{q, cfg})
+			batchList = append(batchList, concurrentInst{q, cfg})
 		}
 	}
 
@@ -90,49 +158,34 @@ func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error
 		}
 	}
 
+	// The sweep runs the tuned configuration: a short flush hold widens
+	// group-commit batches (commits from a query's other channels fold into
+	// the open transaction) at a latency cost far below one task's runtime.
+	const flushHold = 750 * time.Microsecond
+	res.Config["lineage_flush_interval_us"] = float64(flushHold / time.Microsecond)
+
+	nq := float64(len(batchList))
 	var baseWall float64
 	for _, level := range levels {
-		cl := h.newCluster(workers)
-		engine.SetAdmissionLimit(cl, level)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
-		start := time.Now()
-		qs := make([]*engine.Query, len(batchList))
-		for i, in := range batchList {
-			plan, err := tpch.Query(in.q)
-			if err != nil {
-				cancel()
-				return res, err
-			}
-			r, err := engine.NewRunner(cl, plan, in.cfg)
-			if err != nil {
-				cancel()
-				return res, err
-			}
-			qs[i] = r.Start(ctx)
+		wall, peak, st, err := h.runConcurrentBatch(workers, level, batchList, refs,
+			engine.WithLineageFlushInterval(flushHold))
+		if err != nil {
+			return res, err
 		}
-		for i, q := range qs {
-			out, _, err := q.Result()
-			if err != nil {
-				cancel()
-				return res, fmt.Errorf("concurrent c%d q%d: %w", level, batchList[i].q, err)
-			}
-			if err := sameResult(refs[i], out); err != nil {
-				cancel()
-				return res, fmt.Errorf("concurrent c%d q%d: result differs from serial: %w",
-					level, batchList[i].q, err)
-			}
-		}
-		wall := time.Since(start)
-		cancel()
-		peak := cl.Metrics.Get(metrics.QueriesPeak)
-		if peak > int64(level) {
-			return res, fmt.Errorf("concurrent c%d: queries.peak %d exceeds admission limit", level, peak)
-		}
-		thruput := float64(len(batchList)) / seconds(wall)
+		thruput := nq / seconds(wall)
 		key := fmt.Sprintf("c%d", level)
 		res.DurationsS[key+".wall"] = seconds(wall)
 		res.Config[key+".throughput_qps"] = thruput
 		res.Config[key+".queries_peak"] = peak
+		// Group-commit batch factor: task commits folded per flush txn.
+		batchFactor := 1.0
+		if st.flushes > 0 {
+			batchFactor = float64(st.flushes+st.batched) / float64(st.flushes)
+		}
+		res.Config[key+".commit_batch_factor"] = batchFactor
+		res.Config[key+".commit_txns_per_query"] = float64(st.commits) / nq
+		res.Config[key+".gcs_txns_per_query"] = float64(st.txns) / nq
+		res.Config[key+".head_result_bytes_per_query"] = float64(st.headBytes) / nq
 		speedup := 1.0
 		if level == levels[0] {
 			baseWall = seconds(wall)
@@ -140,8 +193,27 @@ func (h *Harness) ConcurrentSweep(workers int, queries []int) (JSONResult, error
 			speedup = baseWall / seconds(wall)
 			res.Speedup[key] = speedup
 		}
-		h.printf("%-10d %9.3f %12.2f %8.2fx %6d\n", level, seconds(wall), thruput, speedup, peak)
+		h.printf("%-10d %9.3f %12.2f %8.2fx %6d %7.1fx %10.1f\n",
+			level, seconds(wall), thruput, speedup, peak, batchFactor, float64(st.headBytes)/nq/1024)
 	}
-	h.printf("\n")
+
+	// Group-commit ablation at the knee: the same batch at admission 4 with
+	// group commit disabled — every task commit pays its own GCS txn.
+	wallOff, _, stOff, err := h.runConcurrentBatch(workers, 4, batchList, refs,
+		engine.WithLineageFlushInterval(-1))
+	if err != nil {
+		return res, err
+	}
+	res.DurationsS["c4_nogroup.wall"] = seconds(wallOff)
+	res.Config["c4_nogroup.commit_txns_per_query"] = float64(stOff.commits) / nq
+	res.Config["c4_nogroup.gcs_txns_per_query"] = float64(stOff.txns) / nq
+	onCommits, _ := res.Config["c4.commit_txns_per_query"].(float64)
+	reduction := 0.0
+	if onCommits > 0 {
+		reduction = float64(stOff.commits) / nq / onCommits
+	}
+	res.Config["c4.commit_txn_reduction"] = reduction
+	h.printf("group-commit off @4: wall %.3fs, %.0f commit txns/query vs %.0f (%.1fx reduction)\n\n",
+		seconds(wallOff), float64(stOff.commits)/nq, onCommits, reduction)
 	return res, nil
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"quokka/internal/cluster"
+	"quokka/internal/gcs"
 	"quokka/internal/metrics"
 	"quokka/internal/spill"
 )
@@ -38,6 +40,44 @@ type clusterShared struct {
 	// still governed by its own MemoryBudget).
 	workerBudget int64
 	met          *metrics.Collector
+
+	// Cluster-level defaults installed by Configure options; a query's own
+	// Config fields, when set, take precedence (see resolve sites in
+	// NewRunner).
+	cursorBufferDefault int64
+	flushDefault        time.Duration
+
+	// The cluster's shared group committer: ONE flusher serves every
+	// admitted query, so concurrent queries' lineage commits fold into the
+	// same GCS transactions. Refcounted — it runs only while at least one
+	// group-commit query is in flight.
+	gcMu   sync.Mutex
+	gcRefs int
+	gc     *groupCommitter
+}
+
+// committer returns the cluster's shared group committer, starting it on
+// first acquisition. Every runner that acquires it must call
+// committerDone after its last task-manager thread has exited.
+func (s *clusterShared) committer(store *gcs.Store) *groupCommitter {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcRefs == 0 {
+		s.gc = newGroupCommitter(store)
+	}
+	s.gcRefs++
+	return s.gc
+}
+
+// committerDone releases one acquisition; the last release stops the
+// flusher (safe: no registered query remains, so no requester can block).
+func (s *clusterShared) committerDone() {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcRefs--; s.gcRefs == 0 {
+		s.gc.stop()
+		s.gc = nil
+	}
 }
 
 // sharedFor returns (creating on first use) the cluster's shared engine
@@ -104,11 +144,10 @@ func (s *clusterShared) ledgerFor(w cluster.WorkerID) *spill.Ledger {
 // concurrently; further submissions queue FIFO until a slot frees. n <= 0
 // restores DefaultAdmissionLimit. Raising the limit immediately admits
 // queued queries; lowering it only affects future admissions.
+//
+// Deprecated: use Configure(cl, WithAdmissionLimit(n)).
 func SetAdmissionLimit(cl *cluster.Cluster, n int) {
-	if n <= 0 {
-		n = DefaultAdmissionLimit
-	}
-	sharedFor(cl).admit.setLimit(n)
+	Configure(cl, WithAdmissionLimit(n))
 }
 
 // SetWorkerMemoryBudget installs a per-worker accounted-memory cap shared
@@ -116,13 +155,10 @@ func SetAdmissionLimit(cl *cluster.Cluster, n int) {
 // budgeted queries on one worker spill against the worker's total, not
 // just their own budgets. 0 (the default) disables the cross-query cap.
 // Only queries submitted after the call observe the new ledger.
+//
+// Deprecated: use Configure(cl, WithWorkerMemoryBudget(bytes)).
 func SetWorkerMemoryBudget(cl *cluster.Cluster, bytes int64) {
-	s := sharedFor(cl)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.workerBudget = bytes
-	// Drop ledgers built under the old budget; new queries get fresh ones.
-	s.mem = make(map[cluster.WorkerID]*spill.Ledger)
+	Configure(cl, WithWorkerMemoryBudget(bytes))
 }
 
 // admission is a FIFO bounded-concurrency gate.
@@ -132,6 +168,11 @@ type admission struct {
 	active  int
 	waiters []chan struct{} // FIFO; closed slot == admitted
 	met     *metrics.Collector
+	// queued mirrors len(waiters) and running mirrors active as lock-free
+	// gauges: task managers read them every poll round (adaptive
+	// granularity) and must not contend on the admission mutex to do so.
+	queued  atomic.Int32
+	running atomic.Int32
 }
 
 func newAdmission(limit int, met *metrics.Collector) *admission {
@@ -153,6 +194,8 @@ func (a *admission) grantLocked() {
 		a.active++
 		close(w)
 	}
+	a.queued.Store(int32(len(a.waiters)))
+	a.running.Store(int32(a.active))
 }
 
 // acquire blocks until the query is admitted or ctx is done. Admission is
@@ -161,12 +204,14 @@ func (a *admission) acquire(ctx context.Context) error {
 	a.mu.Lock()
 	if len(a.waiters) == 0 && a.active < a.limit {
 		a.active++
+		a.running.Store(int32(a.active))
 		a.recordActiveLocked()
 		a.mu.Unlock()
 		return nil
 	}
 	w := make(chan struct{})
 	a.waiters = append(a.waiters, w)
+	a.queued.Store(int32(len(a.waiters)))
 	a.mu.Unlock()
 	a.met.Add(metrics.QueriesQueued, 1)
 
@@ -182,6 +227,7 @@ func (a *admission) acquire(ctx context.Context) error {
 		for i, q := range a.waiters {
 			if q == w {
 				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.queued.Store(int32(len(a.waiters)))
 				admitted = false
 				goto out
 			}
@@ -203,6 +249,22 @@ func (a *admission) recordActiveLocked() {
 	a.met.Add(metrics.QueriesAdmitted, 1)
 	a.met.Add(metrics.QueriesActive, 1)
 	a.met.Max(metrics.QueriesPeak, int64(a.active))
+}
+
+// queuedNow returns how many queries are currently waiting in the
+// admission queue — a live gauge (unlike the monotonic queries.queued
+// counter) the engine uses as its load-pressure signal for adaptive task
+// granularity. Lock-free: read from every task-manager poll round.
+func (a *admission) queuedNow() int {
+	return int(a.queued.Load())
+}
+
+// activeNow returns how many queries currently hold an admission slot.
+// Together with queuedNow it forms the head-pressure signal: every
+// admitted query polls and commits against the same head node, whether or
+// not anything queues behind the gate.
+func (a *admission) activeNow() int {
+	return int(a.running.Load())
 }
 
 // release frees an admission slot and admits the next queued query.

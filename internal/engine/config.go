@@ -155,6 +155,28 @@ type Config struct {
 	// Result path buffers everything, as it must).
 	CursorBufferBytes int64
 
+	// LineageFlushInterval controls group-commit of task lineage: instead
+	// of one GCS transaction per task commit, each query's commits are
+	// batched into a single transaction per flush. 0 (the default) inherits
+	// the cluster's WithLineageFlushInterval option, falling back to
+	// opportunistic batching — no added latency, commits queued while a
+	// flush transaction is in flight fold into the next one. A positive
+	// value additionally holds each flush open for that long to widen
+	// batches. Negative disables group commit (one transaction per task,
+	// the pre-group-commit behaviour). Group commit preserves the
+	// commit-before-ack ordering of Algorithm 1 exactly: a task's outputs
+	// remain unconsumable until its flush transaction commits, and every
+	// batched entry carries its own barrier/epoch fences. Timing-only;
+	// never output-visible.
+	LineageFlushInterval time.Duration
+
+	// DisableResultSpool turns off worker-side result spooling: final-stage
+	// outputs are then pushed to the head node eagerly, as before. With
+	// spooling on (the default) only a manifest reaches the head during
+	// execution; payloads stay on the producing worker until a cursor pulls
+	// them or the query completes. Timing-only; never output-visible.
+	DisableResultSpool bool
+
 	// PollInterval is the TaskManager's idle backoff between GCS polls.
 	PollInterval time.Duration
 

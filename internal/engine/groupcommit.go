@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"time"
+
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+)
+
+// groupCommitter batches per-task lineage commits into shared GCS
+// transactions — the write-ahead lineage analogue of database group
+// commit. ONE committer serves the whole cluster: commits from EVERY
+// admitted query fold into the same flush transaction (gcs.UpdateMulti
+// spans their namespaces), so batch width grows with the admission level
+// at exactly the point where one-transaction-per-task would knee the head
+// node over. Task managers enqueue a commit request and block until their
+// flush transaction commits (or their entry is fenced off), so the
+// protocol ordering of Algorithm 1 is unchanged per query: a task's
+// outputs become consumable only after its lineage is durable in the GCS,
+// and the task is acknowledged only after that.
+//
+// Batching arises naturally: while one flush transaction is in flight
+// (paying the GCS round-trip cost), commits from every in-flight query's
+// executor threads queue up and fold into the next transaction. A positive
+// flush interval additionally holds each flush open to widen batches; the
+// default (0) adds no latency at all.
+//
+// The committer is started by the first admitted query that enables group
+// commit and stopped when the last one finishes (see clusterShared).
+type groupCommitter struct {
+	store  *gcs.Store
+	reqs   chan *commitReq
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+// commitReq carries everything one task commit writes, plus the fences
+// guarding it. Values are copied in by the requester (which holds the
+// channel's protocol lock), so the flusher never touches chanState. The
+// runner pointer scopes every key to the request's own query namespace;
+// hold is that query's resolved flush interval.
+type commitReq struct {
+	r        *Runner
+	hold     time.Duration
+	alive    func() bool // requester worker's liveness
+	workerID int
+	id       lineage.ChannelID
+	cep      int
+	stepGep  int
+	task     lineage.TaskName
+	rec      lineage.Record
+	wmAfter  lineage.Watermark
+	finalize bool
+	isReplay bool
+	resp     chan error
+}
+
+func newGroupCommitter(store *gcs.Store) *groupCommitter {
+	g := &groupCommitter{
+		store:  store,
+		reqs:   make(chan *commitReq, 1024),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go g.loop()
+	return g
+}
+
+// commit enqueues a task commit and blocks until its flush resolves.
+// Returns gcs.ErrAborted when the entry was fenced off (barrier raised,
+// channel rewound, epoch changed, worker died) — the task then stays
+// pending and is retried, exactly as with an individual transaction.
+func (g *groupCommitter) commit(req *commitReq) error {
+	req.resp = make(chan error, 1)
+	g.reqs <- req
+	return <-req.resp
+}
+
+// stop shuts the flusher down. Must only be called once no registered
+// query remains (clusterShared refcounts acquirers, and each runner only
+// releases after its task-manager threads exited), so no requester can be
+// left waiting; any residue in the queue is refused.
+func (g *groupCommitter) stop() {
+	close(g.stopCh)
+	<-g.done
+}
+
+func (g *groupCommitter) loop() {
+	defer close(g.done)
+	for {
+		var first *commitReq
+		select {
+		case first = <-g.reqs:
+		case <-g.stopCh:
+			g.drainAbort()
+			return
+		}
+		batch := []*commitReq{first}
+		if first.hold > 0 {
+			timer := time.NewTimer(first.hold)
+		hold:
+			for {
+				select {
+				case r2 := <-g.reqs:
+					batch = append(batch, r2)
+				case <-timer.C:
+					break hold
+				case <-g.stopCh:
+					timer.Stop()
+					g.flush(batch)
+					g.drainAbort()
+					return
+				}
+			}
+			timer.Stop()
+		}
+		// Opportunistic drain: everything queued while we were flushing
+		// (or holding) joins this transaction.
+	drain:
+		for {
+			select {
+			case r2 := <-g.reqs:
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		g.flush(batch)
+	}
+}
+
+// drainAbort refuses whatever is left in the queue at shutdown.
+func (g *groupCommitter) drainAbort() {
+	for {
+		select {
+		case req := <-g.reqs:
+			req.resp <- gcs.ErrAborted
+		default:
+			return
+		}
+	}
+}
+
+// flush commits a batch of task commits — possibly spanning several
+// queries — in ONE GCS transaction over their namespaces' shards. Each
+// entry keeps its own fences: entries whose worker died, whose channel was
+// rewound, whose placement epoch moved, or whose query has its recovery
+// barrier raised are refused individually while the rest commit —
+// identical outcomes to running each commit alone, just amortized onto one
+// head-node round trip. (A query's recovery holds its namespace shard
+// lock, so this transaction serializes against every reconcile.)
+func (g *groupCommitter) flush(batch []*commitReq) {
+	errs := make([]error, len(batch))
+	type qstate struct {
+		barrier bool
+		gep     int
+	}
+	states := make(map[*Runner]qstate, 4)
+	nss := make([]string, 0, 4)
+	for _, req := range batch {
+		if _, ok := states[req.r]; !ok {
+			states[req.r] = qstate{}
+			nss = append(nss, req.r.keyNS())
+		}
+	}
+	var bytes int64
+	err := g.store.UpdateMulti(nss, func(tx *gcs.Txn) error {
+		for r := range states {
+			states[r] = qstate{
+				barrier: txGetInt(tx, r.keyBarrier(), 0) != 0,
+				gep:     txGetInt(tx, r.keyGlobalEpoch(), 0),
+			}
+		}
+		applied := 0
+		for i, req := range batch {
+			st := states[req.r]
+			if st.barrier || !req.alive() ||
+				txGetInt(tx, req.r.keyChanEpoch(req.id), 0) != req.cep ||
+				st.gep != req.stepGep {
+				errs[i] = gcs.ErrAborted
+				continue
+			}
+			r := req.r
+			if !req.isReplay && r.cfg.FT != FTNone {
+				tx.Put(r.keyLineage(req.task), req.rec.Encode())
+			}
+			txPutInt(tx, r.keyCursor(req.id), req.task.Seq+1)
+			txPutWatermark(tx, r.keyWatermark(req.id), req.wmAfter)
+			txPutInt(tx, r.keyPartDir(req.task), req.workerID)
+			if req.finalize {
+				txPutInt(tx, r.keyDone(req.id), req.task.Seq+1)
+			}
+			applied++
+		}
+		if applied == 0 {
+			return gcs.ErrAborted // nothing to commit; no empty round trip
+		}
+		bytes = tx.WriteBytes()
+		return nil
+	})
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	} else {
+		applied := 0
+		for i, req := range batch {
+			if errs[i] != nil {
+				continue
+			}
+			applied++
+			if !req.isReplay && req.r.cfg.FT != FTNone {
+				req.r.count(metrics.LineageRecords, 1)
+			}
+		}
+		// The flush transaction — and the transactions it saved — is
+		// attributed to the triggering query, so sums over concurrent
+		// queries' reports equal the cluster totals exactly.
+		lead := batch[0].r
+		lead.qmet.Add(metrics.GCSTxns, 1)
+		lead.qmet.Add(metrics.GCSBytes, bytes)
+		lead.count(metrics.LineageFlushes, 1)
+		if applied > 1 {
+			lead.count(metrics.GCSTxnBatched, int64(applied-1))
+		}
+	}
+	for i, req := range batch {
+		req.resp <- errs[i]
+	}
+}

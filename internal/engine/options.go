@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"time"
+
+	"quokka/internal/cluster"
+	"quokka/internal/spill"
+)
+
+// Option is a cluster-level tuning knob applied with Configure (or passed
+// through the public quokka.NewCluster / quokka.NewSession constructors).
+// Options configure the engine state shared by every query on one cluster
+// — admission, cross-query memory, and the defaults a query's Config
+// falls back to — as opposed to Config, which tunes one execution.
+type Option func(*clusterShared)
+
+// WithAdmissionLimit bounds how many queries the cluster executes
+// concurrently (FIFO queueing beyond the bound). n <= 0 restores
+// DefaultAdmissionLimit. Raising the limit immediately admits queued
+// queries; lowering it only affects future admissions.
+func WithAdmissionLimit(n int) Option {
+	return func(s *clusterShared) {
+		if n <= 0 {
+			n = DefaultAdmissionLimit
+		}
+		s.admit.setLimit(n)
+	}
+}
+
+// WithWorkerMemoryBudget installs a per-worker accounted-memory cap shared
+// by ALL in-flight queries: concurrent budgeted queries then spill against
+// the worker's total accounted operator state, not just their own
+// Config.MemoryBudget. 0 (the default) disables the cross-query cap. Only
+// queries submitted after the call observe it.
+func WithWorkerMemoryBudget(bytes int64) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.workerBudget = bytes
+		// Drop ledgers built under the old budget; new queries get fresh
+		// ones.
+		s.mem = make(map[cluster.WorkerID]*spill.Ledger)
+	}
+}
+
+// WithCursorBufferBytes sets the cluster default for the head-node buffer
+// bound while a streaming Cursor is attached (Config.CursorBufferBytes,
+// when set on a query, takes precedence). 0 restores
+// DefaultCursorBufferBytes; negative disables the bound.
+func WithCursorBufferBytes(n int64) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		s.cursorBufferDefault = n
+		s.mu.Unlock()
+	}
+}
+
+// WithLineageFlushInterval sets the cluster default for lineage group
+// commit (Config.LineageFlushInterval, when set on a query, takes
+// precedence). 0 restores the default opportunistic batching; a positive
+// interval holds each flush open that long to widen batches; negative
+// disables group commit entirely.
+func WithLineageFlushInterval(d time.Duration) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		s.flushDefault = d
+		s.mu.Unlock()
+	}
+}
+
+// Configure applies cluster-level options. It may be called at any time;
+// each option documents whether in-flight queries observe the change.
+func Configure(cl *cluster.Cluster, opts ...Option) {
+	s := sharedFor(cl)
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+}
+
+// cursorBufferFor resolves the effective cursor buffer bound for one
+// query: its own Config setting if non-zero, else the cluster default,
+// else DefaultCursorBufferBytes. Negative means unbounded.
+func (s *clusterShared) cursorBufferFor(cfg int64) int64 {
+	v := cfg
+	if v == 0 {
+		s.mu.Lock()
+		v = s.cursorBufferDefault
+		s.mu.Unlock()
+	}
+	if v == 0 {
+		v = DefaultCursorBufferBytes
+	}
+	if v < 0 {
+		return 0 // unbounded
+	}
+	return v
+}
+
+// flushIntervalFor resolves the effective lineage flush interval for one
+// query: its own Config setting if non-zero, else the cluster default.
+// Zero means opportunistic group commit; negative disables group commit.
+func (s *clusterShared) flushIntervalFor(cfg time.Duration) time.Duration {
+	if cfg != 0 {
+		return cfg
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushDefault
+}

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/lineage"
 	"quokka/internal/metrics"
 )
 
@@ -77,9 +79,21 @@ func (q *Query) Done() <-chan struct{} { return q.done }
 func (q *Query) Cancel() { q.cancel() }
 
 // Wait blocks until the query finishes and returns its terminal error
-// (nil on success, context.Canceled after Cancel).
+// (nil on success, context.Canceled after Cancel). Sugar for
+// WaitContext(context.Background()).
 func (q *Query) Wait() error {
-	<-q.done
+	return q.WaitContext(context.Background())
+}
+
+// WaitContext blocks until the query finishes or ctx is done. A ctx
+// expiry returns ctx.Err() WITHOUT cancelling the query — the query keeps
+// running and can be waited on again (use Cancel to stop it).
+func (q *Query) WaitContext(ctx context.Context) error {
+	select {
+	case <-q.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.err
@@ -123,14 +137,7 @@ func (q *Query) Result() (*batch.Batch, *Report, error) {
 // return the same cursor.
 func (q *Query) Cursor() *Cursor {
 	q.curOnce.Do(func() {
-		limit := q.r.cfg.CursorBufferBytes
-		if limit == 0 {
-			limit = DefaultCursorBufferBytes
-		}
-		if limit < 0 {
-			limit = 0 // unbounded
-		}
-		q.r.collector.stream(limit)
+		q.r.collector.stream(q.r.cursorLimit)
 		q.cur = &Cursor{q: q}
 	})
 	return q.cur
@@ -146,15 +153,37 @@ type Cursor struct {
 
 // Next returns the next non-empty output batch, blocking until one is
 // committed. It returns (nil, nil) at end of stream and the query's
-// terminal error if execution fails or is cancelled.
+// terminal error if execution fails or is cancelled. Sugar for
+// NextContext(context.Background()).
 func (c *Cursor) Next() (*batch.Batch, error) {
+	return c.NextContext(context.Background())
+}
+
+// NextContext is Next honouring ctx: a ctx expiry unblocks the wait and
+// returns ctx.Err() without latching it — the cursor stays usable and the
+// query keeps running. Spooled result partitions are fetched directly from
+// the worker holding them; the head only ever saw their manifests.
+func (c *Cursor) NextContext(ctx context.Context) (*batch.Batch, error) {
 	if c.err != nil || c.eos {
 		return nil, c.err
 	}
+	r := c.q.r
+	fetch := func(t lineage.TaskName, worker int) ([]byte, error) {
+		return r.cl.Worker(cluster.WorkerID(worker)).Flight.FetchResult(r.qid, t)
+	}
+	drop := func(t lineage.TaskName, worker int) {
+		r.cl.Worker(cluster.WorkerID(worker)).Flight.DropResult(r.qid, t)
+	}
+	// The collector blocks on a cond var; wake it when ctx fires so the
+	// cancellation is observed promptly.
+	stop := context.AfterFunc(ctx, r.collector.wake)
+	defer stop()
 	for {
-		data, ok, err := c.q.r.collector.next()
+		data, ok, err := r.collector.next(ctx, fetch, drop)
 		if err != nil {
-			c.err = err
+			if ctx.Err() == nil {
+				c.err = err // terminal query error: latch it
+			}
 			return nil, err
 		}
 		if !ok {

@@ -101,6 +101,14 @@ func (r *Runner) recover(ctx context.Context) error {
 		return err
 	}
 	r.invalidatePlacement()
+	// Manifests pointing at dead workers reference payloads that died with
+	// them; drop them so completion detection waits for the rewound output
+	// channels to re-execute and re-deliver those partitions.
+	alive := make(map[int]bool, len(r.cl.Workers))
+	for _, w := range r.cl.Alive() {
+		alive[int(w)] = true
+	}
+	r.collector.invalidateSpooledExcept(alive)
 	if debugRecovery {
 		fmt.Printf("[recovery %d] took %v\n", gen, time.Since(started))
 	}

@@ -55,21 +55,84 @@ import (
 // keyNS returns the runner's whole GCS namespace prefix ("q/<qid>/").
 func (r *Runner) keyNS() string { return "q/" + r.qid + "/" }
 
-func (r *Runner) keyPlacement(c lineage.ChannelID) string { return r.keyNS() + "pl/" + c.String() }
-func (r *Runner) keyChanEpoch(c lineage.ChannelID) string { return r.keyNS() + "cep/" + c.String() }
-func (r *Runner) keyCursor(c lineage.ChannelID) string    { return r.keyNS() + "cur/" + c.String() }
-func (r *Runner) keyLineage(t lineage.TaskName) string    { return r.keyNS() + "lin/" + t.String() }
-func (r *Runner) keyWatermark(c lineage.ChannelID) string { return r.keyNS() + "wm/" + c.String() }
-func (r *Runner) keyDone(c lineage.ChannelID) string      { return r.keyNS() + "done/" + c.String() }
-func (r *Runner) keyPartDir(t lineage.TaskName) string    { return r.keyNS() + "pd/" + t.String() }
-func (r *Runner) keyBarrier() string                      { return r.keyNS() + "bar" }
-func (r *Runner) keyAck(w int) string                     { return fmt.Sprintf("%sack/%d", r.keyNS(), w) }
-func (r *Runner) keyGlobalEpoch() string                  { return r.keyNS() + "gep" }
-func (r *Runner) keyRecoveries() string                   { return r.keyNS() + "recn" }
-func (r *Runner) keyOpParallelism() string                { return r.keyNS() + "opp" }
+// chanKeys holds one channel's prebuilt GCS key strings. Poll rounds
+// build keys for every channel of the plan on every snapshot refetch, so
+// the per-channel keys are formatted once at runner setup and the table
+// is read-only (hence lock-free) afterwards.
+type chanKeys struct {
+	place, cep, cursor, wm, done, ck string
+}
+
+// buildKeys precomputes the per-channel key table. Called once from
+// NewRunner, after stage parallelism is resolved.
+func (r *Runner) buildKeys() {
+	ns := r.keyNS()
+	r.keys = make(map[lineage.ChannelID]*chanKeys)
+	for s := range r.plan.Stages {
+		for c := 0; c < r.par[s]; c++ {
+			id := lineage.ChannelID{Stage: s, Channel: c}
+			cs := id.String()
+			r.keys[id] = &chanKeys{
+				place:  ns + "pl/" + cs,
+				cep:    ns + "cep/" + cs,
+				cursor: ns + "cur/" + cs,
+				wm:     ns + "wm/" + cs,
+				done:   ns + "done/" + cs,
+				ck:     ns + "ck/" + cs,
+			}
+		}
+	}
+}
+
+func (r *Runner) keyPlacement(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.place
+	}
+	return r.keyNS() + "pl/" + c.String()
+}
+
+func (r *Runner) keyChanEpoch(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.cep
+	}
+	return r.keyNS() + "cep/" + c.String()
+}
+
+func (r *Runner) keyCursor(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.cursor
+	}
+	return r.keyNS() + "cur/" + c.String()
+}
+
+func (r *Runner) keyWatermark(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.wm
+	}
+	return r.keyNS() + "wm/" + c.String()
+}
+
+func (r *Runner) keyDone(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.done
+	}
+	return r.keyNS() + "done/" + c.String()
+}
+
 func (r *Runner) keyCheckpoint(c lineage.ChannelID) string {
+	if k, ok := r.keys[c]; ok {
+		return k.ck
+	}
 	return r.keyNS() + "ck/" + c.String()
 }
+
+func (r *Runner) keyLineage(t lineage.TaskName) string { return r.keyNS() + "lin/" + t.String() }
+func (r *Runner) keyPartDir(t lineage.TaskName) string { return r.keyNS() + "pd/" + t.String() }
+func (r *Runner) keyBarrier() string                   { return r.keyNS() + "bar" }
+func (r *Runner) keyAck(w int) string                  { return fmt.Sprintf("%sack/%d", r.keyNS(), w) }
+func (r *Runner) keyGlobalEpoch() string               { return r.keyNS() + "gep" }
+func (r *Runner) keyRecoveries() string                { return r.keyNS() + "recn" }
+func (r *Runner) keyOpParallelism() string             { return r.keyNS() + "opp" }
 
 func (r *Runner) keyReplay(w int, t lineage.TaskName) string {
 	return fmt.Sprintf("%srp/%d/%s", r.keyNS(), w, t)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quokka/internal/batch"
@@ -58,6 +59,14 @@ type taskManager struct {
 	// ensures a single thread drains the queue at a time.
 	replayGen  int
 	replayLock sync.Mutex
+
+	// takeScale coarsens dynamic task granularity under admission
+	// pressure: when queries are queued behind the admission gate, each
+	// task consumes a multiple of the configured Min/MaxTake, shrinking
+	// head round-trips per query exactly when the head is the bottleneck.
+	// Refreshed once per poll round; timing-only, never output-visible
+	// (dynamic takes are already run-dependent).
+	takeScale atomic.Int32
 }
 
 // chanState is the in-memory execution state of one channel: the operator
@@ -151,9 +160,17 @@ func (t *taskManager) loop(ctx context.Context) {
 			continue
 		}
 		// Exponential idle backoff keeps control-store pressure bounded
-		// on wide clusters while staying responsive under load.
+		// on wide clusters while staying responsive under load. The cap
+		// scales with the number of admitted queries: at high admission
+		// limits hundreds of executor threads idle concurrently, and their
+		// aggregate wakeup rate — not any one thread's latency — is what
+		// loads the head node's cores.
 		time.Sleep(idle)
-		if idle < 16*t.r.cfg.PollInterval {
+		cap := time.Duration(16) * t.r.cfg.PollInterval
+		if n := t.r.shared.admit.activeNow(); n > 1 {
+			cap *= time.Duration(n)
+		}
+		if idle < cap {
 			idle *= 2
 		}
 	}
@@ -165,17 +182,30 @@ func (t *taskManager) loop(ctx context.Context) {
 // plane cost per task negligible, as the paper reports for its optimized
 // naming scheme (§IV-B).
 func (t *taskManager) poll() (progressed, barrier bool) {
-	var bar, gep, recn int
-	t.r.gcsView(func(tx *gcs.Txn) error {
-		bar = txGetInt(tx, t.r.keyBarrier(), 0)
-		gep = txGetInt(tx, t.r.keyGlobalEpoch(), 0)
-		recn = txGetInt(tx, t.r.keyRecoveries(), 0)
-		return nil
-	})
+	ver := t.r.gcsVersion()
+	bar, gep, recn := t.r.pollHeader(ver)
 	if bar != 0 {
 		return false, true
 	}
 	t.refreshChannels(gep)
+
+	// Adaptive task granularity: scale takes by the live head-node load —
+	// queries running concurrently plus queries queued behind the gate.
+	// Every admitted query polls and commits against the same head, so
+	// high admission limits need coarse tasks just as much as deep queues;
+	// coarser tasks cut the per-query transaction and poll load exactly
+	// when the head is the bottleneck.
+	scale := int32(1)
+	admit := t.r.shared.admit
+	switch load := admit.queuedNow() + admit.activeNow() - 1; {
+	case load >= 12:
+		scale = 8
+	case load >= 4:
+		scale = 4
+	case load >= 1:
+		scale = 2
+	}
+	t.takeScale.Store(scale)
 
 	// Replay queues are only populated by recovery; skip the prefix scans
 	// entirely in steady state and once this generation's queue drained.
@@ -207,7 +237,7 @@ func (t *taskManager) poll() (progressed, barrier bool) {
 	if len(states) == 0 {
 		return progressed, false
 	}
-	metas, err := t.loadMetas(states)
+	metas, err := t.cachedMetas(states, ver)
 	if err != nil {
 		if t.w.Alive() {
 			t.r.reportFailure(err)
@@ -323,12 +353,28 @@ type chanMeta struct {
 // step attempts one Algorithm 1 task step for a channel. It returns
 // whether progress was made.
 func (t *taskManager) step(cs *chanState, meta *chanMeta) (bool, error) {
-	if meta.cep != cs.cep {
+	// A meta is a snapshot; this channel may have moved since it was read
+	// (another executor thread committed a task, or recovery rewound the
+	// channel, between the snapshot and our TryLock). Epochs and cursors
+	// only grow, so staleness is detectable — and acting on a stale meta is
+	// not just wasted work: meta.replayRec is "the lineage record at
+	// meta.cursor", which for a stale cursor is the PREVIOUS task's record;
+	// replaying it at the current seq would duplicate that task's output
+	// and commit the seq without lineage. Skip instead — whatever moved the
+	// channel also bumped the namespace version, so the next poll round
+	// refetches a fresh snapshot.
+	if meta.cep < cs.cep {
+		return false, nil
+	}
+	if meta.cep > cs.cep {
 		if err := t.resetChannel(cs, meta); err != nil {
 			return false, err
 		}
 	}
 	if cs.done {
+		return false, nil
+	}
+	if meta.cursor != cs.cursor {
 		return false, nil
 	}
 	if cs.op == nil && cs.stage.Op != nil {
@@ -406,6 +452,51 @@ func opSharesFor(op ops.Operator, rows int) int {
 		}
 	}
 	return 1
+}
+
+// cachedMetas returns every state's chanMeta from the query's shared
+// version-stamped poll snapshot, refetching (one GCS view) when the
+// namespace changed since the snapshot was taken or a channel is missing
+// from it. Metas are immutable after load, so sharing one snapshot across
+// rounds, threads AND workers observes exactly the state an unconditional
+// per-round view would have read; per-worker loads at the same version
+// merge into the shared map, so each version change costs one scan per
+// worker-channel subset, not one per polling thread.
+func (t *taskManager) cachedMetas(states []*chanState, ver uint64) ([]*chanMeta, error) {
+	r := t.r
+	r.snapMu.Lock()
+	if r.snapValid && r.snapVer == ver && r.snapMetas != nil {
+		out := make([]*chanMeta, len(states))
+		hit := true
+		for i, cs := range states {
+			m, ok := r.snapMetas[cs.id]
+			if !ok {
+				hit = false
+				break
+			}
+			out[i] = m
+		}
+		if hit {
+			r.snapMu.Unlock()
+			return out, nil
+		}
+	}
+	r.snapMu.Unlock()
+	metas, err := t.loadMetas(states)
+	if err != nil {
+		return nil, err
+	}
+	r.snapMu.Lock()
+	if r.snapValid && r.snapVer == ver {
+		if r.snapMetas == nil {
+			r.snapMetas = make(map[lineage.ChannelID]*chanMeta, len(states))
+		}
+		for i, cs := range states {
+			r.snapMetas[cs.id] = metas[i]
+		}
+	}
+	r.snapMu.Unlock()
+	return metas, nil
 }
 
 // loadMetas reads every channel's coordination state in one GCS view.
@@ -629,13 +720,20 @@ func (t *taskManager) chooseInput(cs *chanState, meta *chanMeta) (*inputChoice, 
 				// Consume as much as is available, but don't wake up for
 				// dribbles while the producer is still running: tiny tasks
 				// would drown the pipeline in per-task overhead. Once the
-				// producer finishes, any remainder is consumed.
-				if !upFinished && avail < t.r.cfg.MinTake {
+				// producer finishes, any remainder is consumed. Under
+				// admission pressure takeScale coarsens both bounds, so each
+				// committed task covers more rows and the head node sees
+				// fewer transactions per query.
+				scale := int(t.takeScale.Load())
+				if scale < 1 {
+					scale = 1
+				}
+				if !upFinished && avail < t.r.cfg.MinTake*scale {
 					continue
 				}
 				take = avail
-				if take > t.r.cfg.MaxTake {
-					take = t.r.cfg.MaxTake
+				if take > t.r.cfg.MaxTake*scale {
+					take = t.r.cfg.MaxTake * scale
 				}
 			} else {
 				k := t.r.cfg.StaticBatch
@@ -830,38 +928,61 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 	}
 
 	// Commit: lineage + cursor + watermark (+ done marker) atomically.
+	// With group commit enabled the write set is handed to the cluster's
+	// shared flusher, which folds commits from many channels — across every
+	// admitted query — into one shared GCS transaction; commit-before-ack
+	// ordering is preserved because this call still blocks until the flush
+	// containing it has been applied.
 	wmAfter := cs.wm
 	if p.rec.Kind == lineage.KindConsume {
 		wmAfter = cs.wm.Clone()
 		wmAfter[lineage.EdgeChannel{Input: p.rec.Input, UpChannel: p.rec.UpChannel}] += p.rec.Count
 	}
-	err := t.r.gcsUpdate(func(tx *gcs.Txn) error {
-		if !t.w.Alive() {
-			return gcs.ErrAborted
-		}
-		if txGetInt(tx, t.r.keyBarrier(), 0) != 0 {
-			return gcs.ErrAborted // recovery holds the GCS lock
-		}
-		if txGetInt(tx, t.r.keyChanEpoch(cs.id), 0) != cs.cep {
-			return gcs.ErrAborted // channel was rewound under us
-		}
-		if txGetInt(tx, t.r.keyGlobalEpoch(), 0) != cs.stepGep {
-			// Placement may have changed since our pushes; retry with a
-			// fresh view so no partition lands on a stale worker.
-			return gcs.ErrAborted
-		}
-		if !isReplay && t.r.cfg.FT != FTNone {
-			tx.Put(t.r.keyLineage(task), p.rec.Encode())
-			t.r.count(metrics.LineageRecords, 1)
-		}
-		txPutInt(tx, t.r.keyCursor(cs.id), p.seq+1)
-		txPutWatermark(tx, t.r.keyWatermark(cs.id), wmAfter)
-		txPutInt(tx, t.r.keyPartDir(task), int(t.w.ID))
-		if p.finalize {
-			txPutInt(tx, t.r.keyDone(cs.id), p.seq+1)
-		}
-		return nil
-	})
+	var err error
+	if t.r.gc != nil {
+		err = t.r.gc.commit(&commitReq{
+			r:        t.r,
+			hold:     t.r.flushEvery,
+			alive:    t.w.Alive,
+			workerID: int(t.w.ID),
+			id:       cs.id,
+			cep:      cs.cep,
+			stepGep:  cs.stepGep,
+			task:     task,
+			rec:      p.rec,
+			wmAfter:  wmAfter,
+			finalize: p.finalize,
+			isReplay: isReplay,
+		})
+	} else {
+		err = t.r.gcsUpdate(func(tx *gcs.Txn) error {
+			if !t.w.Alive() {
+				return gcs.ErrAborted
+			}
+			if txGetInt(tx, t.r.keyBarrier(), 0) != 0 {
+				return gcs.ErrAborted // recovery holds the GCS lock
+			}
+			if txGetInt(tx, t.r.keyChanEpoch(cs.id), 0) != cs.cep {
+				return gcs.ErrAborted // channel was rewound under us
+			}
+			if txGetInt(tx, t.r.keyGlobalEpoch(), 0) != cs.stepGep {
+				// Placement may have changed since our pushes; retry with a
+				// fresh view so no partition lands on a stale worker.
+				return gcs.ErrAborted
+			}
+			if !isReplay && t.r.cfg.FT != FTNone {
+				tx.Put(t.r.keyLineage(task), p.rec.Encode())
+				t.r.count(metrics.LineageRecords, 1)
+			}
+			txPutInt(tx, t.r.keyCursor(cs.id), p.seq+1)
+			txPutWatermark(tx, t.r.keyWatermark(cs.id), wmAfter)
+			txPutInt(tx, t.r.keyPartDir(task), int(t.w.ID))
+			if p.finalize {
+				txPutInt(tx, t.r.keyDone(cs.id), p.seq+1)
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		if err == gcs.ErrAborted {
 			return false, nil // keep pending; retried after barrier/rewind
@@ -900,11 +1021,27 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *batch.Batch, encoded []byte) error {
 	edges := t.r.plan.Consumers(cs.id.Stage)
 	if len(edges) == 0 {
-		if !t.r.collector.deliver(task, encoded) {
-			// Cursor backpressure: the head-node buffer is full. Keep the
-			// task pending (uncommitted) and retry once the consumer pulls.
+		// Result spooling (default): keep the payload on this worker and
+		// hand the head only a manifest, so N concurrent queries' result
+		// traffic doesn't serialize through the head-node link. Empty
+		// partitions carry no bytes and are delivered directly — a fetch
+		// round-trip for them would be pure overhead.
+		if t.r.cfg.DisableResultSpool || len(encoded) == 0 {
+			if !t.r.collector.deliver(task, encoded, cs.cep) {
+				// Cursor backpressure: the head-node buffer is full. Keep the
+				// task pending (uncommitted) and retry once the consumer pulls.
+				return errCollectorFull
+			}
+			t.r.count(metrics.HeadResultBytes, int64(len(encoded)))
+			return nil
+		}
+		if err := t.w.Flight.SpoolResult(t.r.qid, task, encoded, cs.cep); err != nil {
+			return err // worker dying: transient, like a failed push
+		}
+		if !t.r.collector.deliverSpooled(task, int(t.w.ID), int64(len(encoded)), cs.cep) {
 			return errCollectorFull
 		}
+		t.r.count(metrics.HeadResultBytes, resultManifestBytes)
 		return nil
 	}
 	for _, e := range edges {
@@ -922,7 +1059,7 @@ func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *bat
 			local := dw.ID == t.w.ID || len(data) == 0
 			if err := dw.Flight.Push(flight.Partition{
 				Query: t.r.qid, From: task, Dest: dest, Input: e.Input, Data: data,
-				Local: local,
+				Epoch: cs.cep, Local: local,
 			}); err != nil {
 				return err
 			}
@@ -942,6 +1079,11 @@ func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *bat
 // cursor's head-node buffer is full; like a dead-consumer push failure it
 // keeps the task pending instead of failing the query.
 var errCollectorFull = fmt.Errorf("engine: head-node cursor buffer full")
+
+// resultManifestBytes is the modelled wire size of a spooled-result
+// manifest (task name + worker + size) — what the head receives instead of
+// the payload when result spooling is on.
+const resultManifestBytes = 48
 
 // partitionFor splits an output batch for one consumer edge, returning one
 // encoded payload per consumer channel (nil payload = empty partition).
@@ -1141,7 +1283,7 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 			local := dw.ID == t.w.ID || len(data) == 0
 			if err := dw.Flight.Push(flight.Partition{
 				Query: t.r.qid, From: task, Dest: dest, Input: e.Input, Data: data,
-				Local: local,
+				Epoch: flight.EpochCommitted, Local: local,
 			}); err != nil {
 				return false
 			}

@@ -33,11 +33,25 @@ type Partition struct {
 	Dest  lineage.ChannelID
 	Input int
 	Data  []byte
+	// Epoch is the producing channel's rewind epoch. A worker that is
+	// already considered dead can still be mid-push (its "crash" cannot
+	// preempt an in-flight delivery), and such a zombie push may land after
+	// recovery has rewound the producer and its new incarnation — executing
+	// with different dynamic task boundaries — has re-pushed the same
+	// sequence number. The mailbox therefore never lets a lower-epoch push
+	// replace a higher-epoch slot. Replay re-feeds of committed partitions
+	// (whose content is invariant across incarnations) use EpochCommitted.
+	Epoch int
 	// Local marks a same-worker delivery (producer and consumer channels
 	// share the machine): no network transfer is charged, like Arrow
 	// Flight's local IPC path.
 	Local bool
 }
+
+// EpochCommitted marks a push that re-feeds lineage-committed content:
+// always accepted, since committed partitions are byte-identical across
+// channel incarnations.
+const EpochCommitted = int(^uint(0) >> 1)
 
 // edgeKey identifies a consumer's view of one upstream channel within one
 // query.
@@ -56,14 +70,37 @@ type Server struct {
 
 	mu     sync.Mutex
 	failed bool
-	// boxes[edge][producerSeq] = encoded batch
-	boxes map[edgeKey]map[int][]byte
+	// boxes[edge][producerSeq] = encoded batch + producer epoch
+	boxes map[edgeKey]map[int]slot
 	bytes int64
+	// results holds worker-side spooled final-stage output: payloads the
+	// head node holds only a manifest for, fetched lazily by the query's
+	// cursor (or drained once at completion). Contents die with the worker,
+	// like the mailbox; durability still comes from lineage + backup.
+	results map[resultKey]slot
+}
+
+// resultKey addresses one spooled output partition of one query.
+type resultKey struct {
+	query string
+	task  lineage.TaskName
+}
+
+// slot is one mailbox entry: the partition bytes plus the epoch of the
+// producer incarnation that pushed them.
+type slot struct {
+	epoch int
+	data  []byte
 }
 
 // NewServer creates an empty mailbox.
 func NewServer(cost storage.CostModel, met *metrics.Collector) *Server {
-	return &Server{cost: cost, met: met, boxes: make(map[edgeKey]map[int][]byte)}
+	return &Server{
+		cost:    cost,
+		met:     met,
+		boxes:   make(map[edgeKey]map[int]slot),
+		results: make(map[resultKey]slot),
+	}
 }
 
 // ErrServerDown is returned when pushing to a failed worker; per
@@ -71,9 +108,11 @@ func NewServer(cost storage.CostModel, met *metrics.Collector) *Server {
 var ErrServerDown = fmt.Errorf("flight: server down (worker failed)")
 
 // Push delivers a partition, applying the network transfer cost. It is
-// idempotent: re-pushing the same partition replaces it; partitions the
-// consumer has already dropped simply reappear and will be ignored by the
-// watermark. Push fails if the hosting worker has failed.
+// idempotent within a producer epoch: re-pushing the same partition
+// replaces it; partitions the consumer has already dropped simply reappear
+// and will be ignored by the watermark. A push carrying a lower epoch than
+// the slot it targets is a zombie (see Partition.Epoch) and is dropped
+// without effect. Push fails if the hosting worker has failed.
 func (s *Server) Push(p Partition) error {
 	if !p.Local {
 		s.cost.Apply(s.cost.Network, int64(len(p.Data)))
@@ -86,13 +125,16 @@ func (s *Server) Push(p Partition) error {
 	k := edgeKey{p.Query, p.Dest, p.Input, p.From.Channel}
 	box := s.boxes[k]
 	if box == nil {
-		box = make(map[int][]byte)
+		box = make(map[int]slot)
 		s.boxes[k] = box
 	}
 	if old, ok := box[p.From.Seq]; ok {
-		s.bytes -= int64(len(old))
+		if old.epoch > p.Epoch {
+			return nil // stale push from a rewound incarnation
+		}
+		s.bytes -= int64(len(old.data))
 	}
-	box[p.From.Seq] = p.Data
+	box[p.From.Seq] = slot{epoch: p.Epoch, data: p.Data}
 	s.bytes += int64(len(p.Data))
 	if !p.Local {
 		s.met.Add(metrics.NetworkBytes, int64(len(p.Data)))
@@ -134,7 +176,7 @@ func (s *Server) Take(query string, dest lineage.ChannelID, input, upChannel, fr
 			return nil, fmt.Errorf("flight: partition %d.%d.%d for %s input %d missing",
 				dest.Stage, upChannel, from+i, dest, input)
 		}
-		out[i] = d
+		out[i] = d.data
 	}
 	return out, nil
 }
@@ -146,7 +188,7 @@ func (s *Server) Drop(query string, dest lineage.ChannelID, input, upChannel, fr
 	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	for i := 0; i < count; i++ {
 		if d, ok := box[from+i]; ok {
-			s.bytes -= int64(len(d))
+			s.bytes -= int64(len(d.data))
 			delete(box, from+i)
 		}
 	}
@@ -163,7 +205,7 @@ func (s *Server) DropBelow(query string, dest lineage.ChannelID, input, upChanne
 	box := s.boxes[edgeKey{query, dest, input, upChannel}]
 	for seq, d := range box {
 		if seq < wm {
-			s.bytes -= int64(len(d))
+			s.bytes -= int64(len(d.data))
 			delete(box, seq)
 		}
 	}
@@ -178,28 +220,76 @@ func (s *Server) DropChannel(query string, dest lineage.ChannelID) {
 	for k, box := range s.boxes {
 		if k.query == query && k.dest == dest {
 			for _, d := range box {
-				s.bytes -= int64(len(d))
+				s.bytes -= int64(len(d.data))
 			}
 			delete(s.boxes, k)
 		}
 	}
 }
 
-// DropQuery clears every partition buffered for one query, leaving the
-// other queries' mailboxes untouched. Called when a query completes, fails
-// or is cancelled, so a torn-down query never leaks shuffle memory on the
-// workers.
+// DropQuery clears every partition buffered for one query — shuffle
+// mailboxes and spooled result payloads alike — leaving the other queries'
+// state untouched. Called when a query completes, fails or is cancelled,
+// so a torn-down query never leaks shuffle memory on the workers.
 func (s *Server) DropQuery(query string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, box := range s.boxes {
 		if k.query == query {
 			for _, d := range box {
-				s.bytes -= int64(len(d))
+				s.bytes -= int64(len(d.data))
 			}
 			delete(s.boxes, k)
 		}
 	}
+	for k := range s.results {
+		if k.query == query {
+			delete(s.results, k)
+		}
+	}
+}
+
+// SpoolResult stores a final-stage output payload on this worker, keyed by
+// its producing task. Idempotent like Push: a retried task overwrites its
+// previous spool, and a lower-epoch (zombie) spool never replaces a
+// higher-epoch one. Fails if the worker has died.
+func (s *Server) SpoolResult(query string, task lineage.TaskName, data []byte, epoch int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrServerDown
+	}
+	k := resultKey{query, task}
+	if old, ok := s.results[k]; ok && old.epoch > epoch {
+		return nil
+	}
+	s.results[k] = slot{epoch: epoch, data: data}
+	return nil
+}
+
+// FetchResult returns a spooled output payload. The head node calls it
+// when a cursor (or the final result assembly) needs the bytes behind a
+// manifest. ErrServerDown if the worker died — the caller then waits for
+// recovery to re-execute and re-spool the partition.
+func (s *Server) FetchResult(query string, task lineage.TaskName) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return nil, ErrServerDown
+	}
+	d, ok := s.results[resultKey{query, task}]
+	if !ok {
+		return nil, fmt.Errorf("flight: spooled result %s missing", task)
+	}
+	return d.data, nil
+}
+
+// DropResult releases one spooled output payload after the head consumed
+// it.
+func (s *Server) DropResult(query string, task lineage.TaskName) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.results, resultKey{query, task})
 }
 
 // Fail marks the worker dead: contents are dropped and all subsequent
@@ -208,7 +298,8 @@ func (s *Server) Fail() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failed = true
-	s.boxes = make(map[edgeKey]map[int][]byte)
+	s.boxes = make(map[edgeKey]map[int]slot)
+	s.results = make(map[resultKey]slot)
 	s.bytes = 0
 }
 

@@ -8,6 +8,13 @@
 // channel placement, done markers, the recovery barrier flag — lives here.
 // The head node (and hence the GCS) is assumed not to fail, as in the
 // paper; workers may fail at any time without corrupting it.
+//
+// The keyspace is sharded by namespace — the "q/<qid>/" prefix every
+// engine key carries — so concurrent queries' transactions (UpdateNS,
+// ViewNS) lock only their own shard and never contend on one global
+// mutex. Cross-namespace transactions (Update, View) still exist for
+// callers that scan the whole store; they take every shard lock in order,
+// preserving full serializability against the single-shard path.
 package gcs
 
 import (
@@ -15,20 +22,41 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quokka/internal/metrics"
 	"quokka/internal/storage"
 )
 
+// numShards is the fixed shard count of the keyspace. Namespaces hash onto
+// shards; 16 is comfortably above any realistic admission limit, so
+// concurrent queries almost never share a shard lock.
+const numShards = 16
+
+// shard is one lock domain of the keyspace.
+type shard struct {
+	mu   sync.Mutex
+	data map[string][]byte
+
+	// ver counts committed write transactions that touched this shard.
+	// Pollers snapshot it (VersionNS) to skip read transactions entirely
+	// while their namespace is unchanged.
+	ver atomic.Uint64
+}
+
 // Store is the Global Control Store. It is safe for concurrent use.
-// Transactions are serializable: a global commit lock orders them.
+// Transactions are serializable: single-namespace transactions hold their
+// shard's lock; cross-namespace transactions hold every shard lock.
 type Store struct {
 	cost storage.CostModel
 	met  *metrics.Collector
 
-	mu      sync.Mutex
-	data    map[string][]byte
+	shards [numShards]shard
+
+	// version is the store-wide commit counter, maintained under its own
+	// tiny lock so WaitChange pollers never block data-plane commits.
+	verMu   sync.Mutex
 	version uint64
 	cond    *sync.Cond
 }
@@ -36,9 +64,34 @@ type Store struct {
 // New creates an empty store with the given cost model; each transaction
 // is charged one head-node round trip plus payload transfer.
 func New(cost storage.CostModel, met *metrics.Collector) *Store {
-	s := &Store{cost: cost, met: met, data: make(map[string][]byte)}
-	s.cond = sync.NewCond(&s.mu)
+	s := &Store{cost: cost, met: met}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string][]byte)
+	}
+	s.cond = sync.NewCond(&s.verMu)
 	return s
+}
+
+// nsOf extracts the shard namespace of a key: the "q/<qid>/" prefix for
+// engine keys, "" for anything else. Every key of one query maps to the
+// same shard by construction.
+func nsOf(key string) string {
+	if strings.HasPrefix(key, "q/") {
+		if i := strings.IndexByte(key[2:], '/'); i >= 0 {
+			return key[:2+i+1]
+		}
+	}
+	return ""
+}
+
+// shardOf hashes a namespace onto its shard (fnv-1a).
+func shardOf(ns string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(ns); i++ {
+		h ^= uint32(ns[i])
+		h *= 16777619
+	}
+	return int(h % numShards)
 }
 
 // Txn is the handle passed to transaction bodies. All reads observe the
@@ -46,6 +99,8 @@ func New(cost storage.CostModel, met *metrics.Collector) *Store {
 // Txn methods must only be used inside the transaction body.
 type Txn struct {
 	s      *Store
+	si     int               // locked shard index; -1 = all, -2 = multi (see multi)
+	multi  *[numShards]bool  // locked-shard mask when si == -2
 	writes map[string][]byte // nil value means delete
 	bytes  int64
 }
@@ -53,27 +108,48 @@ type Txn struct {
 // ErrAborted is returned when a transaction body asks to abort.
 var ErrAborted = fmt.Errorf("gcs: transaction aborted")
 
-// Update runs fn as a serializable read-write transaction. If fn returns
-// an error the transaction is discarded and the error returned. Each
+// shardFor returns the shard holding key, enforcing the single-shard
+// discipline: a namespaced transaction must only touch keys of its own
+// namespace (all engine keys under one "q/<qid>/" prefix satisfy this).
+func (tx *Txn) shardFor(key string) *shard {
+	si := shardOf(nsOf(key))
+	switch {
+	case tx.si == -1:
+	case tx.si == -2:
+		if !tx.multi[si] {
+			panic(fmt.Sprintf("gcs: key %q outside the transaction's namespace shards", key))
+		}
+	case si != tx.si:
+		panic(fmt.Sprintf("gcs: key %q outside the transaction's namespace shard", key))
+	}
+	return &tx.s.shards[si]
+}
+
+// UpdateNS runs fn as a serializable read-write transaction confined to
+// one namespace ("q/<qid>/"): only that namespace's shard is locked, so
+// concurrent queries' transactions proceed in parallel. If fn returns an
+// error the transaction is discarded and the error returned. Each
 // committed transaction is charged one GCS round trip.
-func (s *Store) Update(fn func(tx *Txn) error) error {
-	s.mu.Lock()
-	tx := &Txn{s: s, writes: make(map[string][]byte)}
+func (s *Store) UpdateNS(ns string, fn func(tx *Txn) error) error {
+	si := shardOf(ns)
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	tx := &Txn{s: s, si: si, writes: make(map[string][]byte)}
 	err := fn(tx)
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return err
 	}
 	for k, v := range tx.writes {
 		if v == nil {
-			delete(s.data, k)
+			delete(sh.data, k)
 		} else {
-			s.data[k] = v
+			sh.data[k] = v
 		}
 	}
-	s.version++
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	sh.ver.Add(1)
+	sh.mu.Unlock()
+	s.bumpVersion()
 
 	s.met.Add(metrics.GCSTxns, 1)
 	s.met.Add(metrics.GCSBytes, tx.bytes)
@@ -81,18 +157,143 @@ func (s *Store) Update(fn func(tx *Txn) error) error {
 	return nil
 }
 
-// View runs fn as a read-only transaction (one round trip, no payload).
-func (s *Store) View(fn func(tx *Txn) error) error {
-	s.mu.Lock()
-	tx := &Txn{s: s}
+// UpdateMulti runs fn as one serializable read-write transaction spanning
+// the shards of the given namespaces — the group committer's path for
+// folding several queries' lineage commits into a single head-node round
+// trip. The shards are locked in index order (deadlock-free against every
+// other path), only their version counters are bumped, and the whole batch
+// is still charged as ONE transaction: that amortization is the point.
+func (s *Store) UpdateMulti(nss []string, fn func(tx *Txn) error) error {
+	var mask [numShards]bool
+	var order []int
+	for _, ns := range nss {
+		if si := shardOf(ns); !mask[si] {
+			mask[si] = true
+			order = append(order, si)
+		}
+	}
+	sort.Ints(order)
+	for _, si := range order {
+		s.shards[si].mu.Lock()
+	}
+	tx := &Txn{s: s, si: -2, multi: &mask, writes: make(map[string][]byte)}
 	err := fn(tx)
-	s.mu.Unlock()
+	if err != nil {
+		for _, si := range order {
+			s.shards[si].mu.Unlock()
+		}
+		return err
+	}
+	for k, v := range tx.writes {
+		sh := &s.shards[shardOf(nsOf(k))]
+		if v == nil {
+			delete(sh.data, k)
+		} else {
+			sh.data[k] = v
+		}
+	}
+	for _, si := range order {
+		s.shards[si].ver.Add(1)
+		s.shards[si].mu.Unlock()
+	}
+	s.bumpVersion()
+
+	s.met.Add(metrics.GCSTxns, 1)
+	s.met.Add(metrics.GCSBytes, tx.bytes)
+	s.cost.Apply(s.cost.GCS, tx.bytes)
+	return nil
+}
+
+// VersionNS returns the commit counter of the shard holding ns. It is a
+// local atomic read — no transaction, no modelled round trip — so pollers
+// can cheaply detect "nothing in my namespace changed" and skip their read
+// transaction. A committed update to ns is always visible to a ViewNS that
+// follows a VersionNS observing its increment.
+func (s *Store) VersionNS(ns string) uint64 {
+	return s.shards[shardOf(ns)].ver.Load()
+}
+
+// ViewNS runs fn as a read-only transaction confined to one namespace
+// (one round trip, no payload).
+func (s *Store) ViewNS(ns string, fn func(tx *Txn) error) error {
+	si := shardOf(ns)
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	tx := &Txn{s: s, si: si}
+	err := fn(tx)
+	sh.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	s.met.Add(metrics.GCSTxns, 1)
 	s.cost.Apply(s.cost.GCS, 0)
 	return err
+}
+
+// Update runs fn as a serializable read-write transaction over the whole
+// keyspace. It takes every shard lock (in order), so it serializes against
+// all namespaced transactions; use UpdateNS when the keys touched live
+// under one query namespace.
+func (s *Store) Update(fn func(tx *Txn) error) error {
+	s.lockAll()
+	tx := &Txn{s: s, si: -1, writes: make(map[string][]byte)}
+	err := fn(tx)
+	if err != nil {
+		s.unlockAll()
+		return err
+	}
+	for k, v := range tx.writes {
+		sh := &s.shards[shardOf(nsOf(k))]
+		if v == nil {
+			delete(sh.data, k)
+		} else {
+			sh.data[k] = v
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].ver.Add(1)
+	}
+	s.unlockAll()
+	s.bumpVersion()
+
+	s.met.Add(metrics.GCSTxns, 1)
+	s.met.Add(metrics.GCSBytes, tx.bytes)
+	s.cost.Apply(s.cost.GCS, tx.bytes)
+	return nil
+}
+
+// View runs fn as a read-only transaction over the whole keyspace (one
+// round trip, no payload).
+func (s *Store) View(fn func(tx *Txn) error) error {
+	s.lockAll()
+	tx := &Txn{s: s, si: -1}
+	err := fn(tx)
+	s.unlockAll()
+	if err != nil {
+		return err
+	}
+	s.met.Add(metrics.GCSTxns, 1)
+	s.cost.Apply(s.cost.GCS, 0)
+	return err
+}
+
+func (s *Store) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+func (s *Store) bumpVersion() {
+	s.verMu.Lock()
+	s.version++
+	s.cond.Broadcast()
+	s.verMu.Unlock()
 }
 
 // WriteBytes returns the transaction's accumulated write payload (keys +
@@ -111,7 +312,7 @@ func (tx *Txn) Get(key string) (val []byte, ok bool) {
 			return v, true
 		}
 	}
-	v, ok := tx.s.data[key]
+	v, ok := tx.shardFor(key).data[key]
 	return v, ok
 }
 
@@ -120,6 +321,7 @@ func (tx *Txn) Put(key string, value []byte) {
 	if tx.writes == nil {
 		panic("gcs: Put inside read-only transaction")
 	}
+	tx.shardFor(key) // enforce the namespace discipline at write time
 	cp := make([]byte, len(value))
 	copy(cp, value)
 	tx.writes[key] = cp
@@ -131,24 +333,35 @@ func (tx *Txn) Delete(key string) {
 	if tx.writes == nil {
 		panic("gcs: Delete inside read-only transaction")
 	}
+	tx.shardFor(key)
 	tx.writes[key] = nil
 	tx.bytes += int64(len(key))
 }
 
 // List returns the sorted keys having the given prefix, reflecting
-// uncommitted writes of this transaction.
+// uncommitted writes of this transaction. In a namespaced transaction the
+// prefix must lie within the transaction's namespace.
 func (tx *Txn) List(prefix string) []string {
 	seen := make(map[string]bool)
 	var out []string
-	for k := range tx.s.data {
-		if strings.HasPrefix(k, prefix) {
-			if tx.writes != nil {
-				if v, written := tx.writes[k]; written && v == nil {
-					continue
+	scan := func(sh *shard) {
+		for k := range sh.data {
+			if strings.HasPrefix(k, prefix) {
+				if tx.writes != nil {
+					if v, written := tx.writes[k]; written && v == nil {
+						continue
+					}
 				}
+				seen[k] = true
+				out = append(out, k)
 			}
-			seen[k] = true
-			out = append(out, k)
+		}
+	}
+	if tx.si >= 0 {
+		scan(&tx.s.shards[tx.si])
+	} else {
+		for i := range tx.s.shards {
+			scan(&tx.s.shards[i])
 		}
 	}
 	if tx.writes != nil {
@@ -165,8 +378,8 @@ func (tx *Txn) List(prefix string) []string {
 // Version returns the store's commit counter. It increases on every
 // committed update; pollers use it with WaitChange.
 func (s *Store) Version() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
 	return s.version
 }
 
@@ -176,8 +389,8 @@ func (s *Store) Version() uint64 {
 // design at reasonable CPU cost.
 func (s *Store) WaitChange(since uint64, timeout time.Duration) uint64 {
 	deadline := time.Now().Add(timeout)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
 	for s.version <= since {
 		remain := time.Until(deadline)
 		if remain <= 0 {
@@ -187,9 +400,9 @@ func (s *Store) WaitChange(since uint64, timeout time.Duration) uint64 {
 		// happens; sync.Cond has no timed wait, so arm a timer.
 		done := make(chan struct{})
 		t := time.AfterFunc(remain, func() {
-			s.mu.Lock()
+			s.verMu.Lock()
 			s.cond.Broadcast()
-			s.mu.Unlock()
+			s.verMu.Unlock()
 			close(done)
 		})
 		s.cond.Wait()

@@ -1,0 +1,99 @@
+package gcs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The sharded keyspace: per-query-namespace transactions (UpdateNS/ViewNS)
+// lock a single shard, so concurrent queries' transactions proceed in
+// parallel, while legacy whole-store transactions still see a serializable
+// view across every namespace.
+
+func TestNamespaceTxnsAreSerializablePerNamespace(t *testing.T) {
+	s, _ := newStore()
+	const queries, workers, iters = 4, 4, 25
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		ns := fmt.Sprintf("q/q%d/", q)
+		s.UpdateNS(ns, func(tx *Txn) error { tx.Put(ns+"n", []byte("0")); return nil })
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ns string) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					s.UpdateNS(ns, func(tx *Txn) error {
+						v, _ := tx.Get(ns + "n")
+						var n int
+						fmt.Sscanf(string(v), "%d", &n)
+						tx.Put(ns+"n", []byte(fmt.Sprintf("%d", n+1)))
+						return nil
+					})
+				}
+			}(ns)
+		}
+	}
+	wg.Wait()
+	// Legacy whole-store view sees every namespace's final count.
+	s.View(func(tx *Txn) error {
+		for q := 0; q < queries; q++ {
+			ns := fmt.Sprintf("q/q%d/", q)
+			v, _ := tx.Get(ns + "n")
+			if string(v) != fmt.Sprintf("%d", workers*iters) {
+				t.Errorf("%s: lost updates: n = %s, want %d", ns, v, workers*iters)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNamespaceTxnRejectsForeignKeys(t *testing.T) {
+	s, _ := newStore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on out-of-namespace key in NS txn")
+		}
+	}()
+	s.UpdateNS("q/q1/", func(tx *Txn) error {
+		tx.Put("q/q2/evil", nil) // different query's namespace
+		return nil
+	})
+}
+
+func TestLegacyListSpansShards(t *testing.T) {
+	s, _ := newStore()
+	// Namespaces chosen to land on multiple shards.
+	for q := 0; q < 32; q++ {
+		ns := fmt.Sprintf("q/q%d/", q)
+		s.UpdateNS(ns, func(tx *Txn) error { tx.Put(ns+"k", nil); return nil })
+	}
+	s.View(func(tx *Txn) error {
+		if got := len(tx.List("q/")); got != 32 {
+			t.Errorf("List(q/) across shards = %d keys, want 32", got)
+		}
+		return nil
+	})
+	// NS-scoped List stays within its shard and sees its own keys.
+	s.ViewNS("q/q7/", func(tx *Txn) error {
+		if got := len(tx.List("q/q7/")); got != 1 {
+			t.Errorf("ViewNS List = %d keys, want 1", got)
+		}
+		return nil
+	})
+}
+
+func TestNamespaceTxnMetricsAndVersion(t *testing.T) {
+	s, met := newStore()
+	v0 := s.Version()
+	s.UpdateNS("q/q1/", func(tx *Txn) error { tx.Put("q/q1/a", []byte("xyz")); return nil })
+	if got := met.Get("gcs.txns"); got != 1 {
+		t.Errorf("gcs.txns = %d, want 1", got)
+	}
+	if got := met.Get("gcs.bytes"); got != int64(len("q/q1/a")+3) {
+		t.Errorf("gcs.bytes = %d", got)
+	}
+	if s.Version() <= v0 {
+		t.Error("NS update did not bump the store version")
+	}
+}

@@ -23,6 +23,7 @@ package lineage
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // TaskName identifies a task and its output partition: the paper's
@@ -36,8 +37,12 @@ type TaskName struct {
 // Channel returns the task's channel identity.
 func (t TaskName) ChannelID() ChannelID { return ChannelID{t.Stage, t.Channel} }
 
-// String renders the name as "stage.channel.seq".
-func (t TaskName) String() string { return fmt.Sprintf("%d.%d.%d", t.Stage, t.Channel, t.Seq) }
+// String renders the name as "stage.channel.seq". Task names are built on
+// the engine's hottest paths (GCS keys, backup keys, mailbox slots), so
+// this avoids fmt's reflection cost.
+func (t TaskName) String() string {
+	return strconv.Itoa(t.Stage) + "." + strconv.Itoa(t.Channel) + "." + strconv.Itoa(t.Seq)
+}
 
 // ParseTaskName parses the String form.
 func ParseTaskName(s string) (TaskName, error) {
@@ -55,7 +60,9 @@ type ChannelID struct {
 }
 
 // String renders the id as "stage.channel".
-func (c ChannelID) String() string { return fmt.Sprintf("%d.%d", c.Stage, c.Channel) }
+func (c ChannelID) String() string {
+	return strconv.Itoa(c.Stage) + "." + strconv.Itoa(c.Channel)
+}
 
 // ParseChannelID parses the String form.
 func ParseChannelID(s string) (ChannelID, error) {

@@ -33,8 +33,13 @@ func (q *Query) Done() <-chan struct{} { return q.inner.Done() }
 
 // Wait blocks until the query finishes and returns its terminal error
 // (nil on success; context.Canceled after Cancel or a cancelled submit
-// context).
+// context). Sugar for WaitContext(context.Background()).
 func (q *Query) Wait() error { return q.inner.Wait() }
+
+// WaitContext blocks until the query finishes or ctx is done. A ctx expiry
+// returns ctx.Err() without cancelling the query — it keeps running and can
+// be waited on again; use Cancel to stop it.
+func (q *Query) WaitContext(ctx context.Context) error { return q.inner.WaitContext(ctx) }
 
 // Cancel stops the query mid-flight: its tasks stop, mailbox slots drain,
 // spill namespaces are swept, and its GCS namespace is deleted — without
@@ -71,9 +76,17 @@ type Cursor struct {
 
 // Next returns the next chunk of output rows, blocking until the final
 // stage commits one. It returns (nil, nil) at end of stream, and the
-// query's terminal error if execution fails or is cancelled.
+// query's terminal error if execution fails or is cancelled. Sugar for
+// NextContext(context.Background()).
 func (c *Cursor) Next() ([][]any, error) {
-	b, err := c.inner.Next()
+	return c.NextContext(context.Background())
+}
+
+// NextContext is Next honouring ctx: a ctx expiry unblocks the wait and
+// returns ctx.Err() without poisoning the cursor — iteration can resume
+// with a fresh context.
+func (c *Cursor) NextContext(ctx context.Context) ([][]any, error) {
+	b, err := c.inner.NextContext(ctx)
 	if err != nil || b == nil {
 		return nil, err
 	}

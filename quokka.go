@@ -34,6 +34,7 @@ package quokka
 
 import (
 	"fmt"
+	"time"
 
 	"quokka/internal/batch"
 	"quokka/internal/cluster"
@@ -82,6 +83,41 @@ const (
 	RecoveryDataParallel     = engine.RecoveryDataParallel
 )
 
+// Option is a cluster-level tuning knob, passed to NewCluster, NewSession
+// or Cluster.Configure. Options tune the execution state shared by every
+// query on one cluster — admission, cross-query memory, and the defaults a
+// query's RunConfig falls back to — whereas RunConfig tunes one execution.
+type Option = engine.Option
+
+// WithAdmissionLimit bounds how many queries the cluster executes
+// concurrently (default 4). Submissions beyond the bound queue FIFO and
+// are admitted as slots free up; n <= 0 restores the default. Raising the
+// limit immediately admits queued queries.
+func WithAdmissionLimit(n int) Option { return engine.WithAdmissionLimit(n) }
+
+// WithWorkerMemoryBudget installs a per-worker accounted-memory cap shared
+// by ALL in-flight queries: concurrent budgeted queries then spill against
+// the worker's total accounted operator state, not just their own
+// RunConfig.MemoryBudget. 0 (the default) disables the cross-query cap.
+// Only queries submitted after it is applied observe it.
+func WithWorkerMemoryBudget(bytes int64) Option { return engine.WithWorkerMemoryBudget(bytes) }
+
+// WithCursorBufferBytes sets the cluster default for the head-node buffer
+// bound while a streaming Cursor is attached. A query's own
+// RunConfig.CursorBufferBytes, when set, takes precedence. 0 restores the
+// built-in default (4 MiB); negative disables the bound.
+func WithCursorBufferBytes(n int64) Option { return engine.WithCursorBufferBytes(n) }
+
+// WithLineageFlushInterval sets the cluster default for lineage group
+// commit. A query's own RunConfig.LineageFlushInterval, when set, takes
+// precedence. 0 restores the default opportunistic batching; a positive
+// interval holds each flush open that long to widen batches; negative
+// disables group commit (one GCS transaction per task, the pre-group-commit
+// behaviour).
+func WithLineageFlushInterval(d time.Duration) Option {
+	return engine.WithLineageFlushInterval(d)
+}
+
 // ClusterConfig configures cluster construction.
 type ClusterConfig struct {
 	// Workers is the number of simulated worker machines.
@@ -102,8 +138,9 @@ type Cluster struct {
 	inner *cluster.Cluster
 }
 
-// NewCluster builds a cluster of cfg.Workers live workers.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+// NewCluster builds a cluster of cfg.Workers live workers and applies any
+// cluster-level tuning options (see Option).
+func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 	cost := storage.DefaultCostModel()
 	switch {
 	case cfg.TimeScale > 0:
@@ -123,8 +160,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine.Configure(inner, opts...)
 	return &Cluster{inner: inner}, nil
 }
+
+// Configure applies cluster-level tuning options to a live cluster. It may
+// be called at any time; each option documents whether in-flight queries
+// observe the change.
+func (c *Cluster) Configure(opts ...Option) { engine.Configure(c.inner, opts...) }
 
 // Workers returns the total number of workers (live or dead).
 func (c *Cluster) Workers() int { return len(c.inner.Workers) }
@@ -150,15 +193,19 @@ func (c *Cluster) Metrics() map[string]int64 { return c.inner.Metrics.Snapshot()
 // concurrently (default engine.DefaultAdmissionLimit = 4). Submissions
 // beyond the bound queue FIFO and are admitted as slots free up. n <= 0
 // restores the default.
-func (c *Cluster) SetAdmissionLimit(n int) { engine.SetAdmissionLimit(c.inner, n) }
+//
+// Deprecated: use Configure(WithAdmissionLimit(n)).
+func (c *Cluster) SetAdmissionLimit(n int) { c.Configure(WithAdmissionLimit(n)) }
 
 // SetWorkerMemoryBudget installs a per-worker accounted-memory cap shared
 // by ALL in-flight queries: concurrent budgeted queries then spill against
 // the worker's total accounted operator state, not just their own
 // RunConfig.MemoryBudget. 0 (the default) disables the cross-query cap.
 // Only queries submitted after the call observe it.
+//
+// Deprecated: use Configure(WithWorkerMemoryBudget(bytes)).
 func (c *Cluster) SetWorkerMemoryBudget(bytes int64) {
-	engine.SetWorkerMemoryBudget(c.inner, bytes)
+	c.Configure(WithWorkerMemoryBudget(bytes))
 }
 
 // Internal accessor for the benchmark harness.
