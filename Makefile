@@ -16,7 +16,7 @@ test:
 ## cursors, cancellation, KillWorker recovery).
 race:
 	$(GO) test -race ./internal/engine/... ./internal/ops/...
-	$(GO) test -race -run 'TestConcurrentTPCH' ./internal/tpch/
+	$(GO) test -race -run 'TestConcurrentTPCH|TestCompressionTransparent' ./internal/tpch/
 	$(GO) test -race -run 'TestSubmit|TestAdmissionLimitPublic' .
 
 ## bench: one iteration of every benchmark in short mode (CI smoke), plus
@@ -28,13 +28,15 @@ bench:
 	$(GO) test -short -run 'ZeroAllocs' ./internal/ops/
 
 ## bench-json: regenerate the checked-in perf records (hash path, the
-## out-of-core spill sweep, the planner's naive-vs-optimized sweep, and
-## the concurrent-session admission sweep).
+## out-of-core spill sweep, the planner's naive-vs-optimized sweep, the
+## concurrent-session admission sweep, and the byte-engine
+## compression/pruning sweep).
 bench-json:
 	$(GO) run ./cmd/quokka-bench -exp hashpath -json BENCH_hashpath.json
 	$(GO) run ./cmd/quokka-bench -exp spill -json BENCH_spill.json
 	$(GO) run ./cmd/quokka-bench -exp planner -repeats 3 -json BENCH_planner.json
 	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
+	$(GO) run ./cmd/quokka-bench -exp bytes -json BENCH_bytes.json
 
 ## bench-concurrent: just the admission-level sweep (1/2/4/8/16 plus the
 ## group-commit-off ablation at 4); regenerates BENCH_concurrent.json.

@@ -11,11 +11,11 @@
 //	quokka-bench -exp hashpath -json BENCH_hashpath.json
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, hashpath,
-// spill, planner, concurrent, fig10a, fig10b, fig11a, fig11b, all.
+// spill, planner, concurrent, bytes, fig10a, fig10b, fig11a, fig11b, all.
 //
 // -json writes the machine-readable results of the experiments that
-// produce them (hashpath, morsel, spill, planner, concurrent) to the
-// given file, so the perf trajectory is tracked across PRs.
+// produce them (hashpath, morsel, spill, planner, concurrent, bytes) to
+// the given file, so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|fig10a|fig10b|fig11a|fig11b|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|bytes|fig10a|fig10b|fig11a|fig11b|all")
 		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		splitRows = flag.Int("split-rows", 512, "rows per table split")
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
@@ -183,6 +183,18 @@ func main() {
 		jsonResults = append(jsonResults, res)
 		return nil
 	})
+	run("bytes", func() error {
+		qs := qlist
+		if *queries == "" {
+			qs = nil // BytesSweep's own scan/shuffle-heavy defaults
+		}
+		res, err := h().BytesSweep(w(4), qs)
+		if err != nil {
+			return err
+		}
+		jsonResults = append(jsonResults, res)
+		return nil
+	})
 	run("hashpath", func() error {
 		jsonResults = append(jsonResults, bench.RunHashPath(os.Stdout, max(*repeats, 3)))
 		return nil
@@ -193,7 +205,7 @@ func main() {
 	run("fig11b", func() error { _, err := h().Fig10a(w(32)); return err })
 
 	switch *exp {
-	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "bytes", "fig10a", "fig10b", "fig11a", "fig11b", "all":
 	default:
 		fatal("unknown experiment %q", *exp)
 	}

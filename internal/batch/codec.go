@@ -2,9 +2,20 @@ package batch
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCorrupt is wrapped by every decode error: truncated payloads, bad
+// magic, impossible counts, invalid encodings. Callers distinguish "bytes
+// are damaged" from other failures with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("batch: corrupt frame")
+
+// corruptf builds a decode error carrying the ErrCorrupt sentinel.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
 
 // The wire format is a simple length-prefixed columnar layout:
 //
@@ -119,12 +130,12 @@ func (it *RunIter) Next() (*Batch, error) {
 		return nil, nil
 	}
 	if it.pos+4 > len(it.data) {
-		return nil, fmt.Errorf("batch: truncated run frame header at offset %d", it.pos)
+		return nil, corruptf("truncated run frame header at offset %d", it.pos)
 	}
 	n := int(binary.LittleEndian.Uint32(it.data[it.pos:]))
 	it.pos += 4
 	if it.pos+n > len(it.data) {
-		return nil, fmt.Errorf("batch: truncated run frame at offset %d", it.pos)
+		return nil, corruptf("truncated run frame at offset %d", it.pos)
 	}
 	b, err := Decode(it.data[it.pos : it.pos+n])
 	if err != nil {
@@ -134,27 +145,47 @@ func (it *RunIter) Next() (*Batch, error) {
 	return b, nil
 }
 
-// Decode parses a batch from bytes produced by Encode.
+// Decode parses a batch from bytes produced by Encode or EncodeCompressed.
+// The frame is self-describing: the magic selects the wire format (QBA1 =
+// raw columns, QBA2 = per-column encodings), so mixed streams — e.g. old
+// raw frames and replayed compressed partitions — decode through the same
+// entry point. Declared counts are validated against the remaining payload
+// before any allocation; damaged bytes return errors wrapping ErrCorrupt,
+// never panic.
 func Decode(data []byte) (*Batch, error) {
-	pos := 0
+	if len(data) < 4 {
+		return nil, corruptf("frame shorter than magic (%d bytes)", len(data))
+	}
+	switch magic := binary.LittleEndian.Uint32(data); magic {
+	case codecMagic:
+		return decode1(data)
+	case codecMagic2:
+		b, _, err := decode2(data, nil)
+		return b, err
+	default:
+		return nil, corruptf("bad magic %#x", magic)
+	}
+}
+
+// decode1 parses the QBA1 (raw, encoding-0) format.
+func decode1(data []byte) (*Batch, error) {
+	pos := 4 // magic checked by Decode
 	get32 := func() (uint32, error) {
 		if pos+4 > len(data) {
-			return 0, fmt.Errorf("batch: truncated at offset %d", pos)
+			return 0, corruptf("truncated at offset %d", pos)
 		}
 		v := binary.LittleEndian.Uint32(data[pos:])
 		pos += 4
 		return v, nil
 	}
-	magic, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if magic != codecMagic {
-		return nil, fmt.Errorf("batch: bad magic %#x", magic)
-	}
 	nf, err := get32()
 	if err != nil {
 		return nil, err
+	}
+	// Each field costs at least 5 bytes (nameLen + type); reject counts the
+	// payload cannot possibly hold before allocating for them.
+	if int64(nf)*5 > int64(len(data)-pos) {
+		return nil, corruptf("field count %d exceeds payload", nf)
 	}
 	fields := make([]Field, nf)
 	for i := range fields {
@@ -162,8 +193,8 @@ func Decode(data []byte) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		if pos+int(nl)+1 > len(data) {
-			return nil, fmt.Errorf("batch: truncated field name at offset %d", pos)
+		if int64(nl) > int64(len(data)-pos)-1 {
+			return nil, corruptf("truncated field name at offset %d", pos)
 		}
 		fields[i].Name = string(data[pos : pos+int(nl)])
 		pos += int(nl)
@@ -181,8 +212,8 @@ func Decode(data []byte) (*Batch, error) {
 		c := &Column{Type: f.Type}
 		switch f.Type {
 		case Int64, Date:
-			if pos+rows*8 > len(data) {
-				return nil, fmt.Errorf("batch: truncated int column %q", f.Name)
+			if int64(rows)*8 > int64(len(data)-pos) {
+				return nil, corruptf("truncated int column %q", f.Name)
 			}
 			v := make([]int64, rows)
 			for r := 0; r < rows; r++ {
@@ -191,8 +222,8 @@ func Decode(data []byte) (*Batch, error) {
 			}
 			c.Ints = v
 		case Float64:
-			if pos+rows*8 > len(data) {
-				return nil, fmt.Errorf("batch: truncated float column %q", f.Name)
+			if int64(rows)*8 > int64(len(data)-pos) {
+				return nil, corruptf("truncated float column %q", f.Name)
 			}
 			v := make([]float64, rows)
 			for r := 0; r < rows; r++ {
@@ -201,22 +232,28 @@ func Decode(data []byte) (*Batch, error) {
 			}
 			c.Floats = v
 		case String:
+			// Each string costs at least its 4-byte length prefix; validate
+			// the declared row count against the remaining payload before
+			// allocating rows slots.
+			if int64(rows)*4 > int64(len(data)-pos) {
+				return nil, corruptf("row count %d exceeds payload in string column %q", rows, f.Name)
+			}
 			v := make([]string, rows)
 			for r := 0; r < rows; r++ {
 				sl, err := get32()
 				if err != nil {
 					return nil, err
 				}
-				if pos+int(sl) > len(data) {
-					return nil, fmt.Errorf("batch: truncated string column %q", f.Name)
+				if int64(sl) > int64(len(data)-pos) {
+					return nil, corruptf("truncated string column %q", f.Name)
 				}
 				v[r] = string(data[pos : pos+int(sl)])
 				pos += int(sl)
 			}
 			c.Strings = v
 		case Bool:
-			if pos+rows > len(data) {
-				return nil, fmt.Errorf("batch: truncated bool column %q", f.Name)
+			if rows > len(data)-pos {
+				return nil, corruptf("truncated bool column %q", f.Name)
 			}
 			v := make([]bool, rows)
 			for r := 0; r < rows; r++ {
@@ -225,12 +262,12 @@ func Decode(data []byte) (*Batch, error) {
 			}
 			c.Bools = v
 		default:
-			return nil, fmt.Errorf("batch: unknown column type %d", f.Type)
+			return nil, corruptf("unknown column type %d", f.Type)
 		}
 		cols[i] = c
 	}
 	if pos != len(data) {
-		return nil, fmt.Errorf("batch: %d trailing bytes", len(data)-pos)
+		return nil, corruptf("%d trailing bytes", len(data)-pos)
 	}
 	return New(schema, cols)
 }

@@ -1,0 +1,660 @@
+package batch
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// QBA2 is the compressed wire format. It keeps QBA1's self-describing
+// shape but tags every column with an encoding and a payload length:
+//
+//	magic   uint32 "QBA2"
+//	nfields uint32
+//	per field: nameLen uint32, name, type uint8, enc uint8, payloadLen uint32
+//	nrows   uint32
+//	per column: payload (payloadLen bytes, layout per encoding)
+//
+// Encoding 0 (raw) is byte-for-byte the QBA1 column layout, so the
+// uncompressed format remains expressible and is the escape hatch when
+// compression is disabled. payloadLen makes columns skippable without
+// decoding — the scan path uses this to drop columns the fused projection
+// discarded — and doubles as a strict validation bound.
+//
+// Compression is output-transparent: Decode(EncodeCompressed(b)) yields a
+// batch whose Encode bytes are identical to Encode(b). Float64 columns are
+// always raw Float64bits — bit-exactness (0.0 vs -0.0, NaN payloads) is a
+// routing/key invariant and is never traded for size.
+
+const codecMagic2 = 0x51424132 // "QBA2"
+
+// Per-column encodings. The encoder picks, per column, the smallest
+// candidate valid for the type; ties go to the lowest encoding number, so
+// the choice is deterministic.
+const (
+	encRaw    = 0 // QBA1 column layout (any type)
+	encDict   = 1 // String/Float64: dictionary + uvarint indexes
+	encVarint = 2 // Int64/Date: zigzag uvarint per value
+	encDelta  = 3 // Int64/Date: zigzag uvarint first value, then deltas
+	encRLE    = 4 // Bool: first value byte + alternating uvarint run lengths
+	encFlate  = 5 // any type: DEFLATE over the raw (encoding-0) payload
+)
+
+// EncodeCompressed serializes the batch into the QBA2 format, choosing the
+// smallest encoding per column. A selection vector, if present, is
+// materialized first — the wire format always carries physical rows.
+func EncodeCompressed(b *Batch) []byte {
+	b = b.Materialize()
+	payloads := make([][]byte, len(b.Cols))
+	encs := make([]byte, len(b.Cols))
+	size := 12
+	for i, c := range b.Cols {
+		encs[i], payloads[i] = encodeColumn(c)
+		size += 10 + len(b.Schema.Fields[i].Name) + len(payloads[i])
+	}
+	out := make([]byte, 0, size)
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		out = append(out, u32[:]...)
+	}
+	put32(codecMagic2)
+	put32(uint32(b.Schema.Len()))
+	for i, f := range b.Schema.Fields {
+		put32(uint32(len(f.Name)))
+		out = append(out, f.Name...)
+		out = append(out, byte(f.Type), encs[i])
+		put32(uint32(len(payloads[i])))
+	}
+	put32(uint32(b.NumRows()))
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// AppendFramedCompressed appends a length-prefixed EncodeCompressed(b)
+// frame to dst; the framing is identical to AppendFramed, so RunIter reads
+// mixed raw/compressed runs.
+func AppendFramedCompressed(dst []byte, b *Batch) []byte {
+	enc := EncodeCompressed(b)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(enc)))
+	dst = append(dst, u32[:]...)
+	return append(dst, enc...)
+}
+
+// RawEncodedSize returns exactly len(Encode(b)) without building the
+// bytes. Metric sites use it to report the raw-vs-wire ratio.
+func RawEncodedSize(b *Batch) int {
+	size := 12
+	for _, f := range b.Schema.Fields {
+		size += 5 + len(f.Name)
+	}
+	rows := b.NumRows()
+	for _, c := range b.Cols {
+		switch c.Type {
+		case Int64, Date, Float64:
+			size += rows * 8
+		case String:
+			size += rows * 4
+			if b.Sel != nil {
+				for _, r := range b.Sel {
+					size += len(c.Strings[r])
+				}
+			} else {
+				for _, s := range c.Strings {
+					size += len(s)
+				}
+			}
+		case Bool:
+			size += rows
+		}
+	}
+	return size
+}
+
+// encodeColumn returns the chosen encoding and its payload for one
+// materialized column: the smallest candidate, ties to the lowest number.
+func encodeColumn(c *Column) (byte, []byte) {
+	best := rawColumnPayload(c)
+	bestEnc := byte(encRaw)
+	consider := func(enc byte, p []byte) {
+		if len(p) < len(best) {
+			best, bestEnc = p, enc
+		}
+	}
+	switch c.Type {
+	case Int64, Date:
+		consider(encVarint, varintPayload(c.Ints))
+		consider(encDelta, deltaPayload(c.Ints))
+	case String:
+		consider(encDict, dictPayload(c.Strings))
+	case Bool:
+		consider(encRLE, rlePayload(c.Bools))
+	case Float64:
+		// Floats compress by bit-pattern dictionary: TPC-H-style measures
+		// (quantities, discounts, prices) repeat heavily, and indexing the
+		// distinct Float64bits is exact — the bit-exactness invariant holds
+		// trivially, NaN payloads and -0.0 included. High-entropy columns
+		// fall back to raw via smallest-wins.
+		consider(encDict, dictFloatPayload(c.Floats))
+	}
+	return bestEnc, best
+}
+
+// rawColumnPayload is the QBA1 column layout for one column (encoding 0).
+func rawColumnPayload(c *Column) []byte {
+	switch c.Type {
+	case Int64, Date:
+		out := make([]byte, 8*len(c.Ints))
+		for i, v := range c.Ints {
+			binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+		}
+		return out
+	case Float64:
+		out := make([]byte, 8*len(c.Floats))
+		for i, v := range c.Floats {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+		return out
+	case String:
+		size := 0
+		for _, s := range c.Strings {
+			size += 4 + len(s)
+		}
+		out := make([]byte, 0, size)
+		var u32 [4]byte
+		for _, s := range c.Strings {
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+			out = append(out, u32[:]...)
+			out = append(out, s...)
+		}
+		return out
+	case Bool:
+		out := make([]byte, len(c.Bools))
+		for i, v := range c.Bools {
+			if v {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// zigzag maps signed values to unsigned so small magnitudes of either sign
+// varint-encode short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func varintPayload(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*2)
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(v))
+	}
+	return out
+}
+
+// deltaPayload stores the first value then successive differences, all
+// zigzag-varint. Differences use wrapping int64 arithmetic, so extreme
+// spreads round-trip exactly.
+func deltaPayload(vals []int64) []byte {
+	out := make([]byte, 0, len(vals)*2)
+	prev := int64(0)
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(v-prev))
+		prev = v
+	}
+	return out
+}
+
+// dictPayload: ndict uint32, then each distinct string (uint32 length +
+// bytes) in first-occurrence order, then one uvarint index per row.
+func dictPayload(vals []string) []byte {
+	idx := make(map[string]uint64, 16)
+	order := make([]string, 0, 16)
+	for _, s := range vals {
+		if _, ok := idx[s]; !ok {
+			idx[s] = uint64(len(order))
+			order = append(order, s)
+		}
+	}
+	out := make([]byte, 0, len(vals)*2)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(order)))
+	out = append(out, u32[:]...)
+	for _, s := range order {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+		out = append(out, u32[:]...)
+		out = append(out, s...)
+	}
+	for _, s := range vals {
+		out = binary.AppendUvarint(out, idx[s])
+	}
+	return out
+}
+
+// dictFloatPayload: ndict uint32, then each distinct Float64bits pattern
+// (8 bytes LE) in first-occurrence order, then one uvarint index per row.
+// Distinctness is by bit pattern, so -0.0 and every NaN payload keep their
+// exact bits.
+func dictFloatPayload(vals []float64) []byte {
+	idx := make(map[uint64]uint64, 16)
+	order := make([]uint64, 0, 16)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		if _, ok := idx[bits]; !ok {
+			idx[bits] = uint64(len(order))
+			order = append(order, bits)
+		}
+	}
+	out := make([]byte, 0, 4+8*len(order)+2*len(vals))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(order)))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	for _, bits := range order {
+		binary.LittleEndian.PutUint64(u64[:], bits)
+		out = append(out, u64[:]...)
+	}
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, idx[math.Float64bits(v)])
+	}
+	return out
+}
+
+// rlePayload: one byte for the first value, then alternating uvarint run
+// lengths. Empty columns encode as an empty payload.
+func rlePayload(vals []bool) []byte {
+	if len(vals) == 0 {
+		return []byte{}
+	}
+	out := make([]byte, 0, 16)
+	if vals[0] {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	run := uint64(1)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			run++
+			continue
+		}
+		out = binary.AppendUvarint(out, run)
+		run = 1
+	}
+	return binary.AppendUvarint(out, run)
+}
+
+// DecodeProject parses a batch keeping only the named columns, in the
+// frame's field order (nil keep = all columns; DecodeProject(data, nil) is
+// Decode). For QBA2 frames the payloads of dropped columns are skipped via
+// their declared lengths, never decoded; skipped reports those bytes. QBA1
+// frames have no payload index, so they decode fully and then drop the
+// unwanted columns (skipped = 0).
+func DecodeProject(data []byte, keep []string) (*Batch, int64, error) {
+	if len(data) < 4 {
+		return nil, 0, corruptf("frame shorter than magic (%d bytes)", len(data))
+	}
+	var keepSet map[string]bool
+	if keep != nil {
+		keepSet = make(map[string]bool, len(keep))
+		for _, k := range keep {
+			keepSet[k] = true
+		}
+	}
+	switch magic := binary.LittleEndian.Uint32(data); magic {
+	case codecMagic2:
+		return decode2(data, keepSet)
+	case codecMagic:
+		b, err := decode1(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		if keepSet == nil {
+			return b, 0, nil
+		}
+		names := make([]string, 0, len(b.Schema.Fields))
+		for _, f := range b.Schema.Fields {
+			if keepSet[f.Name] {
+				names = append(names, f.Name)
+			}
+		}
+		return b.Select(names...), 0, nil
+	default:
+		return nil, 0, corruptf("bad magic %#x", magic)
+	}
+}
+
+// decode2 parses the QBA2 format, skipping columns not in keep (nil keep
+// decodes everything). All declared counts and payload lengths are
+// validated before allocation.
+func decode2(data []byte, keep map[string]bool) (*Batch, int64, error) {
+	pos := 4 // magic checked by caller
+	get32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, corruptf("truncated at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	nf, err := get32()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each field header costs at least 10 bytes.
+	if int64(nf)*10 > int64(len(data)-pos) {
+		return nil, 0, corruptf("field count %d exceeds payload", nf)
+	}
+	type colHdr struct {
+		field Field
+		enc   byte
+		plen  int
+	}
+	hdrs := make([]colHdr, nf)
+	for i := range hdrs {
+		nl, err := get32()
+		if err != nil {
+			return nil, 0, err
+		}
+		// name + type + enc + payloadLen
+		if int64(nl) > int64(len(data)-pos)-6 {
+			return nil, 0, corruptf("truncated field header at offset %d", pos)
+		}
+		hdrs[i].field.Name = string(data[pos : pos+int(nl)])
+		pos += int(nl)
+		hdrs[i].field.Type = Type(data[pos])
+		hdrs[i].enc = data[pos+1]
+		pos += 2
+		pl, err := get32()
+		if err != nil {
+			return nil, 0, err
+		}
+		hdrs[i].plen = int(pl)
+	}
+	nr, err := get32()
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := int(nr)
+	var skipped int64
+	fields := make([]Field, 0, nf)
+	cols := make([]*Column, 0, nf)
+	for _, h := range hdrs {
+		if int64(h.plen) > int64(len(data)-pos) {
+			return nil, 0, corruptf("column %q payload length %d exceeds frame", h.field.Name, h.plen)
+		}
+		payload := data[pos : pos+h.plen]
+		pos += h.plen
+		if keep != nil && !keep[h.field.Name] {
+			skipped += int64(h.plen)
+			continue
+		}
+		c, err := decodeColumn(h.field, h.enc, rows, payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		fields = append(fields, h.field)
+		cols = append(cols, c)
+	}
+	if pos != len(data) {
+		return nil, 0, corruptf("%d trailing bytes", len(data)-pos)
+	}
+	b, err := New(NewSchema(fields...), cols)
+	if err != nil {
+		return nil, 0, corruptf("inconsistent columns: %v", err)
+	}
+	return b, skipped, nil
+}
+
+// decodeColumn decodes one QBA2 column payload. The payload must be
+// internally consistent — counts match rows, indexes in range, every byte
+// consumed — or the frame is rejected as corrupt.
+func decodeColumn(f Field, enc byte, rows int, p []byte) (*Column, error) {
+	c := &Column{Type: f.Type}
+	switch {
+	case enc == encRaw:
+		return decodeRawColumn(f, rows, p)
+	case enc == encFlate:
+		raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(p)))
+		if err != nil {
+			return nil, corruptf("flate column %q: %v", f.Name, err)
+		}
+		return decodeRawColumn(f, rows, raw)
+	case enc == encVarint && (f.Type == Int64 || f.Type == Date):
+		v, err := decodeVarints(f, rows, p)
+		if err != nil {
+			return nil, err
+		}
+		c.Ints = v
+	case enc == encDelta && (f.Type == Int64 || f.Type == Date):
+		v, err := decodeVarints(f, rows, p)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(v); i++ {
+			v[i] += v[i-1]
+		}
+		c.Ints = v
+	case enc == encDict && f.Type == String:
+		v, err := decodeDict(f, rows, p)
+		if err != nil {
+			return nil, err
+		}
+		c.Strings = v
+	case enc == encDict && f.Type == Float64:
+		v, err := decodeDictFloats(f, rows, p)
+		if err != nil {
+			return nil, err
+		}
+		c.Floats = v
+	case enc == encRLE && f.Type == Bool:
+		v, err := decodeRLE(f, rows, p)
+		if err != nil {
+			return nil, err
+		}
+		c.Bools = v
+	default:
+		return nil, corruptf("encoding %d invalid for column %q type %d", enc, f.Name, f.Type)
+	}
+	return c, nil
+}
+
+func decodeRawColumn(f Field, rows int, p []byte) (*Column, error) {
+	c := &Column{Type: f.Type}
+	switch f.Type {
+	case Int64, Date:
+		if len(p) != rows*8 {
+			return nil, corruptf("raw int column %q: %d payload bytes for %d rows", f.Name, len(p), rows)
+		}
+		v := make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			v[r] = int64(binary.LittleEndian.Uint64(p[r*8:]))
+		}
+		c.Ints = v
+	case Float64:
+		if len(p) != rows*8 {
+			return nil, corruptf("raw float column %q: %d payload bytes for %d rows", f.Name, len(p), rows)
+		}
+		v := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			v[r] = math.Float64frombits(binary.LittleEndian.Uint64(p[r*8:]))
+		}
+		c.Floats = v
+	case String:
+		if int64(rows)*4 > int64(len(p)) {
+			return nil, corruptf("raw string column %q: row count %d exceeds payload", f.Name, rows)
+		}
+		v := make([]string, rows)
+		pos := 0
+		for r := 0; r < rows; r++ {
+			if pos+4 > len(p) {
+				return nil, corruptf("truncated string column %q", f.Name)
+			}
+			sl := int(binary.LittleEndian.Uint32(p[pos:]))
+			pos += 4
+			if int64(sl) > int64(len(p)-pos) {
+				return nil, corruptf("truncated string column %q", f.Name)
+			}
+			v[r] = string(p[pos : pos+sl])
+			pos += sl
+		}
+		if pos != len(p) {
+			return nil, corruptf("string column %q: %d trailing payload bytes", f.Name, len(p)-pos)
+		}
+		c.Strings = v
+	case Bool:
+		if len(p) != rows {
+			return nil, corruptf("raw bool column %q: %d payload bytes for %d rows", f.Name, len(p), rows)
+		}
+		v := make([]bool, rows)
+		for r := 0; r < rows; r++ {
+			v[r] = p[r] != 0
+		}
+		c.Bools = v
+	default:
+		return nil, corruptf("unknown column type %d", f.Type)
+	}
+	return c, nil
+}
+
+// decodeVarints reads exactly rows zigzag uvarints consuming the whole
+// payload.
+func decodeVarints(f Field, rows int, p []byte) ([]int64, error) {
+	// A uvarint costs at least one byte.
+	if rows > len(p) {
+		return nil, corruptf("varint column %q: row count %d exceeds payload", f.Name, rows)
+	}
+	v := make([]int64, rows)
+	pos := 0
+	for r := 0; r < rows; r++ {
+		u, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return nil, corruptf("varint column %q: bad varint at row %d", f.Name, r)
+		}
+		pos += n
+		v[r] = unzigzag(u)
+	}
+	if pos != len(p) {
+		return nil, corruptf("varint column %q: %d trailing payload bytes", f.Name, len(p)-pos)
+	}
+	return v, nil
+}
+
+func decodeDict(f Field, rows int, p []byte) ([]string, error) {
+	if len(p) < 4 {
+		return nil, corruptf("dict column %q: truncated dictionary size", f.Name)
+	}
+	nd := binary.LittleEndian.Uint32(p)
+	pos := 4
+	// Each entry costs at least its 4-byte length prefix.
+	if int64(nd)*4 > int64(len(p)-pos) {
+		return nil, corruptf("dict column %q: dictionary size %d exceeds payload", f.Name, nd)
+	}
+	dict := make([]string, nd)
+	for i := range dict {
+		if pos+4 > len(p) {
+			return nil, corruptf("dict column %q: truncated entry %d", f.Name, i)
+		}
+		sl := int(binary.LittleEndian.Uint32(p[pos:]))
+		pos += 4
+		if int64(sl) > int64(len(p)-pos) {
+			return nil, corruptf("dict column %q: truncated entry %d", f.Name, i)
+		}
+		dict[i] = string(p[pos : pos+sl])
+		pos += sl
+	}
+	if rows > len(p)-pos {
+		return nil, corruptf("dict column %q: row count %d exceeds payload", f.Name, rows)
+	}
+	v := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		u, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return nil, corruptf("dict column %q: bad index varint at row %d", f.Name, r)
+		}
+		if u >= uint64(nd) {
+			return nil, corruptf("dict column %q: index %d out of range (dictionary size %d)", f.Name, u, nd)
+		}
+		pos += n
+		v[r] = dict[u]
+	}
+	if pos != len(p) {
+		return nil, corruptf("dict column %q: %d trailing payload bytes", f.Name, len(p)-pos)
+	}
+	return v, nil
+}
+
+func decodeDictFloats(f Field, rows int, p []byte) ([]float64, error) {
+	if len(p) < 4 {
+		return nil, corruptf("float dict column %q: truncated dictionary size", f.Name)
+	}
+	nd := binary.LittleEndian.Uint32(p)
+	pos := 4
+	if int64(nd)*8 > int64(len(p)-pos) {
+		return nil, corruptf("float dict column %q: dictionary size %d exceeds payload", f.Name, nd)
+	}
+	dict := make([]float64, nd)
+	for i := range dict {
+		dict[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[pos:]))
+		pos += 8
+	}
+	if rows > len(p)-pos {
+		return nil, corruptf("float dict column %q: row count %d exceeds payload", f.Name, rows)
+	}
+	v := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		u, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return nil, corruptf("float dict column %q: bad index varint at row %d", f.Name, r)
+		}
+		if u >= uint64(nd) {
+			return nil, corruptf("float dict column %q: index %d out of range (dictionary size %d)", f.Name, u, nd)
+		}
+		pos += n
+		v[r] = dict[u]
+	}
+	if pos != len(p) {
+		return nil, corruptf("float dict column %q: %d trailing payload bytes", f.Name, len(p)-pos)
+	}
+	return v, nil
+}
+
+func decodeRLE(f Field, rows int, p []byte) ([]bool, error) {
+	if rows == 0 {
+		if len(p) != 0 {
+			return nil, corruptf("rle column %q: %d payload bytes for 0 rows", f.Name, len(p))
+		}
+		return []bool{}, nil
+	}
+	if len(p) < 1 {
+		return nil, corruptf("rle column %q: empty payload for %d rows", f.Name, rows)
+	}
+	cur := p[0] != 0
+	pos := 1
+	v := make([]bool, 0, rows)
+	for len(v) < rows {
+		u, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return nil, corruptf("rle column %q: bad run length at offset %d", f.Name, pos)
+		}
+		if u == 0 || u > uint64(rows-len(v)) {
+			return nil, corruptf("rle column %q: run length %d with %d rows remaining", f.Name, u, rows-len(v))
+		}
+		pos += n
+		for i := uint64(0); i < u; i++ {
+			v = append(v, cur)
+		}
+		cur = !cur
+	}
+	if pos != len(p) {
+		return nil, corruptf("rle column %q: %d trailing payload bytes", f.Name, len(p)-pos)
+	}
+	return v, nil
+}

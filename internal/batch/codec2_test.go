@@ -1,0 +1,347 @@
+package batch
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// codecBatch builds a batch exercising every column type with shapes that
+// trigger every encoding: sequential ints (delta), small mixed-sign ints
+// (varint), repetitive strings (dict), long bool runs (RLE), plus floats
+// that must stay bit-exact.
+func codecBatch(rows int) *Batch {
+	seq := make([]int64, rows)
+	mixed := make([]int64, rows)
+	dates := make([]int64, rows)
+	floats := make([]float64, rows)
+	strs := make([]string, rows)
+	uniq := make([]string, rows)
+	bools := make([]bool, rows)
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i := 0; i < rows; i++ {
+		seq[i] = int64(1_000_000 + i)
+		mixed[i] = int64((i%7)-3) * int64(i)
+		dates[i] = int64(8000 + i/5)
+		switch i % 5 {
+		case 0:
+			floats[i] = 0.0
+		case 1:
+			floats[i] = math.Copysign(0, -1) // -0.0 must survive bit-exact
+		case 2:
+			floats[i] = math.NaN()
+		case 3:
+			floats[i] = -1.5 * float64(i)
+		default:
+			floats[i] = math.Inf(1)
+		}
+		strs[i] = regions[i%len(regions)]
+		uniq[i] = strings.Repeat("x", i%17) + string(rune('a'+i%26))
+		bools[i] = i%97 < 90 // long runs with occasional flips
+	}
+	schema := NewSchema(
+		Field{Name: "seq", Type: Int64},
+		Field{Name: "mixed", Type: Int64},
+		Field{Name: "d", Type: Date},
+		Field{Name: "f", Type: Float64},
+		Field{Name: "region", Type: String},
+		Field{Name: "uniq", Type: String},
+		Field{Name: "flag", Type: Bool},
+	)
+	return MustNew(schema, []*Column{
+		NewIntColumn(seq), NewIntColumn(mixed), NewDateColumn(dates),
+		NewFloatColumn(floats), NewStringColumn(strs), NewStringColumn(uniq),
+		NewBoolColumn(bools),
+	})
+}
+
+// assertTransparent checks the core invariant: the compressed frame
+// decodes to a batch whose raw encoding is byte-identical to the
+// original's — compression changed the wire bytes and nothing else.
+func assertTransparent(t *testing.T, b *Batch) {
+	t.Helper()
+	wire := EncodeCompressed(b)
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("decode compressed: %v", err)
+	}
+	if string(Encode(got)) != string(Encode(b)) {
+		t.Fatalf("compressed round trip is not byte-identical")
+	}
+}
+
+func TestCompressedRoundTripAllTypes(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 3, 100, 1000} {
+		b := codecBatch(rows)
+		assertTransparent(t, b)
+	}
+}
+
+func TestCompressedIsSmaller(t *testing.T) {
+	b := codecBatch(1000)
+	raw, wire := RawEncodedSize(b), len(EncodeCompressed(b))
+	if wire >= raw {
+		t.Fatalf("compressible batch did not shrink: raw=%d wire=%d", raw, wire)
+	}
+	if raw != len(Encode(b)) {
+		t.Fatalf("RawEncodedSize=%d, len(Encode)=%d", raw, len(Encode(b)))
+	}
+}
+
+func TestRawEncodedSizeWithSelection(t *testing.T) {
+	b := codecBatch(100).WithSel([]int32{3, 7, 7, 50})
+	if got, want := RawEncodedSize(b), len(Encode(b)); got != want {
+		t.Fatalf("RawEncodedSize on selection = %d, want %d", got, want)
+	}
+}
+
+func TestFloatBitExactness(t *testing.T) {
+	vals := []float64{0.0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), 1e-300}
+	schema := NewSchema(Field{Name: "f", Type: Float64})
+	b := MustNew(schema, []*Column{NewFloatColumn(vals)})
+	got, err := Decode(EncodeCompressed(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(got.Cols[0].Floats[i]) != math.Float64bits(v) {
+			t.Fatalf("row %d: bits %x != %x", i, math.Float64bits(got.Cols[0].Floats[i]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestExtremeStringsAndInts(t *testing.T) {
+	huge := strings.Repeat("payload-", 1<<16) // ~0.5 MB
+	schema := NewSchema(Field{Name: "s", Type: String}, Field{Name: "n", Type: Int64})
+	b := MustNew(schema, []*Column{
+		NewStringColumn([]string{"", huge, "", huge, "x"}),
+		NewIntColumn([]int64{math.MinInt64, math.MaxInt64, 0, -1, 1}),
+	})
+	assertTransparent(t, b)
+}
+
+func TestEncodeCompressedDeterministic(t *testing.T) {
+	b := codecBatch(500)
+	if string(EncodeCompressed(b)) != string(EncodeCompressed(b)) {
+		t.Fatal("EncodeCompressed is not deterministic")
+	}
+}
+
+func TestQBA1FramesStillDecode(t *testing.T) {
+	b := codecBatch(100)
+	got, err := Decode(Encode(b))
+	if err != nil {
+		t.Fatalf("decode raw frame: %v", err)
+	}
+	if string(Encode(got)) != string(Encode(b)) {
+		t.Fatal("QBA1 round trip changed bytes")
+	}
+}
+
+func TestMixedFrameRuns(t *testing.T) {
+	b := codecBatch(64)
+	var run []byte
+	run = AppendFramed(run, b)
+	run = AppendFramedCompressed(run, b)
+	run = AppendFramed(run, b)
+	it := NewRunIter(run)
+	n := 0
+	for {
+		got, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			break
+		}
+		if string(Encode(got)) != string(Encode(b.Materialize())) {
+			t.Fatalf("frame %d decoded differently", n)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d frames, want 3", n)
+	}
+}
+
+func TestDecodeProject(t *testing.T) {
+	b := codecBatch(200)
+	for _, mk := range []struct {
+		name string
+		enc  func(*Batch) []byte
+	}{
+		{"qba2", EncodeCompressed},
+		{"qba1", Encode},
+	} {
+		data := mk.enc(b)
+		got, skipped, err := DecodeProject(data, []string{"region", "seq"})
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		// Columns come back in frame (schema) order regardless of the keep
+		// list's order.
+		if got.Schema.Len() != 2 || got.Schema.Fields[0].Name != "seq" || got.Schema.Fields[1].Name != "region" {
+			t.Fatalf("%s: projected schema %v", mk.name, got.Schema)
+		}
+		if string(Encode(got)) != string(Encode(b.Select("seq", "region"))) {
+			t.Fatalf("%s: projected columns differ", mk.name)
+		}
+		if mk.name == "qba2" && skipped <= 0 {
+			t.Fatalf("qba2: no bytes skipped")
+		}
+		if mk.name == "qba1" && skipped != 0 {
+			t.Fatalf("qba1: reported %d skipped bytes for a format without payload index", skipped)
+		}
+		// nil keep = full decode.
+		full, _, err := DecodeProject(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(Encode(full)) != string(Encode(b)) {
+			t.Fatalf("%s: nil keep is not a full decode", mk.name)
+		}
+	}
+}
+
+// TestTruncatedFramesReturnTypedErrors feeds every strict prefix of both
+// formats to Decode: each must fail with ErrCorrupt (or decode the empty
+// frame), never panic.
+func TestTruncatedFramesReturnTypedErrors(t *testing.T) {
+	b := codecBatch(40)
+	for _, data := range [][]byte{Encode(b), EncodeCompressed(b)} {
+		for i := 0; i < len(data); i++ {
+			got, err := Decode(data[:i])
+			if err == nil {
+				t.Fatalf("prefix %d/%d decoded: %v", i, len(data), got)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("prefix %d: error not ErrCorrupt: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestCorruptCountsRejected(t *testing.T) {
+	b := codecBatch(10)
+	tests := []struct {
+		name string
+		data func() []byte
+	}{
+		{"bad magic", func() []byte {
+			d := append([]byte(nil), Encode(b)...)
+			d[3] = 0xFF
+			return d
+		}},
+		{"inflated nfields qba1", func() []byte {
+			d := append([]byte(nil), Encode(b)...)
+			d[4], d[5], d[6], d[7] = 0xFF, 0xFF, 0xFF, 0x7F
+			return d
+		}},
+		{"inflated nfields qba2", func() []byte {
+			d := append([]byte(nil), EncodeCompressed(b)...)
+			d[4], d[5], d[6], d[7] = 0xFF, 0xFF, 0xFF, 0x7F
+			return d
+		}},
+		{"trailing bytes", func() []byte {
+			return append(append([]byte(nil), EncodeCompressed(b)...), 0xAB)
+		}},
+	}
+	for _, tc := range tests {
+		if _, err := Decode(tc.data()); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error = %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+	// Dictionary index out of range: encode a dict column and bump an
+	// index byte past the dictionary size.
+	schema := NewSchema(Field{Name: "s", Type: String})
+	db := MustNew(schema, []*Column{NewStringColumn([]string{"a", "a", "a", "a", "a", "a", "a", "a"})})
+	d := EncodeCompressed(db)
+	d[len(d)-1] = 0x7F // last row's dict index
+	if _, err := Decode(d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("dict index out of range: error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFlateEncodedColumnDecodes covers the reserved DEFLATE encoding: the
+// current encoder prefers the structural encodings, but the decoder must
+// accept tag 5 (a flate-compressed raw payload) for any column type.
+func TestFlateEncodedColumnDecodes(t *testing.T) {
+	vals := []float64{1.5, 1.5, math.Copysign(0, -1), math.NaN(), 2.25}
+	raw := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	var comp bytes.Buffer
+	w, _ := flate.NewWriter(&comp, flate.BestSpeed)
+	w.Write(raw)
+	w.Close()
+
+	var frame []byte
+	put32 := func(v uint32) { frame = binary.LittleEndian.AppendUint32(frame, v) }
+	put32(codecMagic2)
+	put32(1) // one field
+	put32(1) // nameLen
+	frame = append(frame, 'f', byte(Float64), encFlate)
+	put32(uint32(comp.Len()))
+	put32(uint32(len(vals))) // nrows
+	frame = append(frame, comp.Bytes()...)
+
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(got.Cols[0].Floats[i]) != math.Float64bits(v) {
+			t.Fatalf("row %d: bits differ", i)
+		}
+	}
+	// A garbage flate stream is a typed error, not a panic.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-3] ^= 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt flate stream: error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestZoneMapRoundTrip(t *testing.T) {
+	b := codecBatch(300)
+	zm := ComputeZoneMap(b)
+	if zm.Rows != 300 {
+		t.Fatalf("rows = %d", zm.Rows)
+	}
+	if cs := zm.Column("seq"); cs == nil || !cs.HasStats || cs.MinInt != 1_000_000 || cs.MaxInt != 1_000_299 {
+		t.Fatalf("seq stats: %+v", cs)
+	}
+	// The float column contains NaN: no order, no stats, never prunes.
+	if cs := zm.Column("f"); cs == nil || cs.HasStats {
+		t.Fatalf("NaN float column must have no stats: %+v", cs)
+	}
+	if cs := zm.Column("region"); cs == nil || !cs.HasStats || cs.MinStr != "AFRICA" || cs.MaxStr != "MIDDLE EAST" {
+		t.Fatalf("region stats: %+v", cs)
+	}
+	got, err := DecodeZoneMap(zm.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Encode()) != string(zm.Encode()) {
+		t.Fatal("zone map round trip changed bytes")
+	}
+	// Empty split: row count zero, no stats anywhere.
+	ezm := ComputeZoneMap(Empty(b.Schema))
+	for _, cs := range ezm.Cols {
+		if cs.HasStats {
+			t.Fatalf("empty split column %q has stats", cs.Name)
+		}
+	}
+	// Truncated zone maps are typed errors.
+	enc := zm.Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeZoneMap(enc[:i]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: error = %v, want ErrCorrupt", i, err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package batch
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// A ZoneMap summarizes one immutable table split: the row count and, per
+// column, the min/max value range. The planner folds scan predicates
+// against these ranges to prune splits before stage scheduling. Stats are
+// strictly conservative: a column without stats (empty split, or a float
+// column containing NaN, which has no order) never prunes anything.
+
+const zoneMapMagic = 0x51425A31 // "QBZ1"
+
+// ColumnStats is the value range of one column within a split. Exactly one
+// of the min/max pairs is meaningful, selected by Type; Bool columns use
+// the int pair with false=0, true=1.
+type ColumnStats struct {
+	Name     string
+	Type     Type
+	HasStats bool
+	MinInt   int64
+	MaxInt   int64
+	MinFloat float64
+	MaxFloat float64
+	MinStr   string
+	MaxStr   string
+}
+
+// ZoneMap carries the per-split statistics stored in the catalog next to
+// the split it describes.
+type ZoneMap struct {
+	Rows int
+	Cols []ColumnStats
+}
+
+// ComputeZoneMap scans the batch once and builds its zone map.
+func ComputeZoneMap(b *Batch) *ZoneMap {
+	b = b.Materialize()
+	rows := b.NumRows()
+	zm := &ZoneMap{Rows: rows, Cols: make([]ColumnStats, len(b.Cols))}
+	for i, c := range b.Cols {
+		cs := ColumnStats{Name: b.Schema.Fields[i].Name, Type: c.Type}
+		if rows > 0 {
+			cs.HasStats = true
+			switch c.Type {
+			case Int64, Date:
+				cs.MinInt, cs.MaxInt = c.Ints[0], c.Ints[0]
+				for _, v := range c.Ints {
+					if v < cs.MinInt {
+						cs.MinInt = v
+					}
+					if v > cs.MaxInt {
+						cs.MaxInt = v
+					}
+				}
+			case Float64:
+				cs.MinFloat, cs.MaxFloat = c.Floats[0], c.Floats[0]
+				for _, v := range c.Floats {
+					if math.IsNaN(v) {
+						// NaN is unordered; no range can describe it.
+						cs.HasStats = false
+						break
+					}
+					if v < cs.MinFloat {
+						cs.MinFloat = v
+					}
+					if v > cs.MaxFloat {
+						cs.MaxFloat = v
+					}
+				}
+			case String:
+				cs.MinStr, cs.MaxStr = c.Strings[0], c.Strings[0]
+				for _, v := range c.Strings {
+					if v < cs.MinStr {
+						cs.MinStr = v
+					}
+					if v > cs.MaxStr {
+						cs.MaxStr = v
+					}
+				}
+			case Bool:
+				cs.MinInt, cs.MaxInt = 1, 0
+				for _, v := range c.Bools {
+					if v {
+						cs.MaxInt = 1
+					} else {
+						cs.MinInt = 0
+					}
+				}
+				if cs.MinInt > cs.MaxInt { // impossible, but stay conservative
+					cs.HasStats = false
+				}
+			default:
+				cs.HasStats = false
+			}
+		}
+		zm.Cols[i] = cs
+	}
+	return zm
+}
+
+// Column returns the stats for the named column, or nil if the zone map
+// does not carry it.
+func (zm *ZoneMap) Column(name string) *ColumnStats {
+	for i := range zm.Cols {
+		if zm.Cols[i].Name == name {
+			return &zm.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Encode serializes the zone map:
+//
+//	magic uint32 "QBZ1"
+//	rows  uint32
+//	ncols uint32
+//	per column: nameLen uint32, name, type uint8, hasStats uint8,
+//	            then when hasStats: min/max per type (int64 pairs, raw
+//	            float bits, or length-prefixed strings)
+func (zm *ZoneMap) Encode() []byte {
+	out := make([]byte, 0, 64)
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		out = append(out, u32[:]...)
+	}
+	var u64 [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		out = append(out, u64[:]...)
+	}
+	put32(zoneMapMagic)
+	put32(uint32(zm.Rows))
+	put32(uint32(len(zm.Cols)))
+	for _, cs := range zm.Cols {
+		put32(uint32(len(cs.Name)))
+		out = append(out, cs.Name...)
+		out = append(out, byte(cs.Type))
+		if !cs.HasStats {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, 1)
+		switch cs.Type {
+		case Int64, Date, Bool:
+			put64(uint64(cs.MinInt))
+			put64(uint64(cs.MaxInt))
+		case Float64:
+			put64(math.Float64bits(cs.MinFloat))
+			put64(math.Float64bits(cs.MaxFloat))
+		case String:
+			put32(uint32(len(cs.MinStr)))
+			out = append(out, cs.MinStr...)
+			put32(uint32(len(cs.MaxStr)))
+			out = append(out, cs.MaxStr...)
+		}
+	}
+	return out
+}
+
+// DecodeZoneMap parses bytes produced by ZoneMap.Encode. Damaged bytes
+// return errors wrapping ErrCorrupt.
+func DecodeZoneMap(data []byte) (*ZoneMap, error) {
+	pos := 0
+	get32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, corruptf("zone map truncated at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if pos+8 > len(data) {
+			return 0, corruptf("zone map truncated at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, nil
+	}
+	getStr := func() (string, error) {
+		sl, err := get32()
+		if err != nil {
+			return "", err
+		}
+		if int64(sl) > int64(len(data)-pos) {
+			return "", corruptf("zone map truncated string at offset %d", pos)
+		}
+		s := string(data[pos : pos+int(sl)])
+		pos += int(sl)
+		return s, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != zoneMapMagic {
+		return nil, corruptf("bad zone map magic %#x", magic)
+	}
+	nr, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nc, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	// Each column costs at least 6 bytes (nameLen + type + hasStats).
+	if int64(nc)*6 > int64(len(data)-pos) {
+		return nil, corruptf("zone map column count %d exceeds payload", nc)
+	}
+	zm := &ZoneMap{Rows: int(nr), Cols: make([]ColumnStats, nc)}
+	for i := range zm.Cols {
+		cs := &zm.Cols[i]
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		cs.Name = name
+		if pos+2 > len(data) {
+			return nil, corruptf("zone map truncated column header at offset %d", pos)
+		}
+		cs.Type = Type(data[pos])
+		has := data[pos+1]
+		pos += 2
+		if has == 0 {
+			continue
+		}
+		cs.HasStats = true
+		switch cs.Type {
+		case Int64, Date, Bool:
+			lo, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			cs.MinInt, cs.MaxInt = int64(lo), int64(hi)
+		case Float64:
+			lo, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			cs.MinFloat, cs.MaxFloat = math.Float64frombits(lo), math.Float64frombits(hi)
+		case String:
+			if cs.MinStr, err = getStr(); err != nil {
+				return nil, err
+			}
+			if cs.MaxStr, err = getStr(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, corruptf("zone map unknown column type %d", cs.Type)
+		}
+	}
+	if pos != len(data) {
+		return nil, corruptf("zone map: %d trailing bytes", len(data)-pos)
+	}
+	return zm, nil
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/expr"
+	"quokka/internal/metrics"
+	"quokka/internal/ops"
+	"quokka/internal/plan"
+	"quokka/internal/tpch"
+)
+
+// The bytes experiment measures the byte engine: the compressed (QBA2)
+// shuffle/spill codec against the encoding-0 ablation, and zone-map split
+// pruning against the prune-off baseline on a Q6-style selective scan of
+// a clustered key range. Reported per query: wall clock both ways, raw vs
+// wire shuffle bytes (the compression ratio), spill wire bytes when the
+// budget forces runs to disk, and the pruning hit rate. Results are
+// verified equal across each ablation before anything is reported.
+
+// DefaultBytesQueries mixes the scan-heavy and shuffle/join-heavy shapes
+// where wire bytes dominate.
+var DefaultBytesQueries = []int{1, 3, 6, 9, 18}
+
+// runCompressed executes one query with the compression options set
+// cluster-wide, returning result, duration and report.
+func (h *Harness) runCompressed(workers, q int, cfg engine.Config, on bool) (*batch.Batch, time.Duration, *engine.Report, error) {
+	cl := h.newCluster(workers)
+	engine.Configure(cl, engine.WithShuffleCompression(on), engine.WithSpillCompression(on))
+	p, err := tpch.Query(q)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	r, err := engine.NewRunner(cl, p, cfg)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	out, rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, rep.Duration, rep, nil
+}
+
+// selectiveScanNode is the Q6-style pruning workload: lineitem is written
+// in l_orderkey order, so each split covers a narrow key range and a
+// selective range predicate lets zone maps skip most splits outright.
+func selectiveScanNode(hi int64) *plan.Node {
+	f := plan.Filter(plan.Scan("lineitem"), expr.And(
+		expr.Lt(expr.C("l_orderkey"), expr.Int64(hi)),
+		expr.Lt(expr.C("l_quantity"), expr.Float64(24)),
+	))
+	return plan.Agg(f, nil,
+		ops.Sum("qty", expr.C("l_quantity")),
+		ops.CountStar("n"))
+}
+
+// runNode optimizes a logical node against the given catalog and executes
+// it.
+func (h *Harness) runNode(workers int, node *plan.Node, cat plan.Catalog, cfg engine.Config) (*batch.Batch, time.Duration, *engine.Report, error) {
+	opt, err := plan.Optimize(node, cat, plan.Options{})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	p, err := plan.Lower(opt, plan.Optimized)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return h.runPhysical(workers, p, cfg)
+}
+
+// BytesSweep runs the compression and pruning ablations and returns the
+// machine-readable record for quokka-bench -json.
+func (h *Harness) BytesSweep(workers int, queries []int) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultBytesQueries
+	}
+	res := JSONResult{
+		Experiment: "bytes",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries, "repeats": h.P.Repeats,
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+
+	h.printf("Byte engine — compressed vs encoding-0 shuffle/spill, %d workers, SF %g\n", workers, h.P.SF)
+	h.printf("%-5s %10s %10s %13s %13s %7s %12s\n",
+		"query", "raw(s)", "comp(s)", "shuf raw(KB)", "shuf wire(KB)", "ratio", "spill w(KB)")
+	// A budget tight enough that join/agg-heavy queries spill, so the
+	// compressed run-file path is part of the measurement.
+	cfg := engine.DefaultConfig()
+	cfg.MemoryBudget = 256 << 10
+	for _, q := range queries {
+		var rawOut, compOut *batch.Batch
+		var rawDur, compDur time.Duration
+		var rawRep, compRep *engine.Report
+		for i := 0; i < h.P.Repeats; i++ {
+			out, dur, rep, err := h.runCompressed(workers, q, cfg, false)
+			if err != nil {
+				return res, fmt.Errorf("bytes q%d raw: %w", q, err)
+			}
+			rawOut, rawDur, rawRep = out, rawDur+dur, rep
+			out, dur, rep, err = h.runCompressed(workers, q, cfg, true)
+			if err != nil {
+				return res, fmt.Errorf("bytes q%d compressed: %w", q, err)
+			}
+			compOut, compDur, compRep = out, compDur+dur, rep
+		}
+		if err := sameResult(rawOut, compOut); err != nil {
+			return res, fmt.Errorf("bytes q%d: compressed result differs from encoding-0: %w", q, err)
+		}
+		if w, r := rawRep.Metrics[metrics.ShuffleWireBytes], rawRep.Metrics[metrics.ShuffleRawBytes]; w != r {
+			return res, fmt.Errorf("bytes q%d: encoding-0 wire bytes %d != raw %d", q, w, r)
+		}
+		raw := compRep.Metrics[metrics.ShuffleRawBytes]
+		wire := compRep.Metrics[metrics.ShuffleWireBytes]
+		ratio := 0.0
+		if wire > 0 {
+			ratio = float64(raw) / float64(wire)
+		}
+		rS := seconds(rawDur) / float64(h.P.Repeats)
+		cS := seconds(compDur) / float64(h.P.Repeats)
+		h.printf("%-5d %10.3f %10.3f %13.1f %13.1f %6.2fx %12.1f\n",
+			q, rS, cS, float64(raw)/1e3, float64(wire)/1e3, ratio,
+			float64(compRep.Metrics[metrics.SpillWireBytes])/1e3)
+		key := fmt.Sprintf("q%d", q)
+		res.DurationsS[key+".raw"] = rS
+		res.DurationsS[key+".compressed"] = cS
+		res.Speedup[key+".wire.reduction"] = ratio
+		res.Config[key+".shuffle.bytes.raw"] = raw
+		res.Config[key+".shuffle.bytes.wire"] = wire
+		res.Config[key+".spill.bytes.raw"] = compRep.Metrics[metrics.SpillWriteBytes]
+		res.Config[key+".spill.bytes.wire"] = compRep.Metrics[metrics.SpillWireBytes]
+	}
+
+	// Pruning ablation: the same selective scan planned with zone maps
+	// (the store catalog) and without (the static spec catalog).
+	h.printf("\nZone-map pruning — Q6-style selective scan of a clustered key range\n")
+	h.printf("%-10s %10s %10s %9s %13s %13s\n",
+		"workload", "off(s)", "on(s)", "pruned", "rate", "skipped(KB)")
+	rows, ok := plan.NewStoreCatalog(h.data).TableRows("orders")
+	if !ok {
+		return res, fmt.Errorf("bytes: no row count for orders")
+	}
+	node := selectiveScanNode(rows / 10)
+	baseOut, baseDur, _, err := h.runNode(workers, selectiveScanNode(rows/10), tpch.Catalog(h.P.SF), engine.DefaultConfig())
+	if err != nil {
+		return res, fmt.Errorf("bytes prune-off: %w", err)
+	}
+	prunedOut, prunedDur, prunedRep, err := h.runNode(workers, node, plan.NewStoreCatalog(h.data), engine.DefaultConfig())
+	if err != nil {
+		return res, fmt.Errorf("bytes prune-on: %w", err)
+	}
+	if err := sameResult(baseOut, prunedOut); err != nil {
+		return res, fmt.Errorf("bytes: pruned result differs from unpruned: %w", err)
+	}
+	lineRows, _ := plan.NewStoreCatalog(h.data).TableRows("lineitem")
+	total := (lineRows + int64(h.P.SplitRows) - 1) / int64(h.P.SplitRows)
+	pruned := prunedRep.Metrics[metrics.ScanSplitsPruned]
+	rate := float64(pruned) / float64(total)
+	h.printf("%-10s %10.3f %10.3f %4d/%-4d %12.1f%% %13.1f\n\n",
+		"q6sel", seconds(baseDur), seconds(prunedDur), pruned, total, rate*100,
+		float64(prunedRep.Metrics[metrics.ScanBytesSkipped])/1e3)
+	res.DurationsS["q6sel.pruneoff"] = seconds(baseDur)
+	res.DurationsS["q6sel.pruneon"] = seconds(prunedDur)
+	res.Speedup["q6sel.prune.rate"] = rate
+	res.Config["q6sel.splits.total"] = total
+	res.Config["q6sel.splits.pruned"] = pruned
+	res.Config["q6sel.scan.bytes.skipped"] = prunedRep.Metrics[metrics.ScanBytesSkipped]
+	return res, nil
+}

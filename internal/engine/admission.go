@@ -46,6 +46,10 @@ type clusterShared struct {
 	// NewRunner).
 	cursorBufferDefault int64
 	flushDefault        time.Duration
+	// Compression is ON by default; the flags record the opt-out (the
+	// encoding-0 escape hatch for debugging wire bytes).
+	shuffleCompressOff bool
+	spillCompressOff   bool
 
 	// The cluster's shared group committer: ONE flusher serves every
 	// admitted query, so concurrent queries' lineage commits fold into the

@@ -68,6 +68,32 @@ func WithLineageFlushInterval(d time.Duration) Option {
 	}
 }
 
+// WithShuffleCompression selects the compressed (QBA2) codec for shuffle
+// partitions, result spools and replay backups (true, the default) or the
+// raw encoding-0 format (false) — the escape hatch for debugging wire
+// bytes. Compression is output-transparent: decoded batches are
+// byte-identical either way, so results, lineage replay and routing are
+// unaffected. Only queries submitted after the call observe the change.
+func WithShuffleCompression(on bool) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		s.shuffleCompressOff = !on
+		s.mu.Unlock()
+	}
+}
+
+// WithSpillCompression selects the compressed (QBA2) codec for spill run
+// files (true, the default) or raw encoding-0 frames (false). Same
+// transparency contract as WithShuffleCompression. Only queries submitted
+// after the call observe the change.
+func WithSpillCompression(on bool) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		s.spillCompressOff = !on
+		s.mu.Unlock()
+	}
+}
+
 // Configure applies cluster-level options. It may be called at any time;
 // each option documents whether in-flight queries observe the change.
 func Configure(cl *cluster.Cluster, opts ...Option) {
@@ -108,4 +134,20 @@ func (s *clusterShared) flushIntervalFor(cfg time.Duration) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flushDefault
+}
+
+// shuffleCompressionFor reports whether shuffle/spool/backup bytes should
+// use the compressed codec (cluster-level flag; on unless opted out).
+func (s *clusterShared) shuffleCompressionFor() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.shuffleCompressOff
+}
+
+// spillCompressionFor reports whether spill runs should use the compressed
+// codec (cluster-level flag; on unless opted out).
+func (s *clusterShared) spillCompressionFor() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.spillCompressOff
 }

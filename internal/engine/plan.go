@@ -66,9 +66,22 @@ type StageInput struct {
 // ReaderSpec marks a stage as an input reader over an object-store table.
 // Channel c of a reader stage with parallelism P reads splits c, c+P,
 // c+2P, ... — one split per task, so readers pipeline with downstream
-// stages.
+// stages. When the planner pruned splits, the cursor walk indexes the
+// Splits survivor list instead; lineage still records the physical split
+// number it resolves to, so replay is identical with or without pruning.
 type ReaderSpec struct {
 	Table string
+	// Splits is the zone-map pruning survivor list: the physical split
+	// indexes to read, ascending. nil means all splits (no pruning ran); a
+	// non-nil empty list means every split was pruned.
+	Splits []int
+	// TotalSplits is the table's physical split count when pruning ran
+	// (0 when Splits is nil), recorded for metrics and EXPLAIN.
+	TotalSplits int
+	// Cols, when non-nil, names the only columns the plan consumes from
+	// this table (output columns plus predicate inputs); the reader skips
+	// decoding the rest.
+	Cols []string
 }
 
 // Stage is one pipeline stage. Exactly one of Reader and Op is set.

@@ -73,6 +73,12 @@ type Runner struct {
 	// Set before the task managers start and stopped after they exit; nil
 	// when group commit is disabled.
 	gc *groupCommitter
+	// shuffleCompress / spillCompress are the resolved byte-codec choices
+	// (cluster-level WithShuffleCompression / WithSpillCompression flags,
+	// frozen at NewRunner so one query never mixes policies mid-flight —
+	// decode is self-describing, but metrics should mean one thing).
+	shuffleCompress bool
+	spillCompress   bool
 
 	placeMu sync.RWMutex
 	place   map[lineage.ChannelID]int // cached placement
@@ -188,6 +194,17 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 	r.failCh = make(chan error, 1)
 	r.cursorLimit = shared.cursorBufferFor(cfg.CursorBufferBytes)
 	r.flushEvery = shared.flushIntervalFor(cfg.LineageFlushInterval)
+	r.shuffleCompress = shared.shuffleCompressionFor()
+	r.spillCompress = shared.spillCompressionFor()
+	// Credit the planner's zone-map pruning to this query's report: the
+	// splits the reader stages will never even schedule.
+	for _, st := range plan.Stages {
+		if st.Reader != nil && st.Reader.Splits != nil && st.Reader.TotalSplits > 0 {
+			if pruned := st.Reader.TotalSplits - len(st.Reader.Splits); pruned > 0 {
+				r.count(metrics.ScanSplitsPruned, int64(pruned))
+			}
+		}
+	}
 	return r, nil
 }
 

@@ -14,17 +14,22 @@ import (
 //	tbl/<name>/meta    number of splits
 //	tbl/<name>/rows    total row count (planner statistics)
 //	tbl/<name>/schema  zero-row encoded batch carrying the table schema
-//	tbl/<name>/<i>     encoded batch for split i
+//	tbl/<name>/<i>     encoded batch for split i (QBA2 compressed)
+//	tbl/<name>/zm/<i>  zone map for split i (min/max per column, row count)
 //
 // Splits are the reader stages' unit of work, like Parquet row groups on
 // S3 in the paper's setup. The rows/schema entries are what the query
 // planner's catalog reads: schemas drive plan-time column and type
-// checking, row counts drive automatic broadcast-join selection.
+// checking, row counts drive automatic broadcast-join selection, and the
+// per-split zone maps drive split pruning: the planner folds scan
+// predicates against each split's value ranges and drops splits that
+// cannot match before stage scheduling.
 
-func tableMetaKey(name string) string         { return "tbl/" + name + "/meta" }
-func tableRowsKey(name string) string         { return "tbl/" + name + "/rows" }
-func tableSchemaKey(name string) string       { return "tbl/" + name + "/schema" }
-func tableSplitKey(name string, i int) string { return fmt.Sprintf("tbl/%s/%d", name, i) }
+func tableMetaKey(name string) string           { return "tbl/" + name + "/meta" }
+func tableRowsKey(name string) string           { return "tbl/" + name + "/rows" }
+func tableSchemaKey(name string) string         { return "tbl/" + name + "/schema" }
+func tableSplitKey(name string, i int) string   { return fmt.Sprintf("tbl/%s/%d", name, i) }
+func tableZoneMapKey(name string, i int) string { return fmt.Sprintf("tbl/%s/zm/%d", name, i) }
 
 // WriteTable stores batches as the splits of a table, without I/O cost
 // (dataset preparation is not part of the measured query). Splits must be
@@ -34,7 +39,8 @@ func tableSplitKey(name string, i int) string { return fmt.Sprintf("tbl/%s/%d", 
 func WriteTable(store *storage.ObjectStore, name string, splits []*batch.Batch) {
 	rows := 0
 	for i, b := range splits {
-		store.PutFree(tableSplitKey(name, i), batch.Encode(b))
+		store.PutFree(tableSplitKey(name, i), batch.EncodeCompressed(b))
+		store.PutFree(tableZoneMapKey(name, i), batch.ComputeZoneMap(b).Encode())
 		rows += b.NumRows()
 	}
 	store.PutFree(tableMetaKey(name), []byte(strconv.Itoa(len(splits))))
@@ -86,11 +92,48 @@ func TableSplits(store *storage.ObjectStore, name string) (int, error) {
 	return n, nil
 }
 
+// TableZoneMaps returns the per-split zone maps of a table, indexed by
+// split number. Tables written before zone maps existed (or stores that
+// lost the entries) return an error; planners treat that as "no stats" and
+// skip pruning. Metadata reads are free, like the rest of the catalog.
+func TableZoneMaps(store *storage.ObjectStore, name string) ([]*batch.ZoneMap, error) {
+	v, err := store.GetFree(tableMetaKey(name))
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %q not found: %w", name, err)
+	}
+	n, err := strconv.Atoi(string(v))
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad meta for table %q: %w", name, err)
+	}
+	zms := make([]*batch.ZoneMap, n)
+	for i := 0; i < n; i++ {
+		raw, err := store.GetFree(tableZoneMapKey(name, i))
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %q split %d has no zone map: %w", name, i, err)
+		}
+		zm, err := batch.DecodeZoneMap(raw)
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %q split %d: %w", name, i, err)
+		}
+		zms[i] = zm
+	}
+	return zms, nil
+}
+
 // ReadSplit reads and decodes one split, paying the object-store read cost.
 func ReadSplit(store *storage.ObjectStore, name string, i int) (*batch.Batch, error) {
+	b, _, err := ReadSplitCols(store, name, i, nil)
+	return b, err
+}
+
+// ReadSplitCols reads one split keeping only the named columns (nil =
+// all), paying the full object-store read cost — the split object still
+// moves whole — but skipping the decode of dropped column payloads.
+// skipped reports the encoded bytes whose decode was avoided.
+func ReadSplitCols(store *storage.ObjectStore, name string, i int, cols []string) (*batch.Batch, int64, error) {
 	v, err := store.Get(tableSplitKey(name, i))
 	if err != nil {
-		return nil, fmt.Errorf("engine: split %d of table %q: %w", i, name, err)
+		return nil, 0, fmt.Errorf("engine: split %d of table %q: %w", i, name, err)
 	}
-	return batch.Decode(v)
+	return batch.DecodeProject(v, cols)
 }

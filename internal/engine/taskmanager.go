@@ -132,6 +132,7 @@ func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
 		acct := spill.NewAccountant(r.cfg.MemoryBudget, r.tee)
 		acct.AttachLedger(r.shared.ledgerFor(w.ID))
 		t.spill = spill.NewContext(w.Disk, acct, r.tee, spill.DefaultPartitions)
+		t.spill.SetCompression(r.spillCompress)
 	}
 	return t
 }
@@ -587,11 +588,17 @@ func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
 		t.markDone(cs.id)
 	}
 	if cs.stage.Reader != nil {
-		n, err := TableSplits(t.r.cl.ObjStore, cs.stage.Reader.Table)
-		if err != nil {
-			return err
+		if cs.stage.Reader.Splits != nil {
+			// The planner pruned: the cursor walks the survivor list, not
+			// the physical split range.
+			cs.splits = len(cs.stage.Reader.Splits)
+		} else {
+			n, err := TableSplits(t.r.cl.ObjStore, cs.stage.Reader.Table)
+			if err != nil {
+				return err
+			}
+			cs.splits = n
 		}
-		cs.splits = n
 	}
 	return nil
 }
@@ -818,7 +825,10 @@ func (t *taskManager) chargeCompute(bytes int64, shares int) {
 }
 
 // readerStep executes one input-reader task: read the channel's next
-// split from the object store.
+// split from the object store. With zone-map pruning the cursor walk
+// indexes the survivor list, which is mapped to the physical split number
+// before the read — and it is the PHYSICAL number that lineage records, so
+// a replay never needs the survivor list to find the same bytes.
 func (t *taskManager) readerStep(cs *chanState) (bool, error) {
 	p := t.r.par[cs.id.Stage]
 	split := cs.id.Channel + cs.cursor*p
@@ -827,7 +837,11 @@ func (t *taskManager) readerStep(cs *chanState) (bool, error) {
 		cs.pending = pend
 		return t.finishTask(cs, pend, false)
 	}
-	b, err := ReadSplit(t.r.cl.ObjStore, cs.stage.Reader.Table, split)
+	spec := cs.stage.Reader
+	if spec.Splits != nil {
+		split = spec.Splits[split]
+	}
+	b, err := t.readSplit(spec, split)
 	if err != nil {
 		return false, err
 	}
@@ -836,13 +850,28 @@ func (t *taskManager) readerStep(cs *chanState) (bool, error) {
 	return t.finishTask(cs, pend, false)
 }
 
+// readSplit reads one physical split for a reader spec, decoding only the
+// columns the plan consumes and crediting the skipped column bytes.
+func (t *taskManager) readSplit(spec *ReaderSpec, split int) (*batch.Batch, error) {
+	b, skipped, err := ReadSplitCols(t.r.cl.ObjStore, spec.Table, split, spec.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		t.r.count(metrics.ScanBytesSkipped, skipped)
+	}
+	return b, nil
+}
+
 // replayStep re-executes a task under its committed lineage: the task is
 // "retracing its footsteps" (§IV-C) and may not choose inputs dynamically.
 func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error) {
 	var p *pendingTask
 	switch rec.Kind {
 	case lineage.KindRead:
-		b, err := ReadSplit(t.r.cl.ObjStore, cs.stage.Reader.Table, rec.Split)
+		// rec.Split is physical; the same column projection as the original
+		// read keeps the replayed output byte-identical.
+		b, err := t.readSplit(cs.stage.Reader, rec.Split)
 		if err != nil {
 			return false, err
 		}
@@ -887,9 +916,17 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 // committed.
 func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (bool, error) {
 	task := lineage.TaskName{Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: p.seq}
+	// One encode serves the spool, the collector delivery and the upstream
+	// backup. The codec choice is invisible downstream (frames are
+	// self-describing and decode to identical bytes), so compressed backups
+	// and spools replay exactly like raw ones.
 	var encoded []byte
 	if p.out != nil && p.out.NumRows() > 0 {
-		encoded = batch.Encode(p.out)
+		if t.r.shuffleCompress {
+			encoded = batch.EncodeCompressed(p.out)
+		} else {
+			encoded = batch.Encode(p.out)
+		}
 	}
 
 	// Spool mode: persist the partition durably before it can be consumed.
@@ -1087,20 +1124,33 @@ const resultManifestBytes = 48
 
 // partitionFor splits an output batch for one consumer edge, returning one
 // encoded payload per consumer channel (nil payload = empty partition).
-// prodChannel is the producing channel (used by direct edges).
+// prodChannel is the producing channel (used by direct edges). Routing
+// (HashPartition over the key encoding) happens on the decoded batch and
+// is untouched by the codec choice — compression only changes the bytes a
+// partition travels as, never which partition a row lands in.
 func (t *taskManager) partitionFor(out *batch.Batch, e Edge, prodChannel int) ([][]byte, error) {
 	n := t.r.par[e.To]
 	pieces := make([][]byte, n)
 	if out == nil || out.NumRows() == 0 {
 		return pieces, nil
 	}
+	encode := func(b *batch.Batch) []byte {
+		wire := batch.Encode
+		if t.r.shuffleCompress {
+			wire = batch.EncodeCompressed
+		}
+		enc := wire(b)
+		t.r.count(metrics.ShuffleRawBytes, int64(batch.RawEncodedSize(b)))
+		t.r.count(metrics.ShuffleWireBytes, int64(len(enc)))
+		return enc
+	}
 	switch e.Part.Kind {
 	case PartitionSingle:
-		pieces[0] = batch.Encode(out)
+		pieces[0] = encode(out)
 	case PartitionDirect:
-		pieces[prodChannel%n] = batch.Encode(out)
+		pieces[prodChannel%n] = encode(out)
 	case PartitionBroadcast:
-		enc := batch.Encode(out)
+		enc := encode(out)
 		for i := range pieces {
 			pieces[i] = enc
 		}
@@ -1113,7 +1163,7 @@ func (t *taskManager) partitionFor(out *batch.Batch, e Edge, prodChannel int) ([
 		parts := out.HashPartition(e.Part.Keys, n)
 		for i, pb := range parts {
 			if pb.NumRows() > 0 {
-				pieces[i] = batch.Encode(pb)
+				pieces[i] = encode(pb)
 			}
 		}
 	}
@@ -1223,7 +1273,9 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 			if st.Reader == nil {
 				return false
 			}
-			b, err := ReadSplit(t.r.cl.ObjStore, st.Reader.Table, rec.Split)
+			// Same physical split, same column projection as the original
+			// read — the replayed output is byte-identical.
+			b, err := t.readSplit(st.Reader, rec.Split)
 			if err != nil {
 				return false
 			}

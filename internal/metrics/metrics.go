@@ -67,16 +67,21 @@ const (
 	LineageRecords   = "lineage.records"
 	SpoolWriteBytes  = "spool.write.bytes"
 	BackupWriteBytes = "backup.write.bytes"
-	SpillWriteBytes  = "spill.bytes"      // operator state spilled to local disk
-	SpillReadBytes   = "spill.read.bytes" // spilled state read back
-	SpillRuns        = "spill.runs"       // run files written
-	SpillPartitions  = "spill.partitions" // spill partitions that received data
-	SpillPeakBytes   = "spill.peak.bytes" // high-water mark of accounted operator memory (gauge)
-	QueriesAdmitted  = "queries.admitted" // queries admitted to execute
-	QueriesQueued    = "queries.queued"   // queries that waited in the admission queue
-	QueriesActive    = "queries.active"   // currently admitted queries (up/down counter)
-	QueriesPeak      = "queries.peak"     // high-water mark of concurrently admitted queries (gauge)
-	WorkerMemPeak    = "mem.worker.peak"  // peak accounted operator bytes on any worker, across queries (gauge)
+	SpillWriteBytes  = "spill.bytes"        // operator state spilled to local disk (raw framed size)
+	SpillWireBytes   = "spill.bytes.wire"   // spill run bytes as written (post-compression)
+	SpillReadBytes   = "spill.read.bytes"   // spilled state read back
+	ShuffleRawBytes  = "shuffle.bytes.raw"  // shuffle partition bytes before compression
+	ShuffleWireBytes = "shuffle.bytes.wire" // shuffle partition bytes as encoded for the wire
+	ScanSplitsPruned = "scan.splits.pruned" // table splits zone-map pruning removed before scheduling
+	ScanBytesSkipped = "scan.bytes.skipped" // encoded column bytes whose decode the scan skipped
+	SpillRuns        = "spill.runs"         // run files written
+	SpillPartitions  = "spill.partitions"   // spill partitions that received data
+	SpillPeakBytes   = "spill.peak.bytes"   // high-water mark of accounted operator memory (gauge)
+	QueriesAdmitted  = "queries.admitted"   // queries admitted to execute
+	QueriesQueued    = "queries.queued"     // queries that waited in the admission queue
+	QueriesActive    = "queries.active"     // currently admitted queries (up/down counter)
+	QueriesPeak      = "queries.peak"       // high-water mark of concurrently admitted queries (gauge)
+	WorkerMemPeak    = "mem.worker.peak"    // peak accounted operator bytes on any worker, across queries (gauge)
 )
 
 func (c *Collector) counter(name string) *atomic.Int64 {

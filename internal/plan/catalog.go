@@ -30,3 +30,10 @@ func (c storeCatalog) TableRows(name string) (int64, bool) {
 	}
 	return rows, true
 }
+
+// TableZoneMaps implements SplitStats: the per-split min/max statistics
+// engine.WriteTable records alongside each split. An error (older tables
+// without zone maps) makes the pruning pass a no-op for the table.
+func (c storeCatalog) TableZoneMaps(name string) ([]*batch.ZoneMap, error) {
+	return engine.TableZoneMaps(c.store, name)
+}

@@ -78,9 +78,41 @@ func (l *lowerer) lower(n *Node) int {
 	return id
 }
 
-// reader emits the bare table-reader stage of a scan.
+// reader emits the bare table-reader stage of a scan, carrying the
+// planner's split survivor list (zone-map pruning) and the column set the
+// plan consumes (so the reader skips decoding dropped column payloads).
 func (l *lowerer) reader(n *Node) int {
-	return l.add(&engine.Stage{Name: "scan-" + n.Table, Reader: &engine.ReaderSpec{Table: n.Table}})
+	return l.add(&engine.Stage{Name: "scan-" + n.Table, Reader: &engine.ReaderSpec{
+		Table:       n.Table,
+		Splits:      n.Splits,
+		TotalSplits: n.TotalSplits,
+		Cols:        readCols(n),
+	}})
+}
+
+// readCols returns the columns the reader must decode: the scan's output
+// columns plus any predicate-only inputs (the pushed predicate binds
+// against the full table schema, so its columns need not survive into the
+// scan's output). nil means every column is consumed.
+func readCols(n *Node) []string {
+	if n.Cols == nil {
+		return nil
+	}
+	out := append([]string(nil), n.Cols...)
+	if n.Pred == nil {
+		return out
+	}
+	set := make(map[string]bool, len(out))
+	for _, c := range out {
+		set[c] = true
+	}
+	for _, c := range expr.Columns(n.Pred) {
+		if !set[c] {
+			set[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // scanKeep returns the scan's output column list (pruned or full).

@@ -106,6 +106,12 @@ type Node struct {
 	// Scan.
 	Table string
 	Cols  []string // pruned scan columns in table order (nil = all)
+	// Splits is the zone-map pruning survivor list: physical split indexes
+	// this scan reads, ascending (nil = all splits; pruning didn't run or
+	// removed nothing). TotalSplits is the table's physical split count,
+	// recorded when Splits is set.
+	Splits      []int
+	TotalSplits int
 
 	// Scan (pushed-down) and Filter predicate.
 	Pred expr.Expr
@@ -223,6 +229,9 @@ func (n *Node) describe() string {
 		}
 		if n.Pred != nil {
 			s += fmt.Sprintf(" pred=%s", n.Pred)
+		}
+		if n.Splits != nil {
+			s += fmt.Sprintf(" splits=%d/%d", len(n.Splits), n.TotalSplits)
 		}
 		return s
 	case KindFilter:

@@ -35,6 +35,9 @@ const maxPushdownPasses = 64
 //  4. projection pruning (only columns a downstream operator needs
 //     survive each node)
 //  5. broadcast selection for Auto joins from catalog row statistics
+//  6. split pruning: each scan's fused predicate folds against the
+//     catalog's per-split zone maps (when the catalog serves SplitStats),
+//     dropping splits no row of which can match
 //
 // Every pass is a pure function of the tree and the catalog, so the same
 // query always produces the same plan — the determinism write-ahead-
@@ -74,7 +77,48 @@ func Optimize(root *Node, cat Catalog, opt Options) (*Node, error) {
 	if err := Bind(root, cat); err != nil {
 		return nil, err
 	}
+	root = pruneSplits(root, cat)
+	if err := Bind(root, cat); err != nil {
+		return nil, err
+	}
 	return root, nil
+}
+
+// pruneSplits folds each scan's fused predicate against the catalog's
+// per-split zone maps and records the surviving splits on the scan node.
+// Catalogs without SplitStats (or tables without zone maps) leave every
+// scan untouched. The pass only changes which rows flow — a pruned split
+// is one the predicate would have filtered entirely — and is deterministic
+// (zone maps are immutable split metadata), so replanning for replay
+// rebuilds the identical survivor list.
+func pruneSplits(root *Node, cat Catalog) *Node {
+	zc, ok := cat.(SplitStats)
+	if !ok {
+		return root
+	}
+	return rewrite(root, func(n *Node, ins []*Node) *Node {
+		out := withInputs(n, ins)
+		if n.Kind != KindScan || n.Pred == nil || n.Splits != nil {
+			return out
+		}
+		zms, err := zc.TableZoneMaps(n.Table)
+		if err != nil || len(zms) == 0 {
+			return out // no statistics; keep every split
+		}
+		survivors := make([]int, 0, len(zms))
+		for i, zm := range zms {
+			if zm == nil || splitMayMatch(n.Pred, zm) {
+				survivors = append(survivors, i)
+			}
+		}
+		if len(survivors) == len(zms) {
+			return out // nothing pruned; don't annotate
+		}
+		cp := out.shallowCopy()
+		cp.Splits = survivors
+		cp.TotalSplits = len(zms)
+		return cp
+	})
 }
 
 // cloneDAG copies every node reachable from root, preserving subtree

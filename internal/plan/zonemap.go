@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"math"
+
+	"quokka/internal/batch"
+	"quokka/internal/expr"
+)
+
+// SplitStats is the optional catalog extension serving per-split zone
+// maps. Catalogs without statistics (the static TPC-H planning catalog,
+// tests with synthetic schemas) simply don't implement it and the pruning
+// pass is a no-op.
+type SplitStats interface {
+	// TableZoneMaps returns one zone map per physical split, indexed by
+	// split number. An error means "no statistics" — never "no rows".
+	TableZoneMaps(name string) ([]*batch.ZoneMap, error)
+}
+
+// splitMayMatch reports whether any row of a split described by zm can
+// satisfy pred. It is strictly conservative: every uncertainty — unknown
+// expression forms, missing column stats, type combinations that cannot be
+// compared exactly — answers true (keep the split). Only a range that
+// provably excludes every row answers false.
+func splitMayMatch(pred expr.Expr, zm *batch.ZoneMap) bool {
+	switch e := pred.(type) {
+	case nil:
+		return true
+	case expr.BoolExpr:
+		if len(e.Args) == 0 {
+			return true
+		}
+		if e.IsAnd {
+			// A conjunction can match only if every conjunct can.
+			for _, a := range e.Args {
+				if !splitMayMatch(a, zm) {
+					return false
+				}
+			}
+			return true
+		}
+		// A disjunction can match if any disjunct can.
+		for _, a := range e.Args {
+			if splitMayMatch(a, zm) {
+				return true
+			}
+		}
+		return false
+	case expr.Cmp:
+		return cmpMayMatch(e, zm)
+	case expr.InInts:
+		col, ok := e.Of.(expr.Col)
+		if !ok {
+			return true
+		}
+		cs := zm.Column(col.Name)
+		if cs == nil || !cs.HasStats || (cs.Type != batch.Int64 && cs.Type != batch.Date) {
+			return true
+		}
+		for _, v := range e.Set {
+			if v >= cs.MinInt && v <= cs.MaxInt {
+				return true
+			}
+		}
+		return false
+	case expr.InStrings:
+		col, ok := e.Of.(expr.Col)
+		if !ok {
+			return true
+		}
+		cs := zm.Column(col.Name)
+		if cs == nil || !cs.HasStats || cs.Type != batch.String {
+			return true
+		}
+		for _, v := range e.Set {
+			if v >= cs.MinStr && v <= cs.MaxStr {
+				return true
+			}
+		}
+		return false
+	default:
+		// Not, Like, Case, arithmetic — no range reasoning; keep.
+		return true
+	}
+}
+
+// cmpMayMatch folds one comparison between a column and a literal against
+// the column's range. Anything else (column-vs-column, computed operands)
+// keeps the split.
+func cmpMayMatch(e expr.Cmp, zm *batch.ZoneMap) bool {
+	op := e.Op
+	col, okc := e.L.(expr.Col)
+	lit, okl := e.R.(expr.Lit)
+	if !okc || !okl {
+		// Try the flipped orientation: lit op col  ⇔  col flip(op) lit.
+		col, okc = e.R.(expr.Col)
+		lit, okl = e.L.(expr.Lit)
+		if !okc || !okl {
+			return true
+		}
+		op = flipCmp(op)
+	}
+	cs := zm.Column(col.Name)
+	if cs == nil || !cs.HasStats {
+		return true
+	}
+	intStats := cs.Type == batch.Int64 || cs.Type == batch.Date
+	intLit := lit.Type == batch.Int64 || lit.Type == batch.Date
+	switch {
+	case cs.Type == batch.String && lit.Type == batch.String:
+		return rangeMayMatch(op,
+			compareStrings(lit.Str, cs.MinStr), compareStrings(lit.Str, cs.MaxStr),
+			cs.MinStr == cs.MaxStr)
+	case intStats && intLit:
+		return rangeMayMatch(op,
+			compareInts(lit.Int, cs.MinInt), compareInts(lit.Int, cs.MaxInt),
+			cs.MinInt == cs.MaxInt)
+	case cs.Type == batch.Bool && lit.Type == batch.Bool:
+		v := int64(0)
+		if lit.Bool {
+			v = 1
+		}
+		return rangeMayMatch(op,
+			compareInts(v, cs.MinInt), compareInts(v, cs.MaxInt),
+			cs.MinInt == cs.MaxInt)
+	case (cs.Type == batch.Float64 || intStats) && (lit.Type == batch.Float64 || intLit):
+		// Mixed numeric: promote to float64 only when the conversion is
+		// exact, so rounding can never prune a split that matches.
+		lo, hi, ok := floatRange(cs)
+		if !ok {
+			return true
+		}
+		v, ok := floatLit(lit)
+		if !ok {
+			return true
+		}
+		return rangeMayMatch(op,
+			compareFloats(v, lo), compareFloats(v, hi), lo == hi)
+	default:
+		return true
+	}
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	}
+	return op // Eq and Ne are symmetric
+}
+
+// rangeMayMatch decides "can any value in [min, max] satisfy (value op
+// lit)" from the literal's comparison against both bounds: cmpMin =
+// sign(lit - min), cmpMax = sign(lit - max), and whether the range is a
+// single point.
+func rangeMayMatch(op expr.CmpOp, cmpMin, cmpMax int, point bool) bool {
+	switch op {
+	case expr.OpEq:
+		return cmpMin >= 0 && cmpMax <= 0 // min <= lit <= max
+	case expr.OpNe:
+		return !(point && cmpMin == 0) // only a single-point range pins every value
+	case expr.OpLt:
+		return cmpMin > 0 // some value < lit  ⇔  min < lit
+	case expr.OpLe:
+		return cmpMin >= 0
+	case expr.OpGt:
+		return cmpMax < 0 // some value > lit  ⇔  max > lit
+	case expr.OpGe:
+		return cmpMax <= 0
+	}
+	return true
+}
+
+func compareInts(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareStrings(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// exactFloatInt bounds the int64 range float64 represents exactly (2^53).
+const exactFloatInt = int64(1) << 53
+
+// floatRange converts a numeric column's bounds to float64, failing when
+// the conversion would round (which could prune a matching split).
+func floatRange(cs *batch.ColumnStats) (lo, hi float64, ok bool) {
+	switch cs.Type {
+	case batch.Float64:
+		return cs.MinFloat, cs.MaxFloat, true
+	case batch.Int64, batch.Date:
+		if cs.MinInt < -exactFloatInt || cs.MinInt > exactFloatInt ||
+			cs.MaxInt < -exactFloatInt || cs.MaxInt > exactFloatInt {
+			return 0, 0, false
+		}
+		return float64(cs.MinInt), float64(cs.MaxInt), true
+	}
+	return 0, 0, false
+}
+
+// floatLit converts a numeric literal to float64 under the same exactness
+// rule.
+func floatLit(lit expr.Lit) (float64, bool) {
+	switch lit.Type {
+	case batch.Float64:
+		if math.IsNaN(lit.Float) {
+			return 0, false // NaN compares false to everything; keep the split
+		}
+		return lit.Float, true
+	case batch.Int64, batch.Date:
+		if lit.Int < -exactFloatInt || lit.Int > exactFloatInt {
+			return 0, false
+		}
+		return float64(lit.Int), true
+	}
+	return 0, false
+}

@@ -194,7 +194,17 @@ type Context struct {
 	met   *metrics.Collector
 	parts int
 	bits  uint
+	// compress selects the QBA2 compressed frame codec for run files.
+	// Decoding is self-describing (RunIter dispatches on each frame's
+	// magic), so flipping it mid-query only affects runs written after the
+	// flip — reads always work. Spilling stays output-transparent either
+	// way: decoded frames are byte-identical regardless of encoding.
+	compress bool
 }
+
+// SetCompression selects compressed (QBA2) or raw (encoding-0) run files
+// for subsequent writes.
+func (c *Context) SetCompression(on bool) { c.compress = on }
 
 // NewContext creates a worker spill context. parts must be a power of two.
 func NewContext(disk *storage.LocalDisk, acct *Accountant, met *metrics.Collector, parts int) *Context {
@@ -370,11 +380,17 @@ func (o *Op) WriteSeqRun(seq int, kind Kind, bs ...*batch.Batch) error {
 func (o *Op) writeRun(part int, kind Kind, countPart bool, bs ...*batch.Batch) error {
 	var data []byte
 	rows := 0
+	raw := int64(0)
 	for _, b := range bs {
 		if b == nil || b.NumRows() == 0 {
 			continue
 		}
-		data = batch.AppendFramed(data, b)
+		if o.c.compress {
+			data = batch.AppendFramedCompressed(data, b)
+		} else {
+			data = batch.AppendFramed(data, b)
+		}
+		raw += int64(4 + batch.RawEncodedSize(b))
 		rows += b.NumRows()
 	}
 	if len(data) == 0 {
@@ -399,7 +415,10 @@ func (o *Op) writeRun(part int, kind Kind, countPart bool, bs ...*batch.Batch) e
 	pm.runs = append(pm.runs, Run{Key: key, Kind: kind, Bytes: int64(len(data)), Rows: rows})
 	pm.bytes += int64(len(data))
 	pm.rows += rows
-	o.c.met.Add(metrics.SpillWriteBytes, int64(len(data)))
+	// spill.bytes keeps its historical meaning (raw framed size of the
+	// spilled state); spill.bytes.wire is what actually hit the disk.
+	o.c.met.Add(metrics.SpillWriteBytes, raw)
+	o.c.met.Add(metrics.SpillWireBytes, int64(len(data)))
 	o.c.met.Add(metrics.SpillRuns, 1)
 	return nil
 }

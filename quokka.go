@@ -118,6 +118,20 @@ func WithLineageFlushInterval(d time.Duration) Option {
 	return engine.WithLineageFlushInterval(d)
 }
 
+// WithShuffleCompression selects the compressed (QBA2) codec for shuffle
+// partitions, result spools and replay backups (true, the default) or the
+// raw encoding-0 format (false) — the escape hatch for debugging wire
+// bytes. Compression is output-transparent: decoded batches are
+// byte-identical either way, so results, lineage replay and routing are
+// unaffected. Only queries submitted after the call observe the change.
+func WithShuffleCompression(on bool) Option { return engine.WithShuffleCompression(on) }
+
+// WithSpillCompression selects the compressed (QBA2) codec for spill run
+// files (true, the default) or raw encoding-0 frames (false). Same
+// transparency contract as WithShuffleCompression. Only queries submitted
+// after the call observe the change.
+func WithSpillCompression(on bool) Option { return engine.WithSpillCompression(on) }
+
 // ClusterConfig configures cluster construction.
 type ClusterConfig struct {
 	// Workers is the number of simulated worker machines.
