@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-concurrent fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-concurrent bench-obs trace fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 ## plus the concurrent-session suites: N runners on one cluster, streaming
 ## cursors, cancellation, KillWorker recovery).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/ops/...
+	$(GO) test -race ./internal/engine/... ./internal/ops/... ./internal/metrics/...
 	$(GO) test -race -run 'TestConcurrentTPCH|TestCompressionTransparent' ./internal/tpch/
 	$(GO) test -race -run 'TestSubmit|TestAdmissionLimitPublic' .
 
@@ -37,6 +37,7 @@ bench-json:
 	$(GO) run ./cmd/quokka-bench -exp planner -repeats 3 -json BENCH_planner.json
 	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
 	$(GO) run ./cmd/quokka-bench -exp bytes -json BENCH_bytes.json
+	$(GO) run ./cmd/quokka-bench -exp obs -json BENCH_obs.json
 
 ## bench-concurrent: just the admission-level sweep (1/2/4/8/16 plus the
 ## group-commit-off ablation at 4); regenerates BENCH_concurrent.json.
@@ -44,6 +45,16 @@ bench-json:
 ## reference as part of the run.
 bench-concurrent:
 	$(GO) run ./cmd/quokka-bench -exp concurrent -json BENCH_concurrent.json
+
+## bench-obs: the flight-recorder overhead sweep (tracing off vs on, with
+## byte-identity verified pair by pair); regenerates BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/quokka-bench -exp obs -json BENCH_obs.json
+
+## trace: run the obs sweep and export one traced TPC-H query as Chrome
+## trace-event JSON (load trace.json in Perfetto or chrome://tracing).
+trace:
+	$(GO) run ./cmd/quokka-bench -exp obs -trace trace.json
 
 fmt:
 	gofmt -w .

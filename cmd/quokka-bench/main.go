@@ -11,7 +11,8 @@
 //	quokka-bench -exp hashpath -json BENCH_hashpath.json
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, hashpath,
-// spill, planner, concurrent, bytes, fig10a, fig10b, fig11a, fig11b, all.
+// spill, planner, concurrent, bytes, obs, fig10a, fig10b, fig11a, fig11b,
+// all.
 //
 // -json writes the machine-readable results of the experiments that
 // produce them (hashpath, morsel, spill, planner, concurrent, bytes) to
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|bytes|fig10a|fig10b|fig11a|fig11b|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|bytes|obs|fig10a|fig10b|fig11a|fig11b|all")
 		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		splitRows = flag.Int("split-rows", 512, "rows per table split")
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
@@ -39,6 +40,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "override worker count (0 = per-figure defaults)")
 		queries   = flag.String("queries", "", "comma-separated query list for fig6/fig11a (default: all 22)")
 		jsonOut   = flag.String("json", "", "write machine-readable results (JSON array) to this file")
+		traceOut  = flag.String("trace", "", "write one traced query's Chrome trace-event JSON to this file (obs experiment)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -195,6 +197,18 @@ func main() {
 		jsonResults = append(jsonResults, res)
 		return nil
 	})
+	run("obs", func() error {
+		qs := qlist
+		if *queries == "" {
+			qs = nil // ObsSweep's own scan/join mix
+		}
+		res, err := h().ObsSweep(w(4), qs, *traceOut)
+		if err != nil {
+			return err
+		}
+		jsonResults = append(jsonResults, res)
+		return nil
+	})
 	run("hashpath", func() error {
 		jsonResults = append(jsonResults, bench.RunHashPath(os.Stdout, max(*repeats, 3)))
 		return nil
@@ -205,7 +219,7 @@ func main() {
 	run("fig11b", func() error { _, err := h().Fig10a(w(32)); return err })
 
 	switch *exp {
-	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "bytes", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "bytes", "obs", "fig10a", "fig10b", "fig11a", "fig11b", "all":
 	default:
 		fatal("unknown experiment %q", *exp)
 	}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+	"quokka/internal/tpch"
+)
+
+// The obs experiment prices the flight recorder: the same TPC-H queries
+// run on fresh clusters with tracing off and on, results verified
+// byte-identical pair by pair (tracing must only observe). The headline
+// number is the traced/untraced runtime ratio — the recorder is designed
+// to disappear (per-worker append buffers, spans recorded only at commit
+// points), so the budget is <= 2% overhead. The traced runs also yield the
+// observability artifacts themselves: per-stage actuals (EXPLAIN ANALYZE),
+// task-latency quantiles, and the Chrome trace-event export.
+
+// DefaultObsQueries mixes a scan-aggregate (1, 6) with the join-heavy Q9
+// whose multi-stage plan gives EXPLAIN ANALYZE something to show.
+var DefaultObsQueries = []int{1, 6, 9}
+
+// runObsOnce runs one query on a fresh cluster, optionally traced, and
+// returns the output, the engine-reported duration and the query handle
+// (whose recorder and report outlive the run).
+func (h *Harness) runObsOnce(workers, q int, traced bool) (*batch.Batch, time.Duration, *engine.Query, error) {
+	cl := h.newCluster(workers)
+	if traced {
+		engine.Configure(cl, engine.WithTracing(true))
+	}
+	plan, err := tpch.Query(q)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	r, err := engine.NewRunner(cl, plan, engine.DefaultConfig())
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	qh := r.Start(ctx)
+	out, rep, err := qh.Result()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out, rep.Duration, qh, nil
+}
+
+// ObsSweep measures tracing overhead over the query list and prints one
+// query's per-stage actuals as an EXPLAIN ANALYZE sample. When tracePath
+// is non-empty, the last traced run's Chrome trace JSON is written there.
+func (h *Harness) ObsSweep(workers int, queries []int, tracePath string) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultObsQueries
+	}
+	repeats := h.P.Repeats
+	if repeats < 6 {
+		repeats = 6 // overhead ratios need more than one sample
+	}
+	if repeats%2 == 1 {
+		repeats++ // keep the alternating pair order balanced
+	}
+	h.printf("Flight-recorder overhead — tracing off vs on, %d workers, SF %g, %d repeats\n",
+		workers, h.P.SF, repeats)
+	h.printf("%-6s %10s %10s %9s %7s %12s %12s\n",
+		"query", "off(s)", "on(s)", "overhead", "spans", "task_p50(us)", "task_p99(us)")
+
+	res := JSONResult{
+		Experiment: "obs",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries, "repeats": repeats,
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+
+	var ratios []float64
+	var lastTraced *engine.Query
+	var sampleStats []engine.StageStats
+	sampleQ := queries[len(queries)-1]
+	for _, qn := range queries {
+		// The best of N pairs is the overhead estimator: the simulated
+		// cluster's wall times carry scheduler noise that is strictly
+		// additive, so the minimum is the closest observation of the true
+		// cost on either side. The pair order alternates per iteration so
+		// warm-up and GC drift cannot systematically favour one side.
+		var off, on time.Duration
+		for i := 0; i < repeats; i++ {
+			var outOff, outOn *batch.Batch
+			var dOff, dOn time.Duration
+			var qh *engine.Query
+			var err error
+			runOff := func() error {
+				outOff, dOff, _, err = h.runObsOnce(workers, qn, false)
+				return err
+			}
+			runOn := func() error {
+				outOn, dOn, qh, err = h.runObsOnce(workers, qn, true)
+				return err
+			}
+			first, second := runOff, runOn
+			if i%2 == 1 {
+				first, second = runOn, runOff
+			}
+			if err := first(); err != nil {
+				return res, fmt.Errorf("obs q%d: %w", qn, err)
+			}
+			if err := second(); err != nil {
+				return res, fmt.Errorf("obs q%d: %w", qn, err)
+			}
+			// The recorder must only observe: byte-identical output either way.
+			if err := sameResult(outOff, outOn); err != nil {
+				return res, fmt.Errorf("obs q%d: traced result differs from untraced: %w", qn, err)
+			}
+			if i == 0 || dOff < off {
+				off = dOff
+			}
+			if i == 0 || dOn < on {
+				on = dOn
+			}
+			lastTraced = qh
+			if qn == sampleQ {
+				sampleStats = qh.Stats()
+			}
+		}
+		ratio := seconds(on) / seconds(off)
+		ratios = append(ratios, ratio)
+		key := fmt.Sprintf("q%d", qn)
+		res.DurationsS[key+".off"] = seconds(off)
+		res.DurationsS[key+".on"] = seconds(on)
+		res.Config[key+".overhead"] = ratio
+
+		rep := lastTraced.Report()
+		spans := lastTraced.Trace().Len()
+		task := rep.Histograms[metrics.TaskLatencyNS]
+		res.Config[key+".spans"] = spans
+		res.Config[key+".task_p50_us"] = float64(task.Quantile(0.5)) / 1e3
+		res.Config[key+".task_p99_us"] = float64(task.Quantile(0.99)) / 1e3
+		h.printf("%-6s %10.3f %10.3f %8.3fx %7d %12.1f %12.1f\n",
+			key, seconds(off), seconds(on), ratio, spans,
+			float64(task.Quantile(0.5))/1e3, float64(task.Quantile(0.99))/1e3)
+	}
+	overall := geomean(ratios)
+	res.Config["overall.overhead"] = overall
+	h.printf("overall overhead (geomean): %.3fx\n\n", overall)
+
+	if sampleStats != nil {
+		h.printf("EXPLAIN ANALYZE sample — TPC-H Q%d per-stage actuals:\n%s\n",
+			sampleQ, engine.FormatStageStats(sampleStats))
+	}
+	if tracePath != "" && lastTraced != nil {
+		if err := WriteTrace(tracePath, lastTraced); err != nil {
+			return res, err
+		}
+		h.printf("wrote Chrome trace JSON: %s\n", tracePath)
+	}
+	return res, nil
+}
+
+// WriteTrace exports one traced query's Chrome trace-event JSON to path
+// (loadable in Perfetto or chrome://tracing).
+func WriteTrace(path string, q *engine.Query) error {
+	rec := q.Trace()
+	if rec == nil {
+		return fmt.Errorf("bench: query %s has no trace (cluster not configured with WithTracing)", q.QueryID())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

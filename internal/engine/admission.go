@@ -50,6 +50,9 @@ type clusterShared struct {
 	// encoding-0 escape hatch for debugging wire bytes).
 	shuffleCompressOff bool
 	spillCompressOff   bool
+	// tracingOn enables the per-query flight recorder (off by default —
+	// disabled tracing costs nothing on the task hot path).
+	tracingOn bool
 
 	// The cluster's shared group committer: ONE flusher serves every
 	// admitted query, so concurrent queries' lineage commits fold into the

@@ -6,6 +6,7 @@ import (
 	"quokka/internal/gcs"
 	"quokka/internal/lineage"
 	"quokka/internal/metrics"
+	"quokka/internal/trace"
 )
 
 // groupCommitter batches per-task lineage commits into shared GCS
@@ -71,10 +72,14 @@ func newGroupCommitter(store *gcs.Store) *groupCommitter {
 // Returns gcs.ErrAborted when the entry was fenced off (barrier raised,
 // channel rewound, epoch changed, worker died) — the task then stays
 // pending and is retried, exactly as with an individual transaction.
+// The enqueue-to-resolve time is the requesting query's flush latency.
 func (g *groupCommitter) commit(req *commitReq) error {
 	req.resp = make(chan error, 1)
+	start := time.Now()
 	g.reqs <- req
-	return <-req.resp
+	err := <-req.resp
+	req.r.hFlush.observe(int64(time.Since(start)))
+	return err
 }
 
 // stop shuts the flusher down. Must only be called once no registered
@@ -165,6 +170,7 @@ func (g *groupCommitter) flush(batch []*commitReq) {
 		}
 	}
 	var bytes int64
+	flushStart := time.Now()
 	err := g.store.UpdateMulti(nss, func(tx *gcs.Txn) error {
 		for r := range states {
 			states[r] = qstate{
@@ -223,6 +229,13 @@ func (g *groupCommitter) flush(batch []*commitReq) {
 		lead.count(metrics.LineageFlushes, 1)
 		if applied > 1 {
 			lead.count(metrics.GCSTxnBatched, int64(applied-1))
+		}
+		if lead.rec != nil {
+			// One flush span on the lead query's recorder (same attribution
+			// as the flush counters): InRows doubles as entries applied.
+			lead.rec.Record(trace.Span{Kind: trace.KindFlush, Worker: -1, Stage: -1, Channel: -1, Seq: -1,
+				Start: flushStart, Dur: time.Since(flushStart),
+				InRows: int64(applied), OutBytes: bytes})
 		}
 	}
 	for i, req := range batch {

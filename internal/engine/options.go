@@ -94,6 +94,21 @@ func WithSpillCompression(on bool) Option {
 	}
 }
 
+// WithTracing enables (or disables) the per-query flight recorder: with it
+// on, every query submitted afterwards records structured spans — task
+// executions, partition pushes, lineage flushes, admission wait, recovery
+// rewinds and replays — retrievable through Query.Trace, Query.Stats and
+// Result.ExplainAnalyze. Off by default; disabled tracing records nothing
+// and allocates nothing on the task hot path. Tracing observes and never
+// gates: results are byte-identical with it on or off.
+func WithTracing(on bool) Option {
+	return func(s *clusterShared) {
+		s.mu.Lock()
+		s.tracingOn = on
+		s.mu.Unlock()
+	}
+}
+
 // Configure applies cluster-level options. It may be called at any time;
 // each option documents whether in-flight queries observe the change.
 func Configure(cl *cluster.Cluster, opts ...Option) {
@@ -150,4 +165,12 @@ func (s *clusterShared) spillCompressionFor() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return !s.spillCompressOff
+}
+
+// tracingFor reports whether queries should carry a flight recorder
+// (cluster-level flag; off unless opted in).
+func (s *clusterShared) tracingFor() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracingOn
 }

@@ -92,6 +92,10 @@ type Stage struct {
 	Op          ops.Spec
 	Parallelism int // 0 means the cluster default (one channel per worker)
 	Inputs      []StageInput
+	// Detail is a human-readable description of the logical node this stage
+	// implements (the lowerer fills it from the optimizer's node rendering).
+	// Purely informational — EXPLAIN ANALYZE prints it next to the actuals.
+	Detail string
 }
 
 // Plan is a DAG of stages. Stage IDs must equal their index. Exactly one

@@ -9,6 +9,7 @@ import (
 	"quokka/internal/cluster"
 	"quokka/internal/lineage"
 	"quokka/internal/metrics"
+	"quokka/internal/trace"
 )
 
 // DefaultCursorBufferBytes bounds the head-node buffer of committed-but-
@@ -56,6 +57,8 @@ func (q *Query) run(ctx context.Context) {
 		TasksExecuted: q.r.qmet.Get(metrics.TasksExecuted),
 		TasksReplayed: q.r.qmet.Get(metrics.TasksReplayed),
 		Metrics:       q.r.qmet.Snapshot(),
+		Histograms:    q.r.qmet.Histograms(),
+		Stages:        q.r.stageStats(),
 	}
 	q.mu.Lock()
 	q.err = err
@@ -106,6 +109,18 @@ func (q *Query) Report() *Report {
 	defer q.mu.Unlock()
 	return q.report
 }
+
+// Trace returns the query's flight recorder, or nil when the cluster was
+// not configured with WithTracing at submit time. It may be read while the
+// query runs (spans appear as work commits) or after completion; use
+// Recorder.WriteJSON for the Chrome trace-event export.
+func (q *Query) Trace() *trace.Recorder { return q.r.rec }
+
+// Stats returns per-stage actuals aggregated from the flight recorder:
+// task counts, rows/bytes in and out, summed task wall-clock, spill
+// volume. Nil when tracing is off; live (a partial aggregate) while the
+// query still runs.
+func (q *Query) Stats() []StageStats { return q.r.stageStats() }
 
 // Metric reads one of THIS query's counters live, while the query runs —
 // concurrent queries on one cluster each report their own tasks, spill
@@ -179,7 +194,9 @@ func (c *Cursor) NextContext(ctx context.Context) (*batch.Batch, error) {
 	stop := context.AfterFunc(ctx, r.collector.wake)
 	defer stop()
 	for {
+		stallStart := time.Now()
 		data, ok, err := r.collector.next(ctx, fetch, drop)
+		r.hStall.observe(int64(time.Since(stallStart)))
 		if err != nil {
 			if ctx.Err() == nil {
 				c.err = err // terminal query error: latch it

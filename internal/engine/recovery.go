@@ -9,6 +9,7 @@ import (
 	"quokka/internal/gcs"
 	"quokka/internal/lineage"
 	"quokka/internal/metrics"
+	"quokka/internal/trace"
 )
 
 // recover implements Algorithm 2 of the paper: reconcile the GCS to a
@@ -109,6 +110,12 @@ func (r *Runner) recover(ctx context.Context) error {
 		alive[int(w)] = true
 	}
 	r.collector.invalidateSpooledExcept(alive)
+	if r.rec != nil {
+		// One span for the whole pass (barrier -> reconcile -> epoch bump),
+		// stamped with the recovery generation.
+		r.rec.Record(trace.Span{Kind: trace.KindRecovery, Worker: -1, Stage: -1, Channel: -1, Seq: -1,
+			Epoch: gen, Start: started, Dur: time.Since(started)})
+	}
 	if debugRecovery {
 		fmt.Printf("[recovery %d] took %v\n", gen, time.Since(started))
 	}
@@ -225,7 +232,15 @@ func (r *Runner) reconcile(tx *gcs.Txn) error {
 			w = int(aliveIDs[i%len(aliveIDs)])
 		}
 		txPutInt(tx, r.keyPlacement(id), w)
-		txPutInt(tx, r.keyChanEpoch(id), txGetInt(tx, r.keyChanEpoch(id), 0)+1)
+		newCep := txGetInt(tx, r.keyChanEpoch(id), 0) + 1
+		txPutInt(tx, r.keyChanEpoch(id), newCep)
+		if r.rec != nil {
+			// Rewind mark: the channel restarts on worker w under epoch
+			// newCep; replayed tasks then carry that epoch in their spans.
+			r.rec.Record(trace.Span{Kind: trace.KindRewind, Worker: w,
+				Stage: id.Stage, Channel: id.Channel, Seq: -1, Epoch: newCep,
+				Start: time.Now()})
+		}
 
 		restart := 0
 		wm := lineage.Watermark{}

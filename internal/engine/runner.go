@@ -14,6 +14,7 @@ import (
 	"quokka/internal/lineage"
 	"quokka/internal/metrics"
 	"quokka/internal/storage"
+	"quokka/internal/trace"
 )
 
 // ErrQueryFailed is returned when a worker failure cannot be recovered
@@ -34,6 +35,13 @@ type Report struct {
 	TasksExecuted int64
 	TasksReplayed int64
 	Metrics       map[string]int64
+	// Histograms snapshots the query's latency distributions (task latency,
+	// admission wait, flush latency, cursor stall — see the metrics.*NS
+	// names). Always populated; histograms are cheap enough to stay on.
+	Histograms map[string]metrics.HistogramSnapshot
+	// Stages carries per-stage actuals aggregated from the flight recorder;
+	// nil unless the query ran with tracing enabled (WithTracing).
+	Stages []StageStats
 }
 
 // Runner executes one plan on one cluster under one configuration. Any
@@ -79,6 +87,17 @@ type Runner struct {
 	// decode is self-describing, but metrics should mean one thing).
 	shuffleCompress bool
 	spillCompress   bool
+	// rec is the query's flight recorder, nil unless the cluster ran with
+	// WithTracing(true) at submit time. Per-query like every other piece of
+	// runner state; a nil recorder makes every span site a no-op.
+	rec *trace.Recorder
+	// Pre-resolved histogram pairs (per-query + cluster-wide): hot paths
+	// observe into both handles directly, skipping the collector's
+	// name-to-histogram map lookup — and its mutex — per event.
+	hTask  histPair
+	hAdmit histPair
+	hFlush histPair
+	hStall histPair
 
 	placeMu sync.RWMutex
 	place   map[lineage.ChannelID]int // cached placement
@@ -102,6 +121,18 @@ type Runner struct {
 	snapGep   int
 	snapRecn  int
 	snapMetas map[lineage.ChannelID]*chanMeta
+}
+
+// histPair tees one latency histogram the way counters are teed: every
+// observation lands in the query's private collector and the cluster-wide
+// one. Resolved once at NewRunner; Observe is two lock-free atomic updates.
+type histPair struct {
+	q, c *metrics.Histogram
+}
+
+func (h histPair) observe(v int64) {
+	h.q.Observe(v)
+	h.c.Observe(v)
 }
 
 // pollHeader returns the poll round's barrier / global epoch / recovery
@@ -196,6 +227,17 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 	r.flushEvery = shared.flushIntervalFor(cfg.LineageFlushInterval)
 	r.shuffleCompress = shared.shuffleCompressionFor()
 	r.spillCompress = shared.spillCompressionFor()
+	if shared.tracingFor() {
+		names := make([]string, len(plan.Stages))
+		for i, st := range plan.Stages {
+			names[i] = st.Name
+		}
+		r.rec = trace.New(len(cl.Workers), 0, names)
+	}
+	r.hTask = histPair{qmet.Hist(metrics.TaskLatencyNS), cl.Metrics.Hist(metrics.TaskLatencyNS)}
+	r.hAdmit = histPair{qmet.Hist(metrics.AdmissionWaitNS), cl.Metrics.Hist(metrics.AdmissionWaitNS)}
+	r.hFlush = histPair{qmet.Hist(metrics.FlushLatencyNS), cl.Metrics.Hist(metrics.FlushLatencyNS)}
+	r.hStall = histPair{qmet.Hist(metrics.CursorStallNS), cl.Metrics.Hist(metrics.CursorStallNS)}
 	// Credit the planner's zone-map pruning to this query's report: the
 	// splits the reader stages will never even schedule.
 	for _, st := range plan.Stages {
@@ -275,10 +317,17 @@ func (r *Runner) Run(ctx context.Context) (*batch.Batch, *Report, error) {
 // files, mailbox slots, disk backups or GCS keys behind, without
 // disturbing concurrent queries.
 func (r *Runner) execute(ctx context.Context) error {
+	admitStart := time.Now()
 	if err := r.shared.admit.acquire(ctx); err != nil {
 		return err
 	}
 	defer r.shared.admit.release()
+	wait := time.Since(admitStart)
+	r.hAdmit.observe(int64(wait))
+	if r.rec != nil {
+		r.rec.Record(trace.Span{Kind: trace.KindAdmission, Worker: -1, Stage: -1, Channel: -1, Seq: -1,
+			Start: admitStart, Dur: wait})
+	}
 	if err := r.seed(); err != nil {
 		r.cleanup()
 		return err

@@ -16,6 +16,7 @@ import (
 	"quokka/internal/metrics"
 	"quokka/internal/ops"
 	"quokka/internal/spill"
+	"quokka/internal/trace"
 )
 
 // taskManager runs the channels placed on one worker. It is the paper's
@@ -93,6 +94,14 @@ type chanState struct {
 	pending  *pendingTask
 	lastCkpt int
 	stepGep  int // global epoch observed at step start; fences commits
+
+	// spillOp is the operator's root spill handle (nil without memory
+	// governance); spillBytes/spillRuns are its write totals at the last
+	// task commit, so the flight recorder can attribute spill volume to
+	// individual tasks as deltas.
+	spillOp    *spill.Op
+	spillBytes int64
+	spillRuns  int64
 }
 
 // pendingTask is a task that executed but whose pushes failed (a consumer
@@ -104,6 +113,14 @@ type pendingTask struct {
 	rec      lineage.Record
 	out      *batch.Batch // nil if the task produced no rows
 	finalize bool
+
+	// started stamps task creation; the task-latency histogram and trace
+	// span measure creation -> successful commit, so backpressure retries
+	// are included (a task stuck behind a full cursor buffer is honestly
+	// slow). inRows/inBytes count the consumed input (wire bytes).
+	started time.Time
+	inRows  int64
+	inBytes int64
 }
 
 func newTaskManager(r *Runner, w *cluster.Worker) *taskManager {
@@ -426,7 +443,9 @@ func (t *taskManager) newOperator(cs *chanState) ops.Operator {
 	// collide with each other.
 	if t.spill != nil {
 		if sb, ok := op.(ops.Spillable); ok {
-			sb.SetSpill(t.spill.NewOp(spillNS(t.r.qid, cs.id, cs.cep)))
+			so := t.spill.NewOp(spillNS(t.r.qid, cs.id, cs.cep))
+			sb.SetSpill(so)
+			cs.spillOp, cs.spillBytes, cs.spillRuns = so, 0, 0
 		}
 	}
 	return op
@@ -573,6 +592,7 @@ func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
 	cs.pending = nil
 	cs.done = false
 	cs.lastCkpt = meta.cursor
+	cs.spillOp, cs.spillBytes, cs.spillRuns = nil, 0, 0
 	var wmErr error
 	var done int
 	t.r.gcsView(func(tx *gcs.Txn) error {
@@ -634,6 +654,7 @@ func (t *taskManager) normalStep(cs *chanState, meta *chanMeta) (bool, error) {
 		return false, nil // nothing consumable yet; task "exits without executing"
 	}
 	var p *pendingTask
+	started := time.Now()
 	if choice == nil {
 		// All inputs exhausted: the channel's final task.
 		outs, err := cs.op.Finalize()
@@ -647,14 +668,14 @@ func (t *taskManager) normalStep(cs *chanState, meta *chanMeta) (bool, error) {
 		if out != nil {
 			t.chargeCompute(out.ByteSize(), opSharesFor(cs.op, out.NumRows()))
 		}
-		p = &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), out: out, finalize: true}
+		p = &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), out: out, finalize: true, started: started}
 	} else {
 		rec := lineage.Consume(choice.ec.Input, choice.ec.UpChannel, choice.from, choice.count)
-		out, err := t.consume(cs, rec)
+		out, inRows, inBytes, err := t.consume(cs, rec)
 		if err != nil {
 			return false, err
 		}
-		p = &pendingTask{seq: cs.cursor, rec: rec, out: out}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, started: started, inRows: inRows, inBytes: inBytes}
 	}
 	cs.pending = p
 	return t.finishTask(cs, p, false)
@@ -763,11 +784,12 @@ func (t *taskManager) chooseInput(cs *chanState, meta *chanMeta) (*inputChoice, 
 }
 
 // consume runs the operator over the chosen inputs and returns the
-// concatenated output (nil if no rows).
-func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, error) {
+// concatenated output (nil if no rows) plus the consumed input volume
+// (rows and wire bytes, for the task's trace span).
+func (t *taskManager) consume(cs *chanState, rec lineage.Record) (out *batch.Batch, inRows, inBytes int64, err error) {
 	datas, err := t.w.Flight.Take(t.r.qid, cs.id, rec.Input, rec.UpChannel, rec.FromSeq, rec.Count)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	var outs []*batch.Batch
 	for _, d := range datas {
@@ -776,19 +798,22 @@ func (t *taskManager) consume(cs *chanState, rec lineage.Record) (*batch.Batch, 
 		}
 		b, err := batch.Decode(d)
 		if err != nil {
-			return nil, fmt.Errorf("engine: corrupt partition for %s: %w", cs.id, err)
+			return nil, 0, 0, fmt.Errorf("engine: corrupt partition for %s: %w", cs.id, err)
 		}
 		if b.NumRows() == 0 {
 			continue
 		}
+		inRows += int64(b.NumRows())
+		inBytes += int64(len(d))
 		t.chargeCompute(b.ByteSize(), opSharesFor(cs.op, b.NumRows()))
 		o, err := cs.op.Consume(rec.Input, b)
 		if err != nil {
-			return nil, fmt.Errorf("engine: %s consume: %w", cs.id, err)
+			return nil, 0, 0, fmt.Errorf("engine: %s consume: %w", cs.id, err)
 		}
 		outs = append(outs, o...)
 	}
-	return batch.Concat(outs)
+	out, err = batch.Concat(outs)
+	return out, inRows, inBytes, err
 }
 
 // chargeCompute applies the modelled operator-kernel cost for processing
@@ -832,8 +857,9 @@ func (t *taskManager) chargeCompute(bytes int64, shares int) {
 func (t *taskManager) readerStep(cs *chanState) (bool, error) {
 	p := t.r.par[cs.id.Stage]
 	split := cs.id.Channel + cs.cursor*p
+	started := time.Now()
 	if split >= cs.splits {
-		pend := &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), finalize: true}
+		pend := &pendingTask{seq: cs.cursor, rec: lineage.Finalize(), finalize: true, started: started}
 		cs.pending = pend
 		return t.finishTask(cs, pend, false)
 	}
@@ -845,7 +871,7 @@ func (t *taskManager) readerStep(cs *chanState) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	pend := &pendingTask{seq: cs.cursor, rec: lineage.Read(split), out: b}
+	pend := &pendingTask{seq: cs.cursor, rec: lineage.Read(split), out: b, started: started}
 	cs.pending = pend
 	return t.finishTask(cs, pend, false)
 }
@@ -867,6 +893,7 @@ func (t *taskManager) readSplit(spec *ReaderSpec, split int) (*batch.Batch, erro
 // "retracing its footsteps" (§IV-C) and may not choose inputs dynamically.
 func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error) {
 	var p *pendingTask
+	started := time.Now()
 	switch rec.Kind {
 	case lineage.KindRead:
 		// rec.Split is physical; the same column projection as the original
@@ -875,18 +902,18 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 		if err != nil {
 			return false, err
 		}
-		p = &pendingTask{seq: cs.cursor, rec: rec, out: b}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: b, started: started}
 	case lineage.KindConsume:
 		// All replayed inputs must be present; if replays are still in
 		// flight, wait.
 		if got := t.w.Flight.ContiguousFrom(t.r.qid, cs.id, rec.Input, rec.UpChannel, rec.FromSeq); got < rec.Count {
 			return false, nil
 		}
-		out, err := t.consume(cs, rec)
+		out, inRows, inBytes, err := t.consume(cs, rec)
 		if err != nil {
 			return false, err
 		}
-		p = &pendingTask{seq: cs.cursor, rec: rec, out: out}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, started: started, inRows: inRows, inBytes: inBytes}
 	case lineage.KindFinalize:
 		var outs []*batch.Batch
 		var err error
@@ -903,7 +930,7 @@ func (t *taskManager) replayStep(cs *chanState, rec lineage.Record) (bool, error
 		if out != nil {
 			t.chargeCompute(out.ByteSize(), opSharesFor(cs.op, out.NumRows()))
 		}
-		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, finalize: true}
+		p = &pendingTask{seq: cs.cursor, rec: rec, out: out, finalize: true, started: started}
 	}
 	cs.pending = p
 	t.r.count(metrics.TasksReplayed, 1)
@@ -947,8 +974,17 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 	// consumer) aborts the task without committing; the pending outputs
 	// are retried after recovery re-places the consumer. Push failures
 	// are transient by construction, never fatal.
+	var pushStart time.Time
+	if t.r.rec != nil {
+		pushStart = time.Now()
+	}
 	if err := t.pushOutputs(cs, task, p.out, encoded); err != nil {
 		return false, nil
+	}
+	if t.r.rec != nil {
+		t.r.rec.Record(trace.Span{Kind: trace.KindPush, Replay: isReplay, Worker: int(t.w.ID),
+			Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: p.seq, Epoch: cs.cep,
+			Start: pushStart, Dur: time.Since(pushStart), OutBytes: int64(len(encoded))})
 	}
 
 	// Upstream backup: store outputs on local disk so consumers can be
@@ -1044,6 +1080,26 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 		}
 	}
 	t.r.count(metrics.TasksExecuted, 1)
+	lat := time.Since(p.started)
+	t.r.hTask.observe(int64(lat))
+	if t.r.rec != nil {
+		var spillB, spillR int64
+		if cs.spillOp != nil {
+			wb, wr := cs.spillOp.WrittenBytes(), cs.spillOp.WrittenRuns()
+			spillB, spillR = wb-cs.spillBytes, wr-cs.spillRuns
+			cs.spillBytes, cs.spillRuns = wb, wr
+		}
+		var outRows int64
+		if p.out != nil {
+			outRows = int64(p.out.NumRows())
+		}
+		t.r.rec.Record(trace.Span{Kind: trace.KindTask, Replay: isReplay, Worker: int(t.w.ID),
+			Stage: cs.id.Stage, Channel: cs.id.Channel, Seq: p.seq, Epoch: cs.cep,
+			Start: p.started, Dur: lat,
+			InRows: p.inRows, InBytes: p.inBytes,
+			OutRows: outRows, OutBytes: int64(len(encoded)),
+			SpillBytes: spillB, SpillRuns: spillR})
+	}
 
 	if t.r.cfg.FT == FTCheckpoint && !p.finalize {
 		t.maybeCheckpoint(cs)
@@ -1247,6 +1303,10 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 	if err != nil {
 		return false
 	}
+	var replayStart time.Time
+	if t.r.rec != nil {
+		replayStart = time.Now()
+	}
 	dests, err := parseReplayDests(destsRaw)
 	if err != nil || len(dests) == 0 {
 		return false
@@ -1350,6 +1410,13 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 		return false
 	}
 	t.r.count(metrics.RecoveryReplays, 1)
+	if t.r.rec != nil {
+		// The recovery re-push of a backed-up partition (Figure 5's light-
+		// blue recovery task), stamped with the recovery's global epoch.
+		t.r.rec.Record(trace.Span{Kind: trace.KindPush, Replay: true, Worker: int(t.w.ID),
+			Stage: task.Stage, Channel: task.Channel, Seq: task.Seq, Epoch: gep,
+			Start: replayStart, Dur: time.Since(replayStart)})
+	}
 	err = t.r.gcsUpdate(func(tx *gcs.Txn) error {
 		if txGetInt(tx, t.r.keyGlobalEpoch(), 0) != gep {
 			return gcs.ErrAborted // placement changed; redo with a fresh view

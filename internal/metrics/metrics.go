@@ -7,17 +7,20 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Collector is a set of named monotonic counters. The zero value is ready
-// to use. It is safe for concurrent use.
+// Collector is a set of named monotonic counters, high-water-mark gauges
+// and latency histograms. The zero value is ready to use. It is safe for
+// concurrent use.
 type Collector struct {
 	mu       sync.Mutex
 	counters map[string]*atomic.Int64
+	hists    map[string]*Histogram
 
 	// fan, when non-nil, makes this collector a write-only tee: Add and
 	// Max forward to every target and nothing is recorded locally. Reads
@@ -83,6 +86,28 @@ const (
 	QueriesPeak      = "queries.peak"       // high-water mark of concurrently admitted queries (gauge)
 	WorkerMemPeak    = "mem.worker.peak"    // peak accounted operator bytes on any worker, across queries (gauge)
 )
+
+// Histogram names used across the engine. All values are durations in
+// nanoseconds observed via Collector.Observe.
+const (
+	TaskLatencyNS   = "task.latency.ns"   // task creation -> committed
+	AdmissionWaitNS = "admission.wait.ns" // admission queue wait before execution
+	FlushLatencyNS  = "flush.latency.ns"  // lineage group-commit enqueue -> durable
+	CursorStallNS   = "cursor.stall.ns"   // time a cursor consumer blocked waiting for the next chunk
+)
+
+// gaugeNames are high-water marks set via Max, not monotonic counters.
+// Report renderers group them separately: summing or diffing a gauge the
+// way counters are diffed is meaningless.
+var gaugeNames = map[string]bool{
+	SpillPeakBytes: true,
+	QueriesPeak:    true,
+	WorkerMemPeak:  true,
+}
+
+// IsGauge reports whether name is a high-water-mark gauge (set via Max)
+// rather than a monotonic counter.
+func IsGauge(name string) bool { return gaugeNames[name] }
 
 func (c *Collector) counter(name string) *atomic.Int64 {
 	c.mu.Lock()
@@ -175,17 +200,207 @@ func (c *Collector) Snapshot() map[string]int64 {
 	return out
 }
 
-// String renders the counters sorted by name, one per line.
+// String renders counters sorted by name, one per line, with gauges in
+// their own section (they are levels, not totals) and any histograms last.
 func (c *Collector) String() string {
 	snap := c.Snapshot()
-	keys := make([]string, 0, len(snap))
+	var counters, gauges []string
 	for k := range snap {
-		keys = append(keys, k)
+		if IsGauge(k) {
+			gauges = append(gauges, k)
+		} else {
+			counters = append(counters, k)
+		}
 	}
-	sort.Strings(keys)
+	sort.Strings(counters)
+	sort.Strings(gauges)
 	var b strings.Builder
-	for _, k := range keys {
+	for _, k := range counters {
 		fmt.Fprintf(&b, "%-24s %d\n", k, snap[k])
 	}
+	if len(gauges) > 0 {
+		b.WriteString("-- gauges (high-water marks) --\n")
+		for _, k := range gauges {
+			fmt.Fprintf(&b, "%-24s %d\n", k, snap[k])
+		}
+	}
+	hists := c.Histograms()
+	if len(hists) > 0 {
+		names := make([]string, 0, len(hists))
+		for k := range hists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("-- histograms --\n")
+		for _, k := range names {
+			h := hists[k]
+			fmt.Fprintf(&b, "%-24s n=%d p50=%d p99=%d max=%d\n",
+				k, h.Count, h.Quantile(0.50), h.Quantile(0.99), h.Max)
+		}
+	}
 	return b.String()
+}
+
+// HistBuckets is the number of fixed log2 buckets per histogram: bucket i
+// holds values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i). 64 buckets
+// cover the full non-negative int64 range — nanosecond latencies from <1ns
+// to ~292 years without configuration.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket log2 latency histogram. Observe is
+// allocation-free and lock-free (atomic adds), cheap enough for per-task
+// hot paths. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))&(HistBuckets-1)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [HistBuckets]int64
+}
+
+// Mean returns the arithmetic mean of observed values (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// inclusive upper edge of the bucket holding the q*Count-th observation.
+// With log2 buckets the bound is within 2x of the true value.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			hi := int64(1)<<uint(i) - 1 // upper edge of [2^(i-1), 2^i)
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+func (c *Collector) hist(name string) *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hists == nil {
+		c.hists = make(map[string]*Histogram)
+	}
+	h, ok := c.hists[name]
+	if !ok {
+		h = new(Histogram)
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Hist returns the named histogram, creating it on first use. Call sites
+// on hot paths should resolve the histogram once and call Observe on it
+// directly, skipping the map lookup per event. A nil Collector returns
+// nil (and a nil *Histogram's Observe is a no-op). On a tee, Hist resolves
+// against the last target — observations through it reach only that
+// target, so tees that must fan out use Collector.Observe instead.
+func (c *Collector) Hist(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	if c.fan != nil {
+		if len(c.fan) == 0 {
+			return nil
+		}
+		return c.fan[len(c.fan)-1].Hist(name)
+	}
+	return c.hist(name)
+}
+
+// Observe records one value into the named histogram. On a tee the
+// observation fans out to every target, mirroring Add and Max. A nil
+// Collector is a no-op.
+func (c *Collector) Observe(name string, v int64) {
+	if c == nil {
+		return
+	}
+	if c.fan != nil {
+		for _, t := range c.fan {
+			t.Observe(name, v)
+		}
+		return
+	}
+	c.hist(name).Observe(v)
+}
+
+// Histograms returns a snapshot of every histogram. On a tee, reads
+// resolve against the last target, like Get and Snapshot.
+func (c *Collector) Histograms() map[string]HistogramSnapshot {
+	if c == nil {
+		return nil
+	}
+	if c.fan != nil {
+		if len(c.fan) == 0 {
+			return map[string]HistogramSnapshot{}
+		}
+		return c.fan[len(c.fan)-1].Histograms()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(c.hists))
+	for k, h := range c.hists {
+		out[k] = h.Snapshot()
+	}
+	return out
 }

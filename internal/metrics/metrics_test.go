@@ -72,3 +72,145 @@ func TestStringSorted(t *testing.T) {
 		t.Error("String() not sorted")
 	}
 }
+
+func TestTeeReadSemantics(t *testing.T) {
+	clusterWide := &Collector{}
+	perQuery := &Collector{}
+	tee := Tee(clusterWide, perQuery)
+
+	// Writes fan out to every target.
+	tee.Add(TasksExecuted, 3)
+	tee.Max(SpillPeakBytes, 100)
+	tee.Observe(TaskLatencyNS, 1000)
+	for _, c := range []*Collector{clusterWide, perQuery} {
+		if got := c.Get(TasksExecuted); got != 3 {
+			t.Fatalf("target counter = %d, want 3", got)
+		}
+		if got := c.Get(SpillPeakBytes); got != 100 {
+			t.Fatalf("target gauge = %d, want 100", got)
+		}
+		if got := c.Histograms()[TaskLatencyNS].Count; got != 1 {
+			t.Fatalf("target histogram count = %d, want 1", got)
+		}
+	}
+
+	// Reads resolve against the LAST target (the most specific one).
+	clusterWide.Add(TasksExecuted, 100)
+	clusterWide.Observe(TaskLatencyNS, 1)
+	if got := tee.Get(TasksExecuted); got != 3 {
+		t.Fatalf("tee.Get = %d, want 3 (last target), not the cluster-wide 103", got)
+	}
+	if got := tee.Snapshot()[TasksExecuted]; got != 3 {
+		t.Fatalf("tee.Snapshot = %d, want 3 (last target)", got)
+	}
+	if got := tee.Histograms()[TaskLatencyNS].Count; got != 1 {
+		t.Fatalf("tee.Histograms count = %d, want 1 (last target)", got)
+	}
+	if h := tee.Hist(TaskLatencyNS); h != perQuery.Hist(TaskLatencyNS) {
+		t.Fatal("tee.Hist should resolve against the last target")
+	}
+
+	// Empty and nil-target tees stay safe.
+	empty := Tee()
+	empty.Add(TasksExecuted, 1)
+	empty.Observe(TaskLatencyNS, 1)
+	if empty.Get(TasksExecuted) != 0 || len(empty.Histograms()) != 0 || empty.Hist(TaskLatencyNS) != nil {
+		t.Fatal("empty tee should read zero values")
+	}
+	half := Tee(nil, perQuery)
+	if got := half.Get(TasksExecuted); got != 3 {
+		t.Fatalf("tee with nil target: Get = %d, want 3", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("Max = %d", s.Max)
+	}
+	if want := int64(500500 / 1000); s.Mean() != want {
+		t.Fatalf("Mean = %d, want %d", s.Mean(), want)
+	}
+	// Log2 buckets bound quantiles within 2x from above.
+	if q := s.Quantile(0.5); q < 500 || q > 1023 {
+		t.Fatalf("p50 = %d, want in [500, 1023]", q)
+	}
+	if q := s.Quantile(0.99); q < 990 || q > 1000 {
+		t.Fatalf("p99 = %d, want in [990, 1000] (clamped to max)", q)
+	}
+	if q := s.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot should read zero")
+	}
+	h.Observe(-5) // clamps to 0, must not panic
+	if got := h.Snapshot().Count; got != 1001 {
+		t.Fatalf("Count after negative observe = %d", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // no-op
+}
+
+func TestObserveAllocationFree(t *testing.T) {
+	c := &Collector{}
+	h := c.Hist(TaskLatencyNS) // resolved once, as hot paths do
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(123) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per call", allocs)
+	}
+	c.Observe(TaskLatencyNS, 1) // warm the map entry
+	if allocs := testing.AllocsPerRun(100, func() { c.Observe(TaskLatencyNS, 123) }); allocs != 0 {
+		t.Fatalf("Collector.Observe allocates %v per call after warm-up", allocs)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := int64(0); j < 1000; j++ {
+				c.Observe(FlushLatencyNS, j)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Histograms()[FlushLatencyNS].Count; got != 8000 {
+		t.Fatalf("lost observations: %d", got)
+	}
+}
+
+func TestStringSections(t *testing.T) {
+	c := &Collector{}
+	c.Add(TasksExecuted, 7)
+	c.Max(SpillPeakBytes, 42)
+	c.Observe(TaskLatencyNS, 100)
+	s := c.String()
+	gaugeHdr := strings.Index(s, "-- gauges")
+	histHdr := strings.Index(s, "-- histograms")
+	if gaugeHdr < 0 || histHdr < 0 {
+		t.Fatalf("missing sections:\n%s", s)
+	}
+	if i := strings.Index(s, TasksExecuted); i < 0 || i > gaugeHdr {
+		t.Fatalf("counter should precede the gauge section:\n%s", s)
+	}
+	if i := strings.Index(s, SpillPeakBytes); i < gaugeHdr || i > histHdr {
+		t.Fatalf("gauge should sit in the gauge section:\n%s", s)
+	}
+	if i := strings.Index(s, TaskLatencyNS); i < histHdr {
+		t.Fatalf("histogram should sit in the histogram section:\n%s", s)
+	}
+	if !IsGauge(QueriesPeak) || !IsGauge(WorkerMemPeak) || IsGauge(TasksExecuted) {
+		t.Fatal("IsGauge misclassifies")
+	}
+}

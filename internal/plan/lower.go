@@ -82,7 +82,7 @@ func (l *lowerer) lower(n *Node) int {
 // planner's split survivor list (zone-map pruning) and the column set the
 // plan consumes (so the reader skips decoding dropped column payloads).
 func (l *lowerer) reader(n *Node) int {
-	return l.add(&engine.Stage{Name: "scan-" + n.Table, Reader: &engine.ReaderSpec{
+	return l.add(&engine.Stage{Name: "scan-" + n.Table, Detail: n.describe(), Reader: &engine.ReaderSpec{
 		Table:       n.Table,
 		Splits:      n.Splits,
 		TotalSplits: n.TotalSplits,
@@ -137,6 +137,7 @@ func (l *lowerer) lowerScan(n *Node) int {
 	// scan pipelines.
 	return l.add(&engine.Stage{
 		Name:   "map",
+		Detail: n.describe(),
 		Op:     ops.NewFilterProjectSpec(n.Pred, ops.KeepCols(scanKeep(n)...)...),
 		Inputs: direct(r),
 	})
@@ -154,12 +155,14 @@ func (l *lowerer) lowerFilter(n *Node) int {
 		}
 		return l.add(&engine.Stage{
 			Name:   "map",
+			Detail: n.describe(),
 			Op:     ops.NewFilterProjectSpec(pred, ops.KeepCols(scanKeep(child)...)...),
 			Inputs: direct(r),
 		})
 	}
 	return l.add(&engine.Stage{
 		Name:   "filter",
+		Detail: n.describe(),
 		Op:     ops.NewFilterSpec(n.Pred),
 		Inputs: direct(l.lower(child)),
 	})
@@ -173,6 +176,7 @@ func (l *lowerer) lowerProject(n *Node) int {
 			// Projection over filter: the FilterProject fast path.
 			return l.add(&engine.Stage{
 				Name:   "map",
+				Detail: n.describe(),
 				Op:     ops.NewFilterProjectSpec(child.Pred, n.Exprs...),
 				Inputs: direct(l.lower(child.Inputs[0])),
 			})
@@ -182,6 +186,7 @@ func (l *lowerer) lowerProject(n *Node) int {
 			r := l.reader(child)
 			return l.add(&engine.Stage{
 				Name:   "map",
+				Detail: n.describe(),
 				Op:     ops.NewFilterProjectSpec(child.Pred, n.Exprs...),
 				Inputs: direct(r),
 			})
@@ -189,6 +194,7 @@ func (l *lowerer) lowerProject(n *Node) int {
 	}
 	return l.add(&engine.Stage{
 		Name:   "select",
+		Detail: n.describe(),
 		Op:     ops.NewProjectSpec(n.Exprs...),
 		Inputs: direct(l.lower(child)),
 	})
@@ -207,8 +213,9 @@ func (l *lowerer) lowerJoin(n *Node) int {
 		bPart, pPart = engine.Broadcast(), engine.Direct()
 	}
 	return l.add(&engine.Stage{
-		Name: "join",
-		Op:   ops.NewHashJoinSpec(n.JoinType, n.BuildKeys, n.ProbeKeys),
+		Name:   "join",
+		Detail: n.describe(),
+		Op:     ops.NewHashJoinSpec(n.JoinType, n.BuildKeys, n.ProbeKeys),
 		Inputs: []engine.StageInput{
 			{Stage: build, Part: bPart, Phase: 0},
 			{Stage: probe, Part: pPart, Phase: 1},
@@ -239,6 +246,7 @@ func (l *lowerer) lowerAgg(n *Node) int {
 	if l.mode == Naive {
 		return l.add(&engine.Stage{
 			Name:        "agg",
+			Detail:      n.describe(),
 			Op:          ops.NewHashAggTypedSpec(n.Keys, defaults, n.Aggs...),
 			Parallelism: parallelism,
 			Inputs:      []engine.StageInput{{Stage: in, Part: part}},
@@ -253,6 +261,7 @@ func (l *lowerer) lowerAgg(n *Node) int {
 	// stage still emits the default row when every channel was empty.
 	partial := l.add(&engine.Stage{
 		Name:   "agg-partial",
+		Detail: "partial " + n.describe(),
 		Op:     ops.NewHashAggPartialSpec(n.Keys, n.Aggs...),
 		Inputs: direct(in),
 	})
@@ -269,6 +278,7 @@ func (l *lowerer) lowerAgg(n *Node) int {
 	}
 	return l.add(&engine.Stage{
 		Name:        "agg",
+		Detail:      n.describe(),
 		Op:          ops.NewHashAggTypedSpec(n.Keys, defaults, merged...),
 		Parallelism: parallelism,
 		Inputs:      []engine.StageInput{{Stage: partial, Part: part}},
@@ -285,6 +295,7 @@ func (l *lowerer) lowerSort(n *Node) int {
 	}
 	return l.add(&engine.Stage{
 		Name:        "sort",
+		Detail:      n.describe(),
 		Op:          spec,
 		Parallelism: 1,
 		Inputs:      []engine.StageInput{{Stage: in, Part: engine.Single()}},

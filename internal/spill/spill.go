@@ -233,9 +233,20 @@ func (c *Context) PartitionAt(hash uint64, level int) int {
 }
 
 // NewOp creates an operator spill handle rooted at the given disk key
-// namespace (level 0: top hash bits).
+// namespace (level 0: top hash bits). The root and every handle derived
+// from it (Sub lanes, Child levels) share one write-totals block, so the
+// engine can attribute spill volume to the owning channel no matter how
+// deep the recursion went.
 func (c *Context) NewOp(ns string) *Op {
-	return &Op{c: c, ns: ns}
+	return &Op{c: c, ns: ns, totals: &opTotals{}}
+}
+
+// opTotals accumulates run-file writes across an Op tree (root + Sub lanes
+// + Child levels). Atomic because partition lanes may write from the CPU
+// pool concurrently.
+type opTotals struct {
+	bytes atomic.Int64 // raw framed size, matching metrics.SpillWriteBytes
+	runs  atomic.Int64
 }
 
 // Kind tags a run: raw input rows vs a serialized operator-state snapshot.
@@ -274,7 +285,27 @@ type Op struct {
 	seq      int
 	parts    map[int]*partMeta
 	children map[int]*Op
-	subs     []*Op // lanes created via Sub, dropped with the parent
+	subs     []*Op     // lanes created via Sub, dropped with the parent
+	totals   *opTotals // shared write totals across the whole Op tree
+}
+
+// WrittenBytes returns the raw framed bytes written across the whole Op
+// tree (root, lanes and children) since NewOp. Monotonic — Drop does not
+// reset it, so callers can diff it to attribute spill volume per task.
+func (o *Op) WrittenBytes() int64 {
+	if o == nil || o.totals == nil {
+		return 0
+	}
+	return o.totals.bytes.Load()
+}
+
+// WrittenRuns returns the run files written across the whole Op tree since
+// NewOp. Monotonic like WrittenBytes.
+func (o *Op) WrittenRuns() int64 {
+	if o == nil || o.totals == nil {
+		return 0
+	}
+	return o.totals.runs.Load()
 }
 
 // Context returns the worker spill context the op is bound to.
@@ -290,7 +321,7 @@ func (o *Op) PartitionOf(hash uint64) int { return o.c.PartitionAt(hash, o.level
 // per partition lane of a partitioned operator, so lanes never share a
 // manifest. Dropped together with the parent.
 func (o *Op) Sub(name string) *Op {
-	s := &Op{c: o.c, ns: o.ns + "/" + name, level: o.level}
+	s := &Op{c: o.c, ns: o.ns + "/" + name, level: o.level, totals: o.totals}
 	o.subs = append(o.subs, s)
 	return s
 }
@@ -304,7 +335,7 @@ func (o *Op) Child(part int) *Op {
 	if o.level+1 >= MaxDepth {
 		panic(fmt.Sprintf("spill: recursion past MaxDepth=%d", MaxDepth))
 	}
-	c := &Op{c: o.c, ns: fmt.Sprintf("%s/p%02d", o.ns, part), level: o.level + 1}
+	c := &Op{c: o.c, ns: fmt.Sprintf("%s/p%02d", o.ns, part), level: o.level + 1, totals: o.totals}
 	if o.children == nil {
 		o.children = make(map[int]*Op)
 	}
@@ -420,6 +451,10 @@ func (o *Op) writeRun(part int, kind Kind, countPart bool, bs ...*batch.Batch) e
 	o.c.met.Add(metrics.SpillWriteBytes, raw)
 	o.c.met.Add(metrics.SpillWireBytes, int64(len(data)))
 	o.c.met.Add(metrics.SpillRuns, 1)
+	if o.totals != nil {
+		o.totals.bytes.Add(raw)
+		o.totals.runs.Add(1)
+	}
 	return nil
 }
 

@@ -3,10 +3,23 @@ package quokka
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"quokka/internal/engine"
 	"quokka/internal/plan"
+	"quokka/internal/trace"
 )
+
+// Report is a finished query's execution report: wall-clock duration,
+// recovery passes, task counts, the query's own metric counters and
+// latency histograms, and — when the cluster was configured with
+// WithTracing — per-stage actuals (Stages).
+type Report = engine.Report
+
+// StageStats is one stage's actuals aggregated from the flight recorder:
+// task and replay counts, rows/bytes in and out, summed task wall-clock,
+// and spill volume. See Query.Stats and Result.ExplainAnalyze.
+type StageStats = engine.StageStats
 
 // Query is a handle on one submitted query. Any number of queries may be
 // in flight on one cluster at a time: each runs under its own query-ID
@@ -57,6 +70,46 @@ func (q *Query) Result() (*Result, error) {
 	}
 	return &Result{batch: out, report: rep, explain: q.explain}, nil
 }
+
+// Report returns the query's execution report, or nil while it is still
+// running. The report's Histograms carry the query's task-latency,
+// admission-wait, flush-latency and cursor-stall distributions; Stages is
+// populated when the cluster was configured with WithTracing.
+func (q *Query) Report() *Report { return q.inner.Report() }
+
+// Stats returns per-stage actuals aggregated from the query's flight
+// recorder — a live, partial aggregate while the query runs. Nil unless
+// the cluster was configured with WithTracing.
+func (q *Query) Stats() []StageStats { return q.inner.Stats() }
+
+// Trace returns the query's flight recorder handle, or nil unless the
+// cluster was configured with WithTracing. It may be exported while the
+// query runs (spans appear as work commits) or after completion.
+func (q *Query) Trace() *Trace {
+	if rec := q.inner.Trace(); rec != nil {
+		return &Trace{rec: rec}
+	}
+	return nil
+}
+
+// Trace is a query's flight recorder: every recorded span of work, held in
+// bounded per-worker buffers.
+type Trace struct {
+	rec *trace.Recorder
+}
+
+// Len returns how many spans the recorder holds.
+func (t *Trace) Len() int { return t.rec.Len() }
+
+// Dropped returns how many spans were discarded because a per-worker
+// buffer filled (0 in normal runs).
+func (t *Trace) Dropped() int64 { return t.rec.Dropped() }
+
+// WriteJSON writes the trace in Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing: one track per worker (plus the head node),
+// task/push spans as complete events, recovery rewinds as instants, and
+// replayed work flagged with its recovery epoch.
+func (t *Trace) WriteJSON(w io.Writer) error { return t.rec.WriteJSON(w) }
 
 // Cursor returns the query's streaming result cursor: final-stage batches
 // in deterministic (channel, sequence) order, delivered incrementally as

@@ -2,6 +2,7 @@ package quokka
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -183,6 +184,108 @@ func TestAdmissionLimitPublic(t *testing.T) {
 	}
 	if peak := c.Metrics()["queries.peak"]; peak != 1 {
 		t.Errorf("queries.peak = %d under limit 1", peak)
+	}
+}
+
+// TestSubmitTracedObservability: the public observability surface. A
+// query on a WithTracing cluster exposes its report histograms, per-stage
+// actuals, EXPLAIN ANALYZE and a parseable Chrome trace; an untraced query
+// exposes none of the span-derived views but still answers identically.
+func TestSubmitTracedObservability(t *testing.T) {
+	c := newTestCluster(t, 3)
+	salesTable(t, c, 1500)
+	c.Configure(WithTracing(true))
+	sess := NewSession(c)
+	frame := sess.Read("sales").
+		GroupBy([]string{"region"}, SumOf("total", Col("amount")), CountAll("n")).
+		Sort(0, Asc("region"))
+
+	q, err := frame.Submit(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := q.Report()
+	if rep == nil {
+		t.Fatal("Report is nil after Result")
+	}
+	task, ok := rep.Histograms["task.latency.ns"]
+	if !ok || task.Count == 0 {
+		t.Fatalf("task-latency histogram missing or empty: %+v", rep.Histograms)
+	}
+	if task.Count != rep.TasksExecuted {
+		t.Errorf("histogram count %d != tasks executed %d", task.Count, rep.TasksExecuted)
+	}
+
+	stats := q.Stats()
+	if len(stats) == 0 {
+		t.Fatal("Stats is empty on a traced query")
+	}
+	var rows int64
+	for _, st := range stats {
+		rows += st.OutRows
+	}
+	if rows == 0 {
+		t.Error("per-stage actuals carry no output rows")
+	}
+
+	ea := res.ExplainAnalyze()
+	for _, want := range []string{"scan sales", "agg", "rows_in", "bytes_out"} {
+		if !strings.Contains(ea, want) {
+			t.Errorf("ExplainAnalyze missing %q:\n%s", want, ea)
+		}
+	}
+
+	tr := q.Trace()
+	if tr == nil {
+		t.Fatal("Trace is nil on a traced query")
+	}
+	if tr.Len() == 0 || tr.Dropped() != 0 {
+		t.Errorf("trace spans = %d, dropped = %d", tr.Len(), tr.Dropped())
+	}
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+
+	// Untraced cluster: same answer, no span-derived views.
+	c2 := newTestCluster(t, 3)
+	salesTable(t, c2, 1500)
+	q2, err := NewSession(c2).Read("sales").
+		GroupBy([]string{"region"}, SumOf("total", Col("amount")), CountAll("n")).
+		Sort(0, Asc("region")).
+		Submit(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := q2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Trace() != nil || q2.Stats() != nil {
+		t.Error("untraced query exposes a trace")
+	}
+	if !strings.Contains(res2.ExplainAnalyze(), "WithTracing") {
+		t.Error("untraced ExplainAnalyze should point at WithTracing")
+	}
+	want, got := res.Rows(), res2.Rows()
+	if len(want) != len(got) {
+		t.Fatalf("traced %d rows vs untraced %d", len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Errorf("row %d col %d: %v vs %v", i, j, want[i][j], got[i][j])
+			}
+		}
 	}
 }
 

@@ -132,6 +132,16 @@ func WithShuffleCompression(on bool) Option { return engine.WithShuffleCompressi
 // after the call observe the change.
 func WithSpillCompression(on bool) Option { return engine.WithSpillCompression(on) }
 
+// WithTracing enables the per-query flight recorder (off by default).
+// Traced queries record a structured span for every unit of work — task
+// executions, partition pushes, lineage flushes, admission waits, recovery
+// rewinds and replays — surfaced through Query.Trace (Chrome trace-event
+// export), Query.Stats and Result.ExplainAnalyze. Tracing only observes:
+// results are byte-identical with it on or off, and a disabled recorder
+// costs nothing on the task hot path. Only queries submitted after the
+// call observe the change.
+func WithTracing(on bool) Option { return engine.WithTracing(on) }
+
 // ClusterConfig configures cluster construction.
 type ClusterConfig struct {
 	// Workers is the number of simulated worker machines.

@@ -21,6 +21,28 @@ type Result struct {
 // the planner.
 func (r *Result) Explain() string { return r.explain }
 
+// ExplainAnalyze returns the optimized logical plan followed by the
+// per-stage actuals recorded by the flight recorder: tasks and replays,
+// rows and bytes in and out, summed task wall-clock, and spill volume per
+// physical stage. Requires the cluster to have been configured with
+// WithTracing — without it, only the plan and a notice are returned.
+func (r *Result) ExplainAnalyze() string {
+	var b strings.Builder
+	if r.explain != "" {
+		b.WriteString(strings.TrimRight(r.explain, "\n"))
+		b.WriteString("\n\n")
+	}
+	if r.report == nil || r.report.Stages == nil {
+		b.WriteString("(no per-stage actuals: cluster was not configured with WithTracing)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "duration=%v tasks=%d replayed=%d recoveries=%d\n",
+		r.report.Duration.Round(10*time.Microsecond),
+		r.report.TasksExecuted, r.report.TasksReplayed, r.report.Recoveries)
+	b.WriteString(engine.FormatStageStats(r.report.Stages))
+	return b.String()
+}
+
 // NumRows returns the number of output rows.
 func (r *Result) NumRows() int {
 	if r.batch == nil {
