@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-concurrent bench-obs trace fmt fmt-check vet ci
+.PHONY: build test race lint bench bench-json bench-concurrent bench-obs trace fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,19 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the race-detector job (stateful operator + engine concurrency,
-## plus the concurrent-session suites: N runners on one cluster, streaming
-## cursors, cancellation, KillWorker recovery).
+## race: the race-detector job over every internal package (engine, ops,
+## spill, batch, flight, trace, gcs, metrics, tpch, lint, ...), plus the
+## public Submit/Cursor API suites in the root package.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/ops/... ./internal/metrics/...
-	$(GO) test -race -run 'TestConcurrentTPCH|TestCompressionTransparent' ./internal/tpch/
+	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestSubmit|TestAdmissionLimitPublic' .
+
+## lint: the repo-specific invariant linter (internal/lint run standalone
+## via cmd/quokka-vet): hashonce, nskey, tracegate, detrange — each
+## mechanically enforces one ROADMAP recovery invariant. The same suite
+## runs as a test in `make test` (go test ./internal/lint).
+lint:
+	$(GO) run ./cmd/quokka-vet
 
 ## bench: one iteration of every benchmark in short mode (CI smoke), plus
 ## the allocation-regression guard over the hash-path inner loops. For
@@ -66,4 +72,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet lint build test race bench

@@ -1,0 +1,51 @@
+// Command quokka-vet runs the repo's invariant linter (internal/lint)
+// standalone: every package in the module is loaded, parsed and
+// type-checked with the stdlib toolchain only, and each repo-specific
+// analyzer — hashonce, nskey, tracegate, detrange — checks one of the
+// recovery invariants from ROADMAP.md. Findings print as
+// file:line:col: [invariant] message; any finding exits 1.
+//
+// The same suite runs as a test via `go test ./internal/lint`; this
+// command exists for `make lint`, CI and editor integration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quokka/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	l, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quokka-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quokka-vet:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(l.Fset, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "quokka-vet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

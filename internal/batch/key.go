@@ -38,6 +38,20 @@ func HashKey(key []byte) uint64 {
 	return h
 }
 
+// HashString is HashKey over a string's bytes without allocating. It
+// exists so other subsystems with incidental hashing needs (GCS shard
+// striping) use THIS hash rather than hand-rolling a second one — the
+// hashonce invariant analyzer (internal/lint) rejects any fnv constants
+// or hash-package imports outside this package.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // AppendKey appends the binary key encoding of physical row r's key
 // columns to dst and returns the extended slice.
 func AppendKey(dst []byte, b *Batch, keyIdx []int, r int) []byte {

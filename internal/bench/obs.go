@@ -136,7 +136,10 @@ func (h *Harness) ObsSweep(workers int, queries []int, tracePath string) (JSONRe
 		res.Config[key+".overhead"] = ratio
 
 		rep := lastTraced.Report()
-		spans := lastTraced.Trace().Len()
+		spans := 0
+		if rec := lastTraced.Trace(); rec != nil {
+			spans = rec.Len()
+		}
 		task := rep.Histograms[metrics.TaskLatencyNS]
 		res.Config[key+".spans"] = spans
 		res.Config[key+".task_p50_us"] = float64(task.Quantile(0.5)) / 1e3

@@ -378,7 +378,7 @@ func (r *Runner) execute(ctx context.Context) error {
 func (r *Runner) sweepSpill() {
 	for _, w := range r.cl.Workers {
 		if w.Alive() {
-			w.Disk.DeletePrefix("spill/" + r.qid + "/")
+			w.Disk.DeletePrefix(spillQueryPrefix(r.qid))
 		}
 	}
 }
@@ -394,7 +394,7 @@ func (r *Runner) cleanup() {
 			continue
 		}
 		w.Flight.DropQuery(r.qid)
-		w.Disk.DeletePrefix("bk/" + r.qid + "/")
+		w.Disk.DeletePrefix(backupQueryPrefix(r.qid))
 	}
 	ns := r.keyNS()
 	r.gcsUpdate(func(tx *gcs.Txn) error {

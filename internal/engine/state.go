@@ -55,6 +55,42 @@ import (
 // keyNS returns the runner's whole GCS namespace prefix ("q/<qid>/").
 func (r *Runner) keyNS() string { return "q/" + r.qid + "/" }
 
+// Disk key schema. Worker-local disk state is namespaced per query just
+// like the GCS: spill run files under spill/<qid>/, upstream partition
+// backups under bk/<qid>/. Each prefix has exactly ONE construction site
+// below — the nskey invariant analyzer (internal/lint) fails the build if
+// a raw prefix literal appears anywhere else, so a sweep can never hit a
+// bare prefix and take another query's state with it.
+
+// spillQueryPrefix is the blessed construction site of the "spill/"
+// namespace: every spill run file of one query lives under it, and the
+// per-query teardown sweep deletes exactly this prefix.
+func spillQueryPrefix(qid string) string { return "spill/" + qid + "/" }
+
+// spillChanPrefix covers every incarnation (all epochs) of one channel's
+// spill runs; resetChannel sweeps it so a rewound channel's replacement
+// operator never reads pre-failure run files.
+func spillChanPrefix(qid string, id lineage.ChannelID) string {
+	return spillQueryPrefix(qid) + id.String() + "."
+}
+
+// spillNS is the disk-key namespace for one channel incarnation's spill
+// run files ("spill/<qid>/<id>.e<cep>"): keyed by query, channel AND
+// channel epoch, so concurrent queries' and successive incarnations'
+// files never collide.
+func spillNS(qid string, id lineage.ChannelID, cep int) string {
+	return fmt.Sprintf("%se%d", spillChanPrefix(qid, id), cep)
+}
+
+// backupQueryPrefix is the blessed construction site of the "bk/"
+// namespace: upstream partition backups, swept per query at teardown.
+func backupQueryPrefix(qid string) string { return "bk/" + qid + "/" }
+
+// backupKey locates one task's partition backup on its worker's disk.
+func backupKey(qid string, t lineage.TaskName) string {
+	return backupQueryPrefix(qid) + t.String()
+}
+
 // chanKeys holds one channel's prebuilt GCS key strings. Poll rounds
 // build keys for every channel of the plan on every snapshot refetch, so
 // the per-channel keys are formatted once at runner setup and the table

@@ -25,11 +25,19 @@ import (
 // predicates against each split's value ranges and drops splits that
 // cannot match before stage scheduling.
 
-func tableMetaKey(name string) string           { return "tbl/" + name + "/meta" }
-func tableRowsKey(name string) string           { return "tbl/" + name + "/rows" }
-func tableSchemaKey(name string) string         { return "tbl/" + name + "/schema" }
-func tableSplitKey(name string, i int) string   { return fmt.Sprintf("tbl/%s/%d", name, i) }
-func tableZoneMapKey(name string, i int) string { return fmt.Sprintf("tbl/%s/zm/%d", name, i) }
+// tablePrefix is the blessed construction site of the "tbl/" namespace
+// (nskey analyzer): every catalog key derives from it.
+func tablePrefix(name string) string { return "tbl/" + name + "/" }
+
+func tableMetaKey(name string) string   { return tablePrefix(name) + "meta" }
+func tableRowsKey(name string) string   { return tablePrefix(name) + "rows" }
+func tableSchemaKey(name string) string { return tablePrefix(name) + "schema" }
+func tableSplitKey(name string, i int) string {
+	return tablePrefix(name) + strconv.Itoa(i)
+}
+func tableZoneMapKey(name string, i int) string {
+	return tablePrefix(name) + "zm/" + strconv.Itoa(i)
+}
 
 // WriteTable stores batches as the splits of a table, without I/O cost
 // (dataset preparation is not part of the measured query). Splits must be

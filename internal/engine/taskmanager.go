@@ -451,14 +451,6 @@ func (t *taskManager) newOperator(cs *chanState) ops.Operator {
 	return op
 }
 
-// spillNS is the disk-key namespace for one channel incarnation's spill
-// run files. Everything under "spill/<qid>/" is swept at that query's seed
-// and teardown (completion, failure or cancellation);
-// "spill/<qid>/<id>." (all epochs) is swept when the channel resets.
-func spillNS(qid string, id lineage.ChannelID, cep int) string {
-	return fmt.Sprintf("spill/%s/%s.e%d", qid, id, cep)
-}
-
 // opSharesFor returns how many CPU slots an operator actually fans work on
 // a batch of the given row count out over — row-wise morsel operators run
 // small batches on a single lane, and the modelled kernel cost must not
@@ -584,7 +576,7 @@ func (t *taskManager) resetChannel(cs *chanState, meta *chanMeta) error {
 		sb.DropSpill()
 	}
 	if t.spill != nil {
-		t.w.Disk.DeletePrefix("spill/" + t.r.qid + "/" + cs.id.String() + ".")
+		t.w.Disk.DeletePrefix(spillChanPrefix(t.r.qid, cs.id))
 	}
 	cs.cep = meta.cep
 	cs.cursor = meta.cursor
@@ -994,7 +986,7 @@ func (t *taskManager) finishTask(cs *chanState, p *pendingTask, isReplay bool) (
 	// Algorithm 2's "input task" S3 re-read.
 	needBackup := t.r.cfg.FT == FTWriteAheadLineage || t.r.cfg.FT == FTCheckpoint
 	if needBackup {
-		if err := t.w.Disk.Write("bk/"+t.r.qid+"/"+task.String(), encoded); err != nil {
+		if err := t.w.Disk.Write(backupKey(t.r.qid, task), encoded); err != nil {
 			return false, err
 		}
 		t.r.count(metrics.BackupWriteBytes, int64(len(encoded)))
@@ -1360,7 +1352,7 @@ func (t *taskManager) runOneReplay(fullKey, rest string, destsRaw []byte, fromSo
 			out = b
 		}
 	} else {
-		data, err := t.w.Disk.Read("bk/" + t.r.qid + "/" + task.String())
+		data, err := t.w.Disk.Read(backupKey(t.r.qid, task))
 		if err != nil {
 			return false // disk lost; the next recovery pass reroutes
 		}

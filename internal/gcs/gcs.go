@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quokka/internal/batch"
 	"quokka/internal/metrics"
 	"quokka/internal/storage"
 )
@@ -84,14 +85,13 @@ func nsOf(key string) string {
 	return ""
 }
 
-// shardOf hashes a namespace onto its shard (fnv-1a).
+// shardOf hashes a namespace onto its shard. The mapping is transient
+// process-local striping (lock + version granularity), but it still goes
+// through the module's single blessed hash (batch.HashString) — the
+// hashonce analyzer forbids hand-rolled fnv anywhere outside
+// internal/batch.
 func shardOf(ns string) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(ns); i++ {
-		h ^= uint32(ns[i])
-		h *= 16777619
-	}
-	return int(h % numShards)
+	return int(batch.HashString(ns) % numShards)
 }
 
 // Txn is the handle passed to transaction bodies. All reads observe the

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRangeConfig configures the detrange analyzer.
+type DetRangeConfig struct {
+	// Pkgs are the determinism-critical import paths: packages whose
+	// output must be a pure deterministic function of their input.
+	Pkgs []string
+}
+
+// deterministicMarker is the escape-hatch comment: a map range annotated
+// `//lint:deterministic <why>` (same line or the line above) asserts the
+// iteration order provably cannot reach the output.
+const deterministicMarker = "//lint:deterministic"
+
+// NewDetRange builds the detrange analyzer: planning is a deterministic
+// pure function of query + catalog (WAL replay rebuilds identical
+// stages), so determinism-critical packages must not let Go's randomized
+// map iteration order reach their output. Mechanic: a `range` over a map
+// is flagged unless (a) the loop only collects keys/values into slices
+// that are sorted later in the same function, or (b) the site carries a
+// `//lint:deterministic <justification>` comment.
+func NewDetRange(cfg DetRangeConfig) *Analyzer {
+	pkgs := make(map[string]bool, len(cfg.Pkgs))
+	for _, p := range cfg.Pkgs {
+		pkgs[p] = true
+	}
+	a := &Analyzer{
+		Name: "detrange",
+		Doc:  "deterministic planning: no map-iteration order may reach plan output",
+	}
+	a.Run = func(pass *Pass) {
+		if !pkgs[pass.Pkg.Path] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			markers := markerLines(pass, f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkDetRanges(pass, fn.Body, markers)
+			}
+		}
+	}
+	return a
+}
+
+// checkDetRanges flags undisciplined map ranges in one function body;
+// fnBody is the scope searched for the collect-then-sort pattern.
+func checkDetRanges(pass *Pass, fnBody *ast.BlockStmt, markers map[int]bool) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		line := pass.Fset.Position(rs.Pos()).Line
+		if markers[line] || markers[line-1] {
+			return true
+		}
+		if collectedAndSorted(pass, rs, fnBody) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"range over map %s in a determinism-critical package — planning must be a pure deterministic function (WAL replay rebuilds identical stages); sort the keys first or annotate the loop with `%s <why order cannot reach the output>`",
+			types.ExprString(rs.X), deterministicMarker)
+		return true
+	})
+}
+
+// markerLines returns the file lines carrying a justified
+// //lint:deterministic marker; a bare marker (no justification text) is
+// reported and does not suppress.
+func markerLines(pass *Pass, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, deterministicMarker)
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				pass.Reportf(c.Pos(),
+					"bare %s marker: the escape hatch requires a justification (`%s <why order cannot reach the output>`)",
+					deterministicMarker, deterministicMarker)
+				continue
+			}
+			out[pass.Fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return out
+}
+
+// collectedAndSorted recognizes the blessed pattern: the range body only
+// appends map keys/values into local slices, and each appended slice is
+// passed to a sort call later in the same function — iteration order is
+// erased before it can reach any output.
+func collectedAndSorted(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	// Collect the slices appended to inside the loop; any other statement
+	// shape disqualifies the pattern (it could leak order).
+	appended := map[string]bool{}
+	for _, st := range rs.Body.List {
+		asg, ok := st.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return false
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || types.ExprString(asg.Lhs[0]) != types.ExprString(call.Args[0]) {
+			return false
+		}
+		appended[lhs.Name] = true
+	}
+	if len(appended) == 0 {
+		return false
+	}
+	// Every appended slice must be sorted after the loop.
+	sorted := map[string]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && appended[arg.Name] {
+			sorted[arg.Name] = true
+		}
+		return true
+	})
+	for name := range appended {
+		if !sorted[name] {
+			return false
+		}
+	}
+	return true
+}

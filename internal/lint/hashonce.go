@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+)
+
+// HashOnceConfig configures the hashonce analyzer.
+type HashOnceConfig struct {
+	// AllowedPkgs are the import paths where the hash function is allowed
+	// to live (the single blessed home of fnv).
+	AllowedPkgs []string
+}
+
+// fnv offset-basis and prime constants, 64- and 32-bit. Any of these
+// appearing as an integer literal outside the blessed package means
+// somebody is hand-rolling a second fnv — which would silently diverge
+// from the routing/operator hash identity.
+var fnvConstants = map[uint64]string{
+	14695981039346656037: "fnv-1a 64-bit offset basis",
+	1099511628211:        "fnv-1a 64-bit prime",
+	2166136261:           "fnv-1a 32-bit offset basis",
+	16777619:             "fnv-1a 32-bit prime",
+}
+
+var hashPkgs = map[string]bool{"hash/fnv": true, "hash/maphash": true}
+
+// NewHashOnce builds the hashonce analyzer: the same 64-bit hash is
+// computed once per row and shared by the router, the operator hash
+// tables and the spill partitioner — no second hash function. Mechanic:
+// outside the blessed package, importing hash/fnv or hash/maphash is
+// illegal, and so is any integer literal equal to an fnv offset basis or
+// prime (the signature of a hand-rolled fnv).
+func NewHashOnce(cfg HashOnceConfig) *Analyzer {
+	allowed := make(map[string]bool, len(cfg.AllowedPkgs))
+	for _, p := range cfg.AllowedPkgs {
+		allowed[p] = true
+	}
+	a := &Analyzer{
+		Name: "hashonce",
+		Doc:  "no second hash function: fnv lives only in the blessed hash package",
+	}
+	a.Run = func(pass *Pass) {
+		if allowed[pass.Pkg.Path] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !hashPkgs[path] {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"import of %s outside the blessed hash package — partition routing and operator key identity share ONE hash (batch.HashKeys); a second hash function breaks the \"hash computed once per row\" invariant", path)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.INT {
+					return true
+				}
+				v := constant.MakeFromLiteral(lit.Value, token.INT, 0)
+				u, exact := constant.Uint64Val(v)
+				if !exact {
+					return true
+				}
+				if name, hit := fnvConstants[u]; hit {
+					pass.Reportf(lit.Pos(),
+						"integer literal %s is the %s — hand-rolled fnv outside the blessed hash package violates the \"no second hash function\" invariant", lit.Value, name)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant check. Analyzers are pure mechanisms; the
+// repo-specific invariant encoding (which packages, which functions are
+// blessed) lives in the config structs each constructor takes, so the
+// golden-file tests can instantiate them against testdata packages.
+type Analyzer struct {
+	// Name is the invariant's short name; every diagnostic carries it.
+	Name string
+	// Doc states the invariant the analyzer enforces, in one line.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. The analyzer name is prefixed
+// automatically, so messages state the finding and the invariant only.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e in this package, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding: a position, the invariant (analyzer) name
+// and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// findings sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: fset, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// FuncRef names a package-level function or method for allowlists:
+// Name is "F" for a function, "T.F" for a method with receiver type T
+// (pointerness ignored).
+type FuncRef struct {
+	Pkg  string // import path
+	Name string
+}
+
+// funcRefOf renders the FuncRef of a declaration in pkg, or a zero ref
+// for file-scope code outside any function.
+func funcRefOf(pkgPath string, fn *ast.FuncDecl) FuncRef {
+	if fn == nil {
+		return FuncRef{}
+	}
+	name := fn.Name.Name
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if t := recvTypeName(fn.Recv.List[0].Type); t != "" {
+			name = t + "." + name
+		}
+	}
+	return FuncRef{Pkg: pkgPath, Name: name}
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// inspectFuncs walks every node of f, calling visit with the innermost
+// enclosing top-level function declaration (nil for file-scope code such
+// as var initializers). Function literals do NOT start a new scope here —
+// they belong to their enclosing declaration for allowlisting purposes.
+func inspectFuncs(f *ast.File, visit func(fn *ast.FuncDecl, n ast.Node) bool) {
+	for _, decl := range f.Decls {
+		fn, _ := decl.(*ast.FuncDecl)
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return visit(fn, n)
+		})
+	}
+}

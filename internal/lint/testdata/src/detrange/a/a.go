@@ -1,0 +1,78 @@
+// Package a exercises the detrange analyzer: in determinism-critical
+// packages, map iteration order must not reach the output — collect and
+// sort, or justify with a //lint:deterministic annotation.
+package a
+
+import (
+	"slices"
+	"sort"
+)
+
+// collectAndSort is the blessed pattern: iteration order is erased by
+// the sort before anything can observe it.
+func collectAndSort(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectAndSlicesSort uses the slices package spelling of the pattern.
+func collectAndSlicesSort(set map[int]struct{}) []int {
+	var out []int
+	for k := range set {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// justified carries the escape hatch with a reason.
+func justified(m map[string]int) int {
+	total := 0
+	//lint:deterministic integer summation is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// leak lets map order reach the returned slice.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+// unsorted collects but never sorts.
+func unsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map m"
+		out = append(out, v)
+	}
+	return out
+}
+
+// bare marker: the escape hatch requires a justification.
+func bare(m map[string]int) int {
+	n := 0
+	// want-next "bare //lint:deterministic marker"
+	//lint:deterministic
+	for range m { // want "range over map m"
+		n++
+	}
+	return n
+}
+
+// Ranging over a slice is always fine.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

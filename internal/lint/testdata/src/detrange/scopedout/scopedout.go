@@ -1,0 +1,12 @@
+// Package scopedout ranges over maps freely: it is outside the
+// analyzer's configured determinism-critical package list, so no
+// findings are expected.
+package scopedout
+
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

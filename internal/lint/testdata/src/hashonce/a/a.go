@@ -1,0 +1,41 @@
+// Package a exercises the hashonce analyzer: outside the blessed hash
+// package, importing a hash package or spelling the fnv constants (the
+// signature of a hand-rolled fnv) is an invariant violation.
+package a
+
+import (
+	"hash/fnv"     // want "import of hash/fnv"
+	"hash/maphash" // want "import of hash/maphash"
+)
+
+// Spelled constants: decimal and hex, 64- and 32-bit.
+const (
+	offset64 = 14695981039346656037 // want "fnv-1a 64-bit offset basis"
+	prime64  = 0x100000001b3        // want "fnv-1a 64-bit prime"
+	offset32 = 2166136261           // want "fnv-1a 32-bit offset basis"
+	prime32  = 16777619             // want "fnv-1a 32-bit prime"
+)
+
+// handRolled is the pattern the literal check exists to catch: a second
+// fnv implementation that would silently diverge from the blessed one.
+func handRolled(s string) uint64 {
+	h := uint64(14695981039346656037) // want "fnv-1a 64-bit offset basis"
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211 // want "fnv-1a 64-bit prime"
+	}
+	return h
+}
+
+func useImports() (uint64, uint64) {
+	f := fnv.New64a()
+	f.Write([]byte("x"))
+	var mh maphash.Hash
+	mh.WriteString("x")
+	return f.Sum64(), mh.Sum64()
+}
+
+// Unrelated large literals must not trip the detector.
+const fine = 1099511627776 // 1 TiB
+
+var _ = []uint64{offset64, prime64, offset32, prime32, fine}

@@ -1,0 +1,18 @@
+// Package allowed holds the same fnv constants as the positive fixture
+// but is configured as the blessed hash package: no findings.
+package allowed
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// HashKey is the blessed implementation site.
+func HashKey(key []byte) uint64 {
+	h := uint64(offset64)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

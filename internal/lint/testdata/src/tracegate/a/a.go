@@ -1,0 +1,104 @@
+// Package a exercises the tracegate analyzer: every *trace.Recorder
+// method call must be dominated by a `rec != nil` guard on the same
+// receiver expression in the same function.
+package a
+
+import "quokka/internal/trace"
+
+type runner struct {
+	rec *trace.Recorder
+}
+
+// Guarded: enclosing if on the same receiver.
+func guardedIf(r *runner) {
+	if r.rec != nil {
+		r.rec.Record(trace.Span{})
+	}
+}
+
+// Guarded: early return at the top of the function.
+func guardedEarlyReturn(r *runner) int {
+	if r.rec == nil {
+		return 0
+	}
+	return r.rec.Len()
+}
+
+// Guarded: the else branch of an == nil check.
+func guardedElse(r *runner) {
+	if r.rec == nil {
+		_ = 0
+	} else {
+		r.rec.Record(trace.Span{})
+	}
+}
+
+// Guarded: != nil as a conjunct of an && chain.
+func guardedConj(r *runner, on bool) {
+	if on && r.rec != nil {
+		r.rec.Record(trace.Span{})
+	}
+}
+
+// Guarded: == nil as a disjunct of an || early return.
+func guardedDisj(r *runner, off bool) {
+	if off || r.rec == nil {
+		return
+	}
+	r.rec.Record(trace.Span{})
+}
+
+// Guarded: a local variable holding the recorder, checked then used.
+func guardedLocal(get func() *trace.Recorder) int {
+	rec := get()
+	if rec == nil {
+		return 0
+	}
+	return rec.Len()
+}
+
+// Unguarded: no check at all.
+func unguarded(r *runner) {
+	r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+}
+
+// Unguarded: the guard is on a DIFFERENT receiver expression.
+func wrongRecv(r *runner, other *trace.Recorder) {
+	if other != nil {
+		r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+	}
+}
+
+// Unguarded: the check is inverted (call inside the == nil branch).
+func inverted(r *runner) {
+	if r.rec == nil {
+		r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+	}
+}
+
+// Unguarded: a guard outside a closure does not dominate the closure
+// body — the closure may run later, in a different state.
+func closureLeak(r *runner) func() {
+	if r.rec != nil {
+		return func() {
+			r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+		}
+	}
+	return nil
+}
+
+// Unguarded: an && around an == nil early return proves nothing.
+func badEarly(r *runner, on bool) {
+	if on && r.rec == nil {
+		return
+	}
+	r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+}
+
+// Unguarded: the guard must precede the call, not follow it.
+func guardAfter(r *runner) {
+	r.rec.Record(trace.Span{}) // want "unguarded r.rec.Record call"
+	if r.rec == nil {
+		return
+	}
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceGateConfig configures the tracegate analyzer.
+type TraceGateConfig struct {
+	// RecorderType is the qualified type suffix of the flight recorder
+	// ("trace.Recorder"); method calls on values of this (pointer) type
+	// are the gated sites.
+	RecorderType string
+	// ExemptPkgs may call recorder methods unguarded — the recorder's own
+	// package, whose methods are the nil-safe implementations.
+	ExemptPkgs []string
+}
+
+// NewTraceGate builds the tracegate analyzer: tracing observes, never
+// gates — the only thing an execution path may do about the recorder is
+// one `rec != nil` check (nil when tracing is off). Mechanic: every
+// method call on a *trace.Recorder value must be dominated by a nil
+// guard on that same receiver expression in the same function, either an
+// enclosing `if rec != nil { ... }` (or the else branch of `if rec ==
+// nil`), or an earlier `if rec == nil { return/panic/continue }`.
+func NewTraceGate(cfg TraceGateConfig) *Analyzer {
+	exempt := make(map[string]bool, len(cfg.ExemptPkgs))
+	for _, p := range cfg.ExemptPkgs {
+		exempt[p] = true
+	}
+	a := &Analyzer{
+		Name: "tracegate",
+		Doc:  "tracing observes, never gates: recorder calls are nil-guarded on every path",
+	}
+	a.Run = func(pass *Pass) {
+		if exempt[pass.Pkg.Path] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				walkGuarded(pass, cfg.RecorderType, decl, nil)
+			}
+		}
+	}
+	return a
+}
+
+// walkGuarded traverses n keeping the ancestor stack, checking recorder
+// method calls against the guard rules.
+func walkGuarded(pass *Pass, recType string, n ast.Node, stack []ast.Node) {
+	if n == nil {
+		return
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isRecorderMethod(pass, sel, recType) {
+			if !nilGuarded(sel.X, stack) {
+				pass.Reportf(call.Pos(),
+					"unguarded %s.%s call — tracing observes, never gates: every recorder call must be dominated by a `%s != nil` check in the same function (the recorder is nil when WithTracing is off)",
+					types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X))
+			}
+		}
+	}
+	stack = append(stack, n)
+	for _, child := range childrenOf(n) {
+		walkGuarded(pass, recType, child, stack)
+	}
+}
+
+// childrenOf returns n's direct AST children in source order.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first { // the root itself
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+func isRecorderMethod(pass *Pass, sel *ast.SelectorExpr, recType string) bool {
+	if s, ok := pass.Pkg.Info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return recvTypeMatches(pass, sel, recType)
+}
+
+// nilGuarded reports whether a use of receiver expression recv (a call
+// at the bottom of stack) is dominated by a nil guard on the textually
+// identical expression within the innermost enclosing function.
+func nilGuarded(recv ast.Expr, stack []ast.Node) bool {
+	s := types.ExprString(recv)
+	// Limit the search to the innermost function boundary: the guard
+	// must live in the same function (closures don't inherit guards —
+	// they may run later, after the receiver field was swapped).
+	lo := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			lo = i
+		}
+		if lo != 0 {
+			break
+		}
+	}
+	for i := len(stack) - 1; i >= lo; i-- {
+		child := ast.Node(nil)
+		if i+1 < len(stack) {
+			child = stack[i+1]
+		}
+		switch node := stack[i].(type) {
+		case *ast.IfStmt:
+			// `if s != nil { ...call... }` or `if s == nil {...} else { ...call... }`.
+			if child != nil && node.Body == child && condNilCheck(node.Cond, s, token.NEQ) {
+				return true
+			}
+			if child != nil && node.Else == child && condNilCheck(node.Cond, s, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if s == nil { return }` in any enclosing block
+			// dominates everything after it.
+			for _, st := range node.List {
+				if child != nil && st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if !ok || ifs.Init != nil {
+					continue
+				}
+				if condNilCheck(ifs.Cond, s, token.EQL) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condNilCheck reports whether cond guarantees `s op nil` when the
+// guarded branch is taken: for NEQ the check may sit anywhere in an `&&`
+// chain; for EQL anywhere in an `||` chain (passing the whole condition
+// falsifies every disjunct; entering the branch satisfies one).
+func condNilCheck(cond ast.Expr, s string, op token.Token) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		chain := token.LAND
+		if op == token.EQL {
+			chain = token.LOR
+		}
+		if e.Op == chain {
+			return condNilCheck(e.X, s, op) || condNilCheck(e.Y, s, op)
+		}
+		if e.Op != op {
+			return false
+		}
+		return (types.ExprString(e.X) == s && isNilIdent(e.Y)) ||
+			(types.ExprString(e.Y) == s && isNilIdent(e.X))
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block always leaves the enclosing
+// statement list: its last statement is a return, panic, or branch.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

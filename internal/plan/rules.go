@@ -534,7 +534,7 @@ func collectRequired(root *Node) map[*Node]map[string]struct{} {
 			build, probe := n.Inputs[0], n.Inputs[1]
 			need(build, n.BuildKeys...)
 			need(probe, n.ProbeKeys...)
-			for c := range req {
+			for _, c := range setToSlice(req) {
 				if probe.schema.Index(c) >= 0 {
 					need(probe, c)
 				} else if build.schema.Index(c) >= 0 {

@@ -99,17 +99,32 @@ type Trace struct {
 }
 
 // Len returns how many spans the recorder holds.
-func (t *Trace) Len() int { return t.rec.Len() }
+func (t *Trace) Len() int {
+	if t.rec == nil {
+		return 0
+	}
+	return t.rec.Len()
+}
 
 // Dropped returns how many spans were discarded because a per-worker
 // buffer filled (0 in normal runs).
-func (t *Trace) Dropped() int64 { return t.rec.Dropped() }
+func (t *Trace) Dropped() int64 {
+	if t.rec == nil {
+		return 0
+	}
+	return t.rec.Dropped()
+}
 
 // WriteJSON writes the trace in Chrome trace-event JSON, loadable in
 // Perfetto or chrome://tracing: one track per worker (plus the head node),
 // task/push spans as complete events, recovery rewinds as instants, and
 // replayed work flagged with its recovery epoch.
-func (t *Trace) WriteJSON(w io.Writer) error { return t.rec.WriteJSON(w) }
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t.rec == nil {
+		return fmt.Errorf("quokka: trace has no recorder (tracing was not enabled)")
+	}
+	return t.rec.WriteJSON(w)
+}
 
 // Cursor returns the query's streaming result cursor: final-stage batches
 // in deterministic (channel, sequence) order, delivered incrementally as
