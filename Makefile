@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json bench-concurrent bench-obs trace fmt fmt-check vet ci
+.PHONY: build test race lint bench bench-json bench-concurrent bench-obs dist-smoke trace fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,16 @@ bench-concurrent:
 bench-obs:
 	$(GO) run ./cmd/quokka-bench -exp obs -json BENCH_obs.json
 
+## dist-smoke: process mode end to end — build the quokka-worker binary,
+## run the three-process SIGKILL fault test (opt-in via QUOKKA_DIST_TEST
+## because it forks real OS processes), and regenerate BENCH_dist.json:
+## the in-memory vs process-mode wall-clock comparison on TPC-H 1/3/9,
+## with real wire bytes recorded next to the modelled shuffle volume.
+dist-smoke:
+	$(GO) build -o quokka-worker ./cmd/quokka-worker
+	QUOKKA_DIST_TEST=1 $(GO) test -run TestDistSIGKILL -v ./internal/wire/
+	$(GO) run ./cmd/quokka-bench -exp dist -worker-bin ./quokka-worker -json BENCH_dist.json
+
 ## trace: run the obs sweep and export one traced TPC-H query as Chrome
 ## trace-event JSON (load trace.json in Perfetto or chrome://tracing).
 trace:
@@ -72,4 +82,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet lint build test race bench
+ci: fmt-check vet lint build test race bench dist-smoke

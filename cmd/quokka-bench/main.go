@@ -11,8 +11,9 @@
 //	quokka-bench -exp hashpath -json BENCH_hashpath.json
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, ckpt, morsel, hashpath,
-// spill, planner, concurrent, bytes, obs, fig10a, fig10b, fig11a, fig11b,
-// all.
+// spill, planner, concurrent, bytes, obs, dist, fig10a, fig10b, fig11a,
+// fig11b, all. dist forks real quokka-worker processes and therefore only
+// runs when named explicitly — `-exp all` skips it.
 //
 // -json writes the machine-readable results of the experiments that
 // produce them (hashpath, morsel, spill, planner, concurrent, bytes) to
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|bytes|obs|fig10a|fig10b|fig11a|fig11b|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|fig9|ckpt|morsel|hashpath|spill|planner|concurrent|bytes|obs|dist|fig10a|fig10b|fig11a|fig11b|all")
 		sf        = flag.Float64("sf", 0.02, "TPC-H scale factor")
 		splitRows = flag.Int("split-rows", 512, "rows per table split")
 		timeScale = flag.Float64("timescale", 1.0, "I/O cost-model time scale")
@@ -41,6 +42,7 @@ func main() {
 		queries   = flag.String("queries", "", "comma-separated query list for fig6/fig11a (default: all 22)")
 		jsonOut   = flag.String("json", "", "write machine-readable results (JSON array) to this file")
 		traceOut  = flag.String("trace", "", "write one traced query's Chrome trace-event JSON to this file (obs experiment)")
+		workerBin = flag.String("worker-bin", "", "prebuilt quokka-worker binary for -exp dist (empty: built on demand)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -209,6 +211,23 @@ func main() {
 		jsonResults = append(jsonResults, res)
 		return nil
 	})
+	run("dist", func() error {
+		// Forks real quokka-worker OS processes (building the binary if
+		// -worker-bin is empty): opt-in only, `-exp all` skips it.
+		if *exp != "dist" {
+			return nil
+		}
+		qs := qlist
+		if *queries == "" {
+			qs = nil // DistSweep's SIGKILL-suite trio {1, 3, 9}
+		}
+		res, err := h().DistSweep(w(3), qs, *workerBin)
+		if err != nil {
+			return err
+		}
+		jsonResults = append(jsonResults, res)
+		return nil
+	})
 	run("hashpath", func() error {
 		jsonResults = append(jsonResults, bench.RunHashPath(os.Stdout, max(*repeats, 3)))
 		return nil
@@ -219,7 +238,7 @@ func main() {
 	run("fig11b", func() error { _, err := h().Fig10a(w(32)); return err })
 
 	switch *exp {
-	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "bytes", "obs", "fig10a", "fig10b", "fig11a", "fig11b", "all":
+	case "table1", "fig6", "fig7", "fig8", "fig9", "ckpt", "morsel", "hashpath", "spill", "planner", "concurrent", "bytes", "obs", "dist", "fig10a", "fig10b", "fig11a", "fig11b", "all":
 	default:
 		fatal("unknown experiment %q", *exp)
 	}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"quokka/internal/batch"
+	"quokka/internal/cluster"
+	"quokka/internal/engine"
+	"quokka/internal/metrics"
+	"quokka/internal/tpch"
+	"quokka/internal/wire"
+)
+
+// The dist experiment prices process mode: the same TPC-H queries run
+// once on the ordinary in-memory cluster and once across real
+// quokka-worker OS processes attached over loopback TCP, results verified
+// equivalent pair by pair. The headline number is the process/in-memory
+// runtime ratio — what the wire transports (frame encode, socket hops,
+// the remote GCS transaction protocol) cost on top of the same engine —
+// plus the real wire byte volume next to the modelled shuffle bytes.
+
+// DefaultDistQueries is the process-mode comparison set: the scan-
+// aggregate Q1, the join+topk Q3, and the join-heavy multi-stage Q9 —
+// the same trio the SIGKILL fault test runs.
+var DefaultDistQueries = []int{1, 3, 9}
+
+// buildWorkerBin compiles cmd/quokka-worker into dir and returns the
+// binary path. The bench tool builds it on demand so `-exp dist` works
+// from a bare checkout; `make dist-smoke` passes a prebuilt one instead.
+func buildWorkerBin(dir string) (string, error) {
+	bin := filepath.Join(dir, "quokka-worker")
+	cmd := exec.Command("go", "build", "-o", bin, "quokka/cmd/quokka-worker")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("build quokka-worker: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// distRun executes one query on the given (process-mode) cluster and
+// returns the result with the engine-reported duration.
+func distRun(cl *cluster.Cluster, q int, cfg engine.Config) (*batch.Batch, time.Duration, error) {
+	plan, err := tpch.Query(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := engine.NewRunner(cl, plan, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	out, rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, rep.Duration, nil
+}
+
+// DistSweep measures in-memory vs process-mode wall clock over the query
+// list. One head + `workers` quokka-worker processes are spawned once and
+// reused across queries (workers are long-lived in a real deployment; the
+// fork/exec cost is a cluster-start cost, not a per-query one — it is
+// reported separately as the startup row). workerBin may name a prebuilt
+// quokka-worker binary; empty builds one.
+func (h *Harness) DistSweep(workers int, queries []int, workerBin string) (JSONResult, error) {
+	if len(queries) == 0 {
+		queries = DefaultDistQueries
+	}
+	cfg := engine.DefaultConfig()
+
+	res := JSONResult{
+		Experiment: "dist",
+		Config: map[string]any{
+			"sf": h.P.SF, "workers": workers, "queries": queries,
+			"repeats": h.P.Repeats, "split_rows": h.P.SplitRows,
+		},
+		DurationsS: map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+
+	if workerBin == "" {
+		dir, err := os.MkdirTemp("", "quokka-dist-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		workerBin, err = buildWorkerBin(dir)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// The process-mode cluster: same shared table store, same cost model —
+	// only the transports differ from the in-memory leg.
+	start := time.Now()
+	cl := h.newCluster(workers)
+	srv, err := wire.NewServer(cl, "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	engine.SetRemoteExec(cl, srv)
+	for i := 0; i < workers; i++ {
+		// Empty -spill: each worker manages (and cleans) its own temp dir.
+		if err := srv.Spawn(workerBin, i, 0, 0, ""); err != nil {
+			return res, err
+		}
+	}
+	if err := srv.AwaitWorkers(workers, time.Minute); err != nil {
+		return res, err
+	}
+	res.DurationsS["startup"] = seconds(time.Since(start))
+
+	h.printf("Process mode — in-memory vs %d quokka-worker processes, SF %g, %d repeats\n",
+		workers, h.P.SF, h.P.Repeats)
+	h.printf("%-6s %10s %10s %9s\n", "query", "mem(s)", "proc(s)", "overhead")
+
+	var ratios []float64
+	for _, q := range queries {
+		var mem, proc time.Duration
+		var memOut, procOut *batch.Batch
+		for i := 0; i < h.P.Repeats; i++ {
+			// In-memory leg: a fresh default cluster per run, like every
+			// other sweep.
+			mcl := h.newCluster(workers)
+			plan, err := tpch.Query(q)
+			if err != nil {
+				return res, err
+			}
+			r, err := engine.NewRunner(mcl, plan, cfg)
+			if err != nil {
+				return res, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			out, rep, err := r.Run(ctx)
+			cancel()
+			if err != nil {
+				return res, fmt.Errorf("dist q%d in-memory: %w", q, err)
+			}
+			memOut, mem = out, mem+rep.Duration
+
+			pOut, d, err := distRun(cl, q, cfg)
+			if err != nil {
+				return res, fmt.Errorf("dist q%d process mode: %w", q, err)
+			}
+			procOut, proc = pOut, proc+d
+		}
+		mem /= time.Duration(h.P.Repeats)
+		proc /= time.Duration(h.P.Repeats)
+		// The transports must be pure transport: equivalent results (float
+		// sums within the fault suite's tolerance — partial-agg fold order
+		// follows arrival order on any multi-channel run, wire or not).
+		if err := sameResult(memOut, procOut); err != nil {
+			return res, fmt.Errorf("dist q%d: process-mode result differs from in-memory: %w", q, err)
+		}
+		ratio := float64(proc) / float64(mem)
+		ratios = append(ratios, ratio)
+		res.DurationsS[fmt.Sprintf("q%d.mem", q)] = seconds(mem)
+		res.DurationsS[fmt.Sprintf("q%d.proc", q)] = seconds(proc)
+		res.Speedup[fmt.Sprintf("q%d.proc_over_mem", q)] = ratio
+		h.printf("Q%-5d %10.3f %10.3f %8.2fx\n", q, seconds(mem), seconds(proc), ratio)
+	}
+	gm := geomean(ratios)
+	res.Speedup["geomean.proc_over_mem"] = gm
+
+	// The transport split: modelled shuffle payload vs real socket bytes.
+	wireBytes := cl.Metrics.Get(metrics.NetBytesWire)
+	modelled := cl.Metrics.Get(metrics.NetBytesModelled)
+	res.Config["net_bytes_wire"] = wireBytes
+	res.Config["net_bytes_modelled"] = modelled
+	if wireBytes == 0 {
+		return res, fmt.Errorf("dist: net.bytes.wire stayed 0 across process-mode runs")
+	}
+	h.printf("geomean overhead %.2fx; wire bytes %d (modelled shuffle %d); startup %.3fs\n",
+		gm, wireBytes, modelled, res.DurationsS["startup"])
+	return res, nil
+}

@@ -19,16 +19,31 @@ import (
 // WorkerID identifies a worker.
 type WorkerID int
 
-// Worker is one simulated machine.
+// Worker is one machine: simulated (goroutines against in-memory
+// backends) or real (an OS process attached in process mode — then
+// Flight is the head-hosted mailbox serving that process and killFn
+// delivers a real SIGKILL).
 type Worker struct {
 	ID     WorkerID
-	Flight *flight.Server
-	Disk   *storage.LocalDisk
+	Flight flight.Transport
+	Disk   storage.Disk
 
-	alive atomic.Bool
-	kill  chan struct{} // closed on Kill; task loops select on it
-	once  sync.Once
+	alive  atomic.Bool
+	kill   chan struct{} // closed on Kill; task loops select on it
+	once   sync.Once
+	killFn func() // optional: kill the real process behind this worker
 }
+
+// NewWorker builds a live worker from its parts.
+func NewWorker(id WorkerID, fl flight.Transport, disk storage.Disk) *Worker {
+	w := &Worker{ID: id, Flight: fl, Disk: disk, kill: make(chan struct{})}
+	w.alive.Store(true)
+	return w
+}
+
+// SetKillFn installs the hook Kill runs for a process-backed worker
+// (typically syscall.SIGKILL of its pid). Must be set before Kill.
+func (w *Worker) SetKillFn(fn func()) { w.killFn = fn }
 
 // Alive reports whether the worker is still up.
 func (w *Worker) Alive() bool { return w.alive.Load() }
@@ -36,11 +51,15 @@ func (w *Worker) Alive() bool { return w.alive.Load() }
 // Killed returns a channel closed when the worker dies.
 func (w *Worker) Killed() <-chan struct{} { return w.kill }
 
-// Kill simulates the machine failing: its mailbox and disk are destroyed
-// and any in-flight tasks observe the closed Killed channel. Idempotent.
+// Kill fails the machine: its mailbox and disk are destroyed, any
+// in-flight tasks observe the closed Killed channel, and a process-backed
+// worker's process is killed for real. Idempotent.
 func (w *Worker) Kill() {
 	w.once.Do(func() {
 		w.alive.Store(false)
+		if w.killFn != nil {
+			w.killFn()
+		}
 		w.Flight.Fail()
 		w.Disk.Wipe()
 		close(w.kill)
@@ -51,8 +70,8 @@ func (w *Worker) Kill() {
 // head node and the durable object store.
 type Cluster struct {
 	Workers  []*Worker
-	GCS      *gcs.Store
-	ObjStore *storage.ObjectStore
+	GCS      gcs.Backend
+	ObjStore storage.Objects
 	Cost     storage.CostModel
 	Metrics  *metrics.Collector
 
@@ -92,23 +111,21 @@ func New(opt Options) (*Cluster, error) {
 		met = &metrics.Collector{}
 	}
 	c := &Cluster{
-		GCS:      gcs.New(opt.Cost, met),
-		ObjStore: opt.ObjStore,
-		Cost:     opt.Cost,
-		Metrics:  met,
+		GCS:     gcs.New(opt.Cost, met),
+		Cost:    opt.Cost,
+		Metrics: met,
 	}
-	if c.ObjStore == nil {
+	if opt.ObjStore != nil {
+		c.ObjStore = opt.ObjStore
+	} else {
 		c.ObjStore = storage.NewObjectStore(opt.Cost, opt.Profile, met)
 	}
 	for i := 0; i < opt.Workers; i++ {
-		w := &Worker{
-			ID:     WorkerID(i),
-			Flight: flight.NewServer(opt.Cost, met),
-			Disk:   storage.NewLocalDisk(opt.Cost, met),
-			kill:   make(chan struct{}),
-		}
-		w.alive.Store(true)
-		c.Workers = append(c.Workers, w)
+		c.Workers = append(c.Workers, NewWorker(
+			WorkerID(i),
+			flight.NewServer(opt.Cost, met),
+			storage.NewLocalDisk(opt.Cost, met),
+		))
 	}
 	return c, nil
 }

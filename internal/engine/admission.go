@@ -54,6 +54,15 @@ type clusterShared struct {
 	// disabled tracing costs nothing on the task hot path).
 	tracingOn bool
 
+	// Process mode (experimental): listenAddr is the TCP address the head
+	// serves its control plane on ("" = in-memory only), transportName
+	// selects the wire transport implementation, and remoteExec — installed
+	// by the wire layer once the server is up — reroutes task-manager
+	// execution to worker processes.
+	listenAddr    string
+	transportName string
+	remoteExec    RemoteExec
+
 	// The cluster's shared group committer: ONE flusher serves every
 	// admitted query, so concurrent queries' lineage commits fold into the
 	// same GCS transactions. Refcounted — it runs only while at least one
@@ -66,7 +75,7 @@ type clusterShared struct {
 // committer returns the cluster's shared group committer, starting it on
 // first acquisition. Every runner that acquires it must call
 // committerDone after its last task-manager thread has exited.
-func (s *clusterShared) committer(store *gcs.Store) *groupCommitter {
+func (s *clusterShared) committer(store gcs.Backend) *groupCommitter {
 	s.gcMu.Lock()
 	defer s.gcMu.Unlock()
 	if s.gcRefs == 0 {

@@ -30,7 +30,7 @@ import (
 // The committer is started by the first admitted query that enables group
 // commit and stopped when the last one finishes (see clusterShared).
 type groupCommitter struct {
-	store  *gcs.Store
+	store  gcs.Backend
 	reqs   chan *commitReq
 	stopCh chan struct{}
 	done   chan struct{}
@@ -57,7 +57,7 @@ type commitReq struct {
 	resp     chan error
 }
 
-func newGroupCommitter(store *gcs.Store) *groupCommitter {
+func newGroupCommitter(store gcs.Backend) *groupCommitter {
 	g := &groupCommitter{
 		store:  store,
 		reqs:   make(chan *commitReq, 1024),

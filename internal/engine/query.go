@@ -60,6 +60,17 @@ func (q *Query) run(ctx context.Context) {
 		Histograms:    q.r.qmet.Histograms(),
 		Stages:        q.r.stageStats(),
 	}
+	// The network split is accounted at the cluster's mailboxes and
+	// sockets, which per-query collectors cannot see: modelled shuffle
+	// payload bytes vs real wire bytes (process mode). Surface both as
+	// cluster-cumulative values so a Report shows what a query's transport
+	// actually moved — 0 vs non-0 wire bytes is the in-memory/process
+	// mode tell.
+	for _, name := range []string{metrics.NetBytesModelled, metrics.NetBytesWire} {
+		if v := q.r.met.Get(name); v != 0 {
+			rep.Metrics[name] = v
+		}
+	}
 	q.mu.Lock()
 	q.err = err
 	q.report = rep

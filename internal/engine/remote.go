@@ -1,0 +1,35 @@
+package engine
+
+import "quokka/internal/cluster"
+
+// RemoteExec dispatches a query's task-manager execution to out-of-process
+// workers. When installed on a cluster (SetRemoteExec), Runner.execute
+// stops spawning local task managers: it ships each live worker the query's
+// WorkerQuerySpec and lets the worker processes run their own task-manager
+// threads against the head's wire-served GCS, flight mailboxes, object
+// store and result sink. The head keeps everything else — admission,
+// seeding, coordination, recovery, the collector, and teardown.
+type RemoteExec interface {
+	// StartQuery ships the query to every live worker process and starts
+	// their task-manager threads. The returned stop function tells the
+	// workers to stop and blocks until each live one has acknowledged
+	// (shipping its trace spans back); it must be safe to call exactly once.
+	StartQuery(r *Runner) (stop func(), err error)
+}
+
+// SetRemoteExec installs (or, with nil, removes) the cluster's remote
+// execution hook. Queries submitted afterwards observe it.
+func SetRemoteExec(cl *cluster.Cluster, rx RemoteExec) {
+	s := sharedFor(cl)
+	s.mu.Lock()
+	s.remoteExec = rx
+	s.mu.Unlock()
+}
+
+// remoteExecFor returns the installed remote execution hook, nil for
+// in-memory execution.
+func (s *clusterShared) remoteExecFor() RemoteExec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remoteExec
+}

@@ -66,6 +66,10 @@ type Runner struct {
 	spooled []bool // per stage: FTSpool persists its outputs (wide edges)
 
 	collector *collector
+	// sink receives the output stage's partitions from this runner's task
+	// managers: the collector itself in-memory, a wire client to the head
+	// inside a worker process.
+	sink      ResultSink
 	recovered int
 	failCh    chan error
 
@@ -220,6 +224,7 @@ func NewRunner(cl *cluster.Cluster, plan *Plan, cfg Config) (*Runner, error) {
 		}
 	}
 	r.collector = newCollector(out, r.par[out])
+	r.sink = collectorSink{r.collector}
 	r.buildKeys()
 	r.place = make(map[lineage.ChannelID]int)
 	r.failCh = make(chan error, 1)
@@ -335,33 +340,57 @@ func (r *Runner) execute(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// The group committer must outlive every task-manager thread: threads
-	// block inside finishTask until their flush resolves, so it is
-	// acquired before they start and released only after wg.Wait. The
-	// committer itself is cluster-shared — commits fold across every
-	// admitted query — and refcounted by clusterShared.
-	if r.flushEvery >= 0 {
-		r.gc = r.shared.committer(r.cl.GCS)
-	}
-
 	var wg sync.WaitGroup
-	for _, w := range r.cl.Workers {
-		if !w.Alive() {
-			continue
+	var stopRemote func()
+	if rx := r.shared.remoteExecFor(); rx != nil {
+		// Process mode: the task managers run inside worker processes,
+		// which commit against the head's wire-served GCS. The head keeps
+		// coordination, recovery, the collector and teardown. Each worker
+		// process runs its own group committer; the head-side one would
+		// have no clients.
+		if r.cfg.FT != FTNone && r.cfg.FT != FTWriteAheadLineage {
+			r.cleanup()
+			return fmt.Errorf("engine: process mode supports FTNone and FTWriteAheadLineage only")
 		}
-		t := newTaskManager(r, w)
-		for i := 0; i < r.cfg.ThreadsPerWorker; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				t.loop(ctx)
-			}()
+		stop, err := rx.StartQuery(r)
+		if err != nil {
+			r.cleanup()
+			return err
+		}
+		stopRemote = stop
+	} else {
+		// The group committer must outlive every task-manager thread:
+		// threads block inside finishTask until their flush resolves, so it
+		// is acquired before they start and released only after wg.Wait.
+		// The committer itself is cluster-shared — commits fold across every
+		// admitted query — and refcounted by clusterShared.
+		if r.flushEvery >= 0 {
+			r.gc = r.shared.committer(r.cl.GCS)
+		}
+		for _, w := range r.cl.Workers {
+			if !w.Alive() {
+				continue
+			}
+			t := newTaskManager(r, w)
+			for i := 0; i < r.cfg.ThreadsPerWorker; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					t.loop(ctx)
+				}()
+			}
 		}
 	}
 
 	err := r.coordinate(ctx)
 	cancel()
 	wg.Wait()
+	if stopRemote != nil {
+		// Synchronous: workers must have stopped before cleanup deletes the
+		// query's namespace, or a straggler commit would re-create keys
+		// behind the sweep.
+		stopRemote()
+	}
 	if r.gc != nil {
 		r.shared.committerDone()
 		r.gc = nil

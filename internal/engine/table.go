@@ -44,7 +44,7 @@ func tableZoneMapKey(name string, i int) string {
 // non-empty so the schema metadata can be recorded — represent an empty
 // table as one zero-row batch (both loaders already do), or the planner
 // catalog will not see the table.
-func WriteTable(store *storage.ObjectStore, name string, splits []*batch.Batch) {
+func WriteTable(store storage.Objects, name string, splits []*batch.Batch) {
 	rows := 0
 	for i, b := range splits {
 		store.PutFree(tableSplitKey(name, i), batch.EncodeCompressed(b))
@@ -62,7 +62,7 @@ func WriteTable(store *storage.ObjectStore, name string, splits []*batch.Batch) 
 // TableRowCount returns the table's total row count from the catalog
 // metadata. Metadata reads are free: planning is not part of the measured
 // query.
-func TableRowCount(store *storage.ObjectStore, name string) (int64, error) {
+func TableRowCount(store storage.Objects, name string) (int64, error) {
 	v, err := store.GetFree(tableRowsKey(name))
 	if err != nil {
 		return 0, fmt.Errorf("engine: table %q has no row-count metadata: %w", name, err)
@@ -75,7 +75,7 @@ func TableRowCount(store *storage.ObjectStore, name string) (int64, error) {
 }
 
 // TableSchema returns the table's schema from the catalog metadata.
-func TableSchema(store *storage.ObjectStore, name string) (*batch.Schema, error) {
+func TableSchema(store storage.Objects, name string) (*batch.Schema, error) {
 	v, err := store.GetFree(tableSchemaKey(name))
 	if err != nil {
 		return nil, fmt.Errorf("engine: table %q not found: %w", name, err)
@@ -88,7 +88,7 @@ func TableSchema(store *storage.ObjectStore, name string) (*batch.Schema, error)
 }
 
 // TableSplits returns the number of splits of a table.
-func TableSplits(store *storage.ObjectStore, name string) (int, error) {
+func TableSplits(store storage.Objects, name string) (int, error) {
 	v, err := store.Get(tableMetaKey(name))
 	if err != nil {
 		return 0, fmt.Errorf("engine: table %q not found: %w", name, err)
@@ -104,7 +104,7 @@ func TableSplits(store *storage.ObjectStore, name string) (int, error) {
 // split number. Tables written before zone maps existed (or stores that
 // lost the entries) return an error; planners treat that as "no stats" and
 // skip pruning. Metadata reads are free, like the rest of the catalog.
-func TableZoneMaps(store *storage.ObjectStore, name string) ([]*batch.ZoneMap, error) {
+func TableZoneMaps(store storage.Objects, name string) ([]*batch.ZoneMap, error) {
 	v, err := store.GetFree(tableMetaKey(name))
 	if err != nil {
 		return nil, fmt.Errorf("engine: table %q not found: %w", name, err)
@@ -129,7 +129,7 @@ func TableZoneMaps(store *storage.ObjectStore, name string) ([]*batch.ZoneMap, e
 }
 
 // ReadSplit reads and decodes one split, paying the object-store read cost.
-func ReadSplit(store *storage.ObjectStore, name string, i int) (*batch.Batch, error) {
+func ReadSplit(store storage.Objects, name string, i int) (*batch.Batch, error) {
 	b, _, err := ReadSplitCols(store, name, i, nil)
 	return b, err
 }
@@ -138,7 +138,7 @@ func ReadSplit(store *storage.ObjectStore, name string, i int) (*batch.Batch, er
 // all), paying the full object-store read cost — the split object still
 // moves whole — but skipping the decode of dropped column payloads.
 // skipped reports the encoded bytes whose decode was avoided.
-func ReadSplitCols(store *storage.ObjectStore, name string, i int, cols []string) (*batch.Batch, int64, error) {
+func ReadSplitCols(store storage.Objects, name string, i int, cols []string) (*batch.Batch, int64, error) {
 	v, err := store.Get(tableSplitKey(name, i))
 	if err != nil {
 		return nil, 0, fmt.Errorf("engine: split %d of table %q: %w", i, name, err)

@@ -315,6 +315,11 @@ func (t *taskManager) refreshChannels(gep int) {
 	if gep == t.gep {
 		return
 	}
+	// The epoch changed because recovery re-placed channels: drop the
+	// runner's placement cache so pushes re-resolve destinations. On the
+	// head, recovery already invalidated it; inside a worker process this
+	// is the only site that observes the change.
+	t.r.invalidatePlacement()
 	mine := make(map[lineage.ChannelID]bool)
 	t.r.gcsView(func(tx *gcs.Txn) error {
 		t.opp = txGetInt(tx, t.r.keyOpParallelism(), t.r.cfg.Parallelism)
@@ -1112,7 +1117,7 @@ func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *bat
 		// partitions carry no bytes and are delivered directly — a fetch
 		// round-trip for them would be pure overhead.
 		if t.r.cfg.DisableResultSpool || len(encoded) == 0 {
-			if !t.r.collector.deliver(task, encoded, cs.cep) {
+			if !t.r.sink.Deliver(task, encoded, cs.cep) {
 				// Cursor backpressure: the head-node buffer is full. Keep the
 				// task pending (uncommitted) and retry once the consumer pulls.
 				return errCollectorFull
@@ -1123,7 +1128,7 @@ func (t *taskManager) pushOutputs(cs *chanState, task lineage.TaskName, out *bat
 		if err := t.w.Flight.SpoolResult(t.r.qid, task, encoded, cs.cep); err != nil {
 			return err // worker dying: transient, like a failed push
 		}
-		if !t.r.collector.deliverSpooled(task, int(t.w.ID), int64(len(encoded)), cs.cep) {
+		if !t.r.sink.DeliverSpooled(task, int(t.w.ID), int64(len(encoded)), cs.cep) {
 			return errCollectorFull
 		}
 		t.r.count(metrics.HeadResultBytes, resultManifestBytes)

@@ -1,0 +1,23 @@
+package expr
+
+import "encoding/gob"
+
+// Expression trees ship between processes inside serialized plans
+// (process mode sends each worker the query's stages). Every node is a
+// plain value type with exported fields, so gob needs only the concrete
+// type registrations to move Expr interface values.
+func init() {
+	gob.Register(Col{})
+	gob.Register(Lit{})
+	gob.Register(Arith{})
+	gob.Register(ExtractYear{})
+	gob.Register(Substr{})
+	gob.Register(Cmp{})
+	gob.Register(BoolExpr{})
+	gob.Register(Not{})
+	gob.Register(InStrings{})
+	gob.Register(InInts{})
+	gob.Register(Like{})
+	gob.Register(Case{})
+	gob.Register(When{})
+}

@@ -53,6 +53,28 @@ type Partition struct {
 // channel incarnations.
 const EpochCommitted = int(^uint(0) >> 1)
 
+// Transport is one worker's view of a shuffle mailbox. Server is the
+// in-memory default; process-mode workers use a wire client that proxies
+// these calls to the mailbox the head node hosts for each worker. The
+// semantics every implementation must preserve are the ones recovery
+// leans on: pushes are idempotent within an epoch, lower-epoch (zombie)
+// pushes never replace higher-epoch slots, and every operation on a
+// failed worker's mailbox errors with ErrServerDown.
+type Transport interface {
+	Push(p Partition) error
+	ContiguousFrom(query string, dest lineage.ChannelID, input, upChannel, from int) int
+	Take(query string, dest lineage.ChannelID, input, upChannel, from, count int) ([][]byte, error)
+	Drop(query string, dest lineage.ChannelID, input, upChannel, from, count int)
+	DropBelow(query string, dest lineage.ChannelID, input, upChannel, wm int)
+	DropChannel(query string, dest lineage.ChannelID)
+	DropQuery(query string)
+	SpoolResult(query string, task lineage.TaskName, data []byte, epoch int) error
+	FetchResult(query string, task lineage.TaskName) ([]byte, error)
+	DropResult(query string, task lineage.TaskName)
+	Fail()
+	BufferedBytes() int64
+}
+
 // edgeKey identifies a consumer's view of one upstream channel within one
 // query.
 type edgeKey struct {
@@ -138,6 +160,10 @@ func (s *Server) Push(p Partition) error {
 	s.bytes += int64(len(p.Data))
 	if !p.Local {
 		s.met.Add(metrics.NetworkBytes, int64(len(p.Data)))
+		// The modelled-vs-wire split: this counter is what the COST MODEL
+		// charged as network payload; net.bytes.wire (process mode) is what
+		// real sockets moved, framing and control traffic included.
+		s.met.Add(metrics.NetBytesModelled, int64(len(p.Data)))
 		s.met.Add(metrics.NetworkPushes, 1)
 	}
 	return nil

@@ -30,6 +30,22 @@ import (
 	"quokka/internal/storage"
 )
 
+// Backend is the GCS surface the engine runs against. Store is the
+// in-memory default (the head node's real store); process-mode workers
+// use a wire client that runs each transaction interactively against the
+// head — reads are served over the connection while the head holds the
+// shard lock, writes are buffered locally and shipped at commit.
+type Backend interface {
+	UpdateNS(ns string, fn func(tx *Txn) error) error
+	UpdateMulti(nss []string, fn func(tx *Txn) error) error
+	ViewNS(ns string, fn func(tx *Txn) error) error
+	VersionNS(ns string) uint64
+	Update(fn func(tx *Txn) error) error
+	View(fn func(tx *Txn) error) error
+	Version() uint64
+	WaitChange(since uint64, timeout time.Duration) uint64
+}
+
 // numShards is the fixed shard count of the keyspace. Namespaces hash onto
 // shards; 16 is comfortably above any realistic admission limit, so
 // concurrent queries almost never share a shard lock.
@@ -103,7 +119,42 @@ type Txn struct {
 	multi  *[numShards]bool  // locked-shard mask when si == -2
 	writes map[string][]byte // nil value means delete
 	bytes  int64
+
+	// remote, when set, makes this a wire-client transaction: reads
+	// delegate to the remote head (which holds the shard lock for the
+	// transaction's duration) and writes stay buffered for shipment at
+	// commit. rerr latches the first remote read failure — Get/List have
+	// no error slot, so the client surfaces it after the body returns.
+	remote TxnOps
+	rerr   error
 }
+
+// TxnOps serves the read half of a remote transaction: Get and List
+// executed on the head inside the open transaction's lock scope.
+type TxnOps interface {
+	Get(key string) ([]byte, bool, error)
+	List(prefix string) ([]string, error)
+}
+
+// RemoteTxn builds the client half of a wire transaction. Reads go to
+// ops; writes (unless readOnly) buffer locally — the caller ships
+// Writes() to the head at commit, where they are applied through a real
+// Txn so the namespace-shard discipline is still enforced.
+func RemoteTxn(ops TxnOps, readOnly bool) *Txn {
+	tx := &Txn{si: -1, remote: ops}
+	if !readOnly {
+		tx.writes = make(map[string][]byte)
+	}
+	return tx
+}
+
+// Writes exposes a remote transaction's buffered write set (key -> value,
+// nil meaning delete) for shipment at commit.
+func (tx *Txn) Writes() map[string][]byte { return tx.writes }
+
+// RemoteErr returns the first remote read failure observed by this
+// transaction, if any.
+func (tx *Txn) RemoteErr() error { return tx.rerr }
 
 // ErrAborted is returned when a transaction body asks to abort.
 var ErrAborted = fmt.Errorf("gcs: transaction aborted")
@@ -312,6 +363,16 @@ func (tx *Txn) Get(key string) (val []byte, ok bool) {
 			return v, true
 		}
 	}
+	if tx.remote != nil {
+		v, ok, err := tx.remote.Get(key)
+		if err != nil {
+			if tx.rerr == nil {
+				tx.rerr = err
+			}
+			return nil, false
+		}
+		return v, ok
+	}
 	v, ok := tx.shardFor(key).data[key]
 	return v, ok
 }
@@ -321,7 +382,9 @@ func (tx *Txn) Put(key string, value []byte) {
 	if tx.writes == nil {
 		panic("gcs: Put inside read-only transaction")
 	}
-	tx.shardFor(key) // enforce the namespace discipline at write time
+	if tx.remote == nil {
+		tx.shardFor(key) // enforce the namespace discipline at write time
+	}
 	cp := make([]byte, len(value))
 	copy(cp, value)
 	tx.writes[key] = cp
@@ -333,7 +396,9 @@ func (tx *Txn) Delete(key string) {
 	if tx.writes == nil {
 		panic("gcs: Delete inside read-only transaction")
 	}
-	tx.shardFor(key)
+	if tx.remote == nil {
+		tx.shardFor(key)
+	}
 	tx.writes[key] = nil
 	tx.bytes += int64(len(key))
 }
@@ -344,6 +409,33 @@ func (tx *Txn) Delete(key string) {
 func (tx *Txn) List(prefix string) []string {
 	seen := make(map[string]bool)
 	var out []string
+	if tx.remote != nil {
+		keys, err := tx.remote.List(prefix)
+		if err != nil {
+			if tx.rerr == nil {
+				tx.rerr = err
+			}
+			return nil
+		}
+		for _, k := range keys {
+			if tx.writes != nil {
+				if v, written := tx.writes[k]; written && v == nil {
+					continue
+				}
+			}
+			seen[k] = true
+			out = append(out, k)
+		}
+		if tx.writes != nil {
+			for k, v := range tx.writes {
+				if v != nil && strings.HasPrefix(k, prefix) && !seen[k] {
+					out = append(out, k)
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
 	scan := func(sh *shard) {
 		for k := range sh.data {
 			if strings.HasPrefix(k, prefix) {

@@ -46,6 +46,17 @@ func DefaultAnalyzers() []*Analyzer {
 				{Pkg: "quokka/internal/engine", Name: "Runner.cleanup"},
 				{Pkg: "quokka/internal/engine", Name: "taskManager.resetChannel"},
 				{Pkg: "quokka/internal/engine", Name: "taskManager.runReplays"},
+				// Process mode: the worker-process teardown sweeps ITS disk's
+				// spill/backup namespaces of the one query it just ran
+				// (arguments built by the blessed helpers above).
+				{Pkg: "quokka/internal/engine", Name: "RunWorkerQuery"},
+				// The wire server's transaction relay executes a REMOTE
+				// caller's List: the prefix was built worker-side by the
+				// blessed helpers and arrives as opaque bytes. The relay is
+				// audited to pass it through verbatim — wire code still
+				// cannot construct namespace prefixes of its own (no wire
+				// package is blessed for any prefix literal).
+				{Pkg: "quokka/internal/wire", Name: "Server.serveTxn"},
 			},
 			SweepMethodNames: []string{"DeletePrefix"},
 			RangeMethods:     map[string]string{"List": "gcs.Txn"},

@@ -116,6 +116,22 @@ func TestGoldenNSKey(t *testing.T) {
 	})
 }
 
+func TestGoldenNSKeyWireRelay(t *testing.T) {
+	// The wire-relay configuration: the relay method is an audited sweep
+	// (its range calls execute REMOTE callers' prefixes, built by blessed
+	// helpers on the other end of the conn), the package is blessed for no
+	// prefix, and closures inside the relay attribute to it.
+	runGolden(t, "testdata/src/nskey/wire", func(pkgPath string) *Analyzer {
+		return NewNSKey(NSKeyConfig{
+			Prefixes: map[string][]FuncRef{
+				"q/": {{Pkg: "some/other/engine", Name: "keyNS"}},
+			},
+			SweepFuncs:   []FuncRef{{Pkg: pkgPath, Name: "Server.serveTxn"}},
+			RangeMethods: map[string]string{"List": "wire.Txn"},
+		})
+	})
+}
+
 func TestGoldenTraceGate(t *testing.T) {
 	runGolden(t, "testdata/src/tracegate/a", func(string) *Analyzer {
 		return NewTraceGate(TraceGateConfig{RecorderType: "trace.Recorder"})

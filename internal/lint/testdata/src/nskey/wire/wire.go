@@ -1,0 +1,42 @@
+// Package wire exercises the nskey analyzer against the wire-relay
+// pattern: the head's transaction relay (Server.serveTxn) executes a
+// remote caller's List with a prefix that arrived as opaque bytes, so the
+// relay is an audited sweep — including range calls made from closures
+// inside it. Everything else about the discipline still holds in a relay
+// package: no blessed prefix helpers live here, so every raw namespace
+// literal is a violation, and range calls outside the relay stay illegal.
+package wire
+
+// Txn mimics the GCS transaction handle; List is the pinned range scan.
+type Txn struct{}
+
+func (Txn) List(prefix string) []string { return nil }
+func (Txn) Put(k string, v []byte)      {}
+
+// Server mimics the wire server.
+type Server struct{}
+
+// serveTxn is the audited relay: the prefix it ranges over was built by a
+// blessed helper on the REMOTE side and reaches this function as opaque
+// bytes off the conn.
+func (s *Server) serveTxn(tx Txn, remotePrefix string) {
+	_ = tx.List(remotePrefix)
+	// The production relay serves List from a closure handed to the
+	// store; attribution must follow the enclosing declaration.
+	body := func() {
+		_ = tx.List(remotePrefix)
+	}
+	body()
+}
+
+// handleOp is NOT the audited relay: ranging here is illegal even with
+// the same opaque-prefix argument.
+func (s *Server) handleOp(tx Txn, remotePrefix string) {
+	_ = tx.List(remotePrefix) // want "List call outside the audited sweep functions"
+}
+
+// No wire function is blessed for any prefix literal: constructing a
+// namespace key here is a violation, relay or not.
+func (s *Server) forgeKey(tx Txn, qid string) {
+	tx.Put("q/"+qid+"/lin/0", nil) // want "raw \"q/\" namespace literal"
+}

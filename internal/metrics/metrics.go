@@ -46,10 +46,12 @@ func Tee(targets ...*Collector) *Collector {
 // Counter names used across the engine. Keeping them centralized makes the
 // benchmark reports consistent.
 const (
-	NetworkBytes     = "network.bytes"    // shuffle traffic between workers
-	NetworkPushes    = "network.pushes"   // partition pushes
-	DiskWriteBytes   = "disk.write.bytes" // upstream backup writes
-	DiskReadBytes    = "disk.read.bytes"  // replay reads
+	NetworkBytes     = "network.bytes"      // shuffle traffic between workers
+	NetworkPushes    = "network.pushes"     // partition pushes
+	NetBytesModelled = "net.bytes.modelled" // shuffle payload bytes the cost model charged as network transfers
+	NetBytesWire     = "net.bytes.wire"     // real socket bytes moved by the process-mode wire transport (both directions)
+	DiskWriteBytes   = "disk.write.bytes"   // upstream backup writes
+	DiskReadBytes    = "disk.read.bytes"    // replay reads
 	ObjWriteBytes    = "objstore.write.bytes"
 	ObjReadBytes     = "objstore.read.bytes"
 	ObjWrites        = "objstore.writes"

@@ -130,51 +130,52 @@ type HashAgg struct {
 // implements ParallelSpec; global aggregates (empty groupBy) always run
 // serially, since every row belongs to the single group.
 func NewHashAggSpec(groupBy []string, aggs ...AggExpr) Spec {
-	return hashAggSpec{groupBy: groupBy, aggs: aggs}
+	return hashAggSpec{GroupBy: groupBy, Aggs: aggs}
 }
 
 // NewHashAggPartialSpec builds the upstream half of a partial/final
 // aggregation pair: identical to NewHashAggSpec except that a global
 // aggregate which consumed nothing emits nothing (see HashAgg.Partial).
 func NewHashAggPartialSpec(groupBy []string, aggs ...AggExpr) Spec {
-	return hashAggSpec{groupBy: groupBy, aggs: aggs, partial: true}
+	return hashAggSpec{GroupBy: groupBy, Aggs: aggs, Partial: true}
 }
 
 // NewHashAggTypedSpec is NewHashAggSpec with planner-provided output
 // types for the empty-input default row (see HashAgg.DefaultTypes).
 // defaults[i] types aggs[i].
 func NewHashAggTypedSpec(groupBy []string, defaults []batch.Type, aggs ...AggExpr) Spec {
-	return hashAggSpec{groupBy: groupBy, aggs: aggs, defaults: defaults}
+	return hashAggSpec{GroupBy: groupBy, Aggs: aggs, Defaults: defaults}
 }
 
 // hashAggSpec instantiates HashAgg operators, serial or partitioned.
+// Fields are exported so process mode can gob-serialize plans.
 type hashAggSpec struct {
-	groupBy  []string
-	aggs     []AggExpr
-	partial  bool
-	defaults []batch.Type
+	GroupBy  []string
+	Aggs     []AggExpr
+	Partial  bool
+	Defaults []batch.Type
 }
 
 // Name implements Spec.
 func (s hashAggSpec) Name() string {
-	return fmt.Sprintf("agg[by %v, %d aggs]", s.groupBy, len(s.aggs))
+	return fmt.Sprintf("agg[by %v, %d aggs]", s.GroupBy, len(s.Aggs))
 }
 
 // New implements Spec.
 func (s hashAggSpec) New(_, _ int) Operator {
-	return &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs, Partial: s.partial, DefaultTypes: s.defaults}
+	return &HashAgg{GroupBy: s.GroupBy, Aggs: s.Aggs, Partial: s.Partial, DefaultTypes: s.Defaults}
 }
 
 // NewParallel implements ParallelSpec.
 func (s hashAggSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
-	if partitions <= 1 || len(s.groupBy) == 0 {
+	if partitions <= 1 || len(s.GroupBy) == 0 {
 		return s.New(channel, channels)
 	}
 	parts := make([]*HashAgg, partitions)
 	for p := range parts {
-		parts[p] = &HashAgg{GroupBy: s.groupBy, Aggs: s.aggs}
+		parts[p] = &HashAgg{GroupBy: s.GroupBy, Aggs: s.Aggs}
 	}
-	return &parallelAgg{groupBy: s.groupBy, aggs: s.aggs, parts: parts, pool: pool}
+	return &parallelAgg{groupBy: s.GroupBy, aggs: s.Aggs, parts: parts, pool: pool}
 }
 
 // resolveKeys caches the GroupBy column resolution; recomputed only when

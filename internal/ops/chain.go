@@ -23,18 +23,19 @@ type Chain struct {
 // aggregations) instantiate partition-parallel inside the fused pipeline,
 // so morsel parallelism is not lost to operator fusion.
 func NewChainSpec(specs ...Spec) Spec {
-	return chainSpec{specs: specs}
+	return chainSpec{Specs: specs}
 }
 
 // chainSpec instantiates fused operator pipelines, serial or partitioned.
+// The field is exported so process mode can gob-serialize plans.
 type chainSpec struct {
-	specs []Spec
+	Specs []Spec
 }
 
 // Name implements Spec.
 func (s chainSpec) Name() string {
-	names := make([]string, len(s.specs))
-	for i, m := range s.specs {
+	names := make([]string, len(s.Specs))
+	for i, m := range s.Specs {
 		names[i] = m.Name()
 	}
 	return "chain[" + strings.Join(names, " -> ") + "]"
@@ -42,8 +43,8 @@ func (s chainSpec) Name() string {
 
 // New implements Spec.
 func (s chainSpec) New(channel, channels int) Operator {
-	ops := make([]Operator, len(s.specs))
-	for i, m := range s.specs {
+	ops := make([]Operator, len(s.Specs))
+	for i, m := range s.Specs {
 		ops[i] = m.New(channel, channels)
 	}
 	return &Chain{Ops: ops}
@@ -51,8 +52,8 @@ func (s chainSpec) New(channel, channels int) Operator {
 
 // NewParallel implements ParallelSpec.
 func (s chainSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
-	ops := make([]Operator, len(s.specs))
-	for i, m := range s.specs {
+	ops := make([]Operator, len(s.Specs))
+	for i, m := range s.Specs {
 		if ps, ok := m.(ParallelSpec); ok {
 			ops[i] = ps.NewParallel(channel, channels, partitions, pool)
 		} else {

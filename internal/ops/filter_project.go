@@ -37,10 +37,16 @@ const (
 // NewFilterSpec builds a Spec for a Filter with the given predicate. The
 // returned spec implements ParallelSpec via row-range morsels.
 func NewFilterSpec(pred expr.Expr) Spec {
-	return rowwiseSpec{
-		label:   fmt.Sprintf("filter[%s]", pred),
-		factory: func() Operator { return &Filter{Pred: pred} },
-	}
+	return filterSpec{Pred: pred}
+}
+
+// filterSpec is a data-only Spec (serializable for process mode).
+type filterSpec struct{ Pred expr.Expr }
+
+func (s filterSpec) Name() string          { return fmt.Sprintf("filter[%s]", s.Pred) }
+func (s filterSpec) New(_, _ int) Operator { return &Filter{Pred: s.Pred} }
+func (s filterSpec) NewParallel(_, _, partitions int, pool *Pool) Operator {
+	return rowwiseParallel(partitions, pool, func() Operator { return &Filter{Pred: s.Pred} })
 }
 
 // Consume implements Operator.
@@ -124,10 +130,16 @@ type Project struct {
 // NewProjectSpec builds a Spec for a Project. The returned spec implements
 // ParallelSpec via row-range morsels.
 func NewProjectSpec(exprs ...NamedExpr) Spec {
-	return rowwiseSpec{
-		label:   fmt.Sprintf("project[%d cols]", len(exprs)),
-		factory: func() Operator { return &Project{Exprs: exprs} },
-	}
+	return projectSpec{Exprs: exprs}
+}
+
+// projectSpec is a data-only Spec (serializable for process mode).
+type projectSpec struct{ Exprs []NamedExpr }
+
+func (s projectSpec) Name() string          { return fmt.Sprintf("project[%d cols]", len(s.Exprs)) }
+func (s projectSpec) New(_, _ int) Operator { return &Project{Exprs: s.Exprs} }
+func (s projectSpec) NewParallel(_, _, partitions int, pool *Pool) Operator {
+	return rowwiseParallel(partitions, pool, func() Operator { return &Project{Exprs: s.Exprs} })
 }
 
 // Consume implements Operator.
@@ -180,14 +192,28 @@ type FilterProject struct {
 
 // NewFilterProjectSpec builds a Spec for a fused filter+project.
 func NewFilterProjectSpec(pred expr.Expr, exprs ...NamedExpr) Spec {
-	label := "map"
-	if pred != nil {
-		label = fmt.Sprintf("map[%s]", pred)
+	return filterProjectSpec{Pred: pred, Exprs: exprs}
+}
+
+// filterProjectSpec is a data-only Spec (serializable for process mode).
+type filterProjectSpec struct {
+	Pred  expr.Expr
+	Exprs []NamedExpr
+}
+
+func (s filterProjectSpec) Name() string {
+	if s.Pred != nil {
+		return fmt.Sprintf("map[%s]", s.Pred)
 	}
-	return rowwiseSpec{
-		label:   label,
-		factory: func() Operator { return &FilterProject{Pred: pred, Exprs: exprs} },
-	}
+	return "map"
+}
+func (s filterProjectSpec) New(_, _ int) Operator {
+	return &FilterProject{Pred: s.Pred, Exprs: s.Exprs}
+}
+func (s filterProjectSpec) NewParallel(_, _, partitions int, pool *Pool) Operator {
+	return rowwiseParallel(partitions, pool, func() Operator {
+		return &FilterProject{Pred: s.Pred, Exprs: s.Exprs}
+	})
 }
 
 // Consume implements Operator.
@@ -221,11 +247,14 @@ type Limit struct {
 
 // NewLimitSpec builds a Spec for Limit n.
 func NewLimitSpec(n int) Spec {
-	return SpecFunc{
-		Label:   fmt.Sprintf("limit[%d]", n),
-		Factory: func(_, _ int) Operator { return &Limit{N: n} },
-	}
+	return limitSpec{N: n}
 }
+
+// limitSpec is a data-only Spec (serializable for process mode).
+type limitSpec struct{ N int }
+
+func (s limitSpec) Name() string          { return fmt.Sprintf("limit[%d]", s.N) }
+func (s limitSpec) New(_, _ int) Operator { return &Limit{N: s.N} }
 
 // Consume implements Operator.
 func (l *Limit) Consume(_ int, b *batch.Batch) ([]*batch.Batch, error) {

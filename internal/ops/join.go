@@ -95,24 +95,25 @@ func NewHashJoinSpec(t JoinType, buildKeys, probeKeys []string) Spec {
 	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
 		panic("ops: join key lists must be equal length and non-empty")
 	}
-	return hashJoinSpec{typ: t, buildKeys: buildKeys, probeKeys: probeKeys}
+	return hashJoinSpec{Typ: t, BuildKeys: buildKeys, ProbeKeys: probeKeys}
 }
 
 // hashJoinSpec instantiates HashJoin operators, serial or partitioned.
+// Fields are exported so process mode can gob-serialize plans.
 type hashJoinSpec struct {
-	typ       JoinType
-	buildKeys []string
-	probeKeys []string
+	Typ       JoinType
+	BuildKeys []string
+	ProbeKeys []string
 }
 
 // Name implements Spec.
 func (s hashJoinSpec) Name() string {
-	return fmt.Sprintf("join[%s on %v=%v]", s.typ, s.buildKeys, s.probeKeys)
+	return fmt.Sprintf("join[%s on %v=%v]", s.Typ, s.BuildKeys, s.ProbeKeys)
 }
 
 // New implements Spec.
 func (s hashJoinSpec) New(_, _ int) Operator {
-	return &HashJoin{Type: s.typ, BuildKeys: s.buildKeys, ProbeKeys: s.probeKeys}
+	return &HashJoin{Type: s.Typ, BuildKeys: s.BuildKeys, ProbeKeys: s.ProbeKeys}
 }
 
 // NewParallel implements ParallelSpec.
@@ -122,10 +123,10 @@ func (s hashJoinSpec) NewParallel(channel, channels, partitions int, pool *Pool)
 	}
 	parts := make([]*HashJoin, partitions)
 	for p := range parts {
-		parts[p] = &HashJoin{Type: s.typ, BuildKeys: s.buildKeys, ProbeKeys: s.probeKeys}
+		parts[p] = &HashJoin{Type: s.Typ, BuildKeys: s.BuildKeys, ProbeKeys: s.ProbeKeys}
 	}
 	return &parallelJoin{
-		typ: s.typ, buildKeys: s.buildKeys, probeKeys: s.probeKeys,
+		typ: s.Typ, buildKeys: s.BuildKeys, probeKeys: s.ProbeKeys,
 		parts: parts, pool: pool,
 	}
 }

@@ -205,12 +205,19 @@ func (s rowwiseSpec) New(_, _ int) Operator { return s.factory() }
 
 // NewParallel implements ParallelSpec.
 func (s rowwiseSpec) NewParallel(channel, channels, partitions int, pool *Pool) Operator {
+	return rowwiseParallel(partitions, pool, s.factory)
+}
+
+// rowwiseParallel instantiates a stateless row-wise operator across
+// row-range morsel lanes (serial below two partitions). Shared by every
+// rowwise spec, closure-based or data-only.
+func rowwiseParallel(partitions int, pool *Pool, factory func() Operator) Operator {
 	if partitions <= 1 {
-		return s.factory()
+		return factory()
 	}
 	parts := make([]Operator, partitions)
 	for i := range parts {
-		parts[i] = s.factory()
+		parts[i] = factory()
 	}
 	return &morselOp{parts: parts, pool: pool}
 }

@@ -40,19 +40,28 @@ type Sort struct {
 
 // NewSortSpec builds a Spec for a full sort.
 func NewSortSpec(keys ...SortKey) Spec {
-	return SpecFunc{
-		Label:   fmt.Sprintf("sort[%s]", keyLabel(keys)),
-		Factory: func(_, _ int) Operator { return &Sort{Keys: keys} },
-	}
+	return sortSpec{Keys: keys}
 }
+
+// sortSpec is a data-only Spec (serializable for process mode).
+type sortSpec struct{ Keys []SortKey }
+
+func (s sortSpec) Name() string          { return fmt.Sprintf("sort[%s]", keyLabel(s.Keys)) }
+func (s sortSpec) New(_, _ int) Operator { return &Sort{Keys: s.Keys} }
 
 // NewTopKSpec builds a Spec for sort-with-limit (ORDER BY ... LIMIT k).
 func NewTopKSpec(k int, keys ...SortKey) Spec {
-	return SpecFunc{
-		Label:   fmt.Sprintf("topk[%d, %s]", k, keyLabel(keys)),
-		Factory: func(_, _ int) Operator { return &Sort{Keys: keys, Limit: k} },
-	}
+	return topKSpec{K: k, Keys: keys}
 }
+
+// topKSpec is a data-only Spec (serializable for process mode).
+type topKSpec struct {
+	K    int
+	Keys []SortKey
+}
+
+func (s topKSpec) Name() string          { return fmt.Sprintf("topk[%d, %s]", s.K, keyLabel(s.Keys)) }
+func (s topKSpec) New(_, _ int) Operator { return &Sort{Keys: s.Keys, Limit: s.K} }
 
 func keyLabel(keys []SortKey) string {
 	parts := make([]string, len(keys))

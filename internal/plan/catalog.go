@@ -11,11 +11,11 @@ import (
 // splits). Metadata reads are free — planning is not part of the measured
 // query.
 type storeCatalog struct {
-	store *storage.ObjectStore
+	store storage.Objects
 }
 
 // NewStoreCatalog returns a Catalog over the tables of an object store.
-func NewStoreCatalog(store *storage.ObjectStore) Catalog {
+func NewStoreCatalog(store storage.Objects) Catalog {
 	return storeCatalog{store: store}
 }
 

@@ -189,7 +189,7 @@ func (a *Accountant) bumpPeak(cur int64) {
 // I/O is charged on the same calibrated cost model as upstream backup),
 // the shared accountant, metrics, and the partition fan-out.
 type Context struct {
-	disk  *storage.LocalDisk
+	disk  storage.Disk
 	acct  *Accountant
 	met   *metrics.Collector
 	parts int
@@ -207,7 +207,7 @@ type Context struct {
 func (c *Context) SetCompression(on bool) { c.compress = on }
 
 // NewContext creates a worker spill context. parts must be a power of two.
-func NewContext(disk *storage.LocalDisk, acct *Accountant, met *metrics.Collector, parts int) *Context {
+func NewContext(disk storage.Disk, acct *Accountant, met *metrics.Collector, parts int) *Context {
 	if parts <= 1 || parts&(parts-1) != 0 {
 		panic(fmt.Sprintf("spill: partitions must be a power of two > 1, got %d", parts))
 	}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"quokka/internal/metrics"
+)
+
+// DirDisk is a Disk backed by a real directory — the spill/backup drive of
+// a quokka-worker process. Keys are flat strings (they contain '/' and
+// arbitrary bytes), so each key maps to one file whose name is the
+// base64url encoding of the key; prefix operations decode names back.
+// No modelled cost is applied: the I/O is real, so wall-clock measures it.
+type DirDisk struct {
+	dir string
+	met *metrics.Collector
+
+	mu    sync.RWMutex
+	wiped bool
+}
+
+// NewDirDisk creates (if needed) and opens dir as a disk. Pre-existing
+// files from a previous incarnation are removed: a restarted worker
+// process starts with the empty drive a replacement spot instance has.
+func NewDirDisk(dir string, met *metrics.Collector) (*DirDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: dirdisk %s: %w", dir, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: dirdisk %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		os.Remove(filepath.Join(dir, e.Name()))
+	}
+	return &DirDisk{dir: dir, met: met}, nil
+}
+
+func (d *DirDisk) path(key string) string {
+	return filepath.Join(d.dir, base64.RawURLEncoding.EncodeToString([]byte(key)))
+}
+
+// keys returns every stored key (decoded file names), unsorted.
+func (d *DirDisk) keys() []string {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		b, err := base64.RawURLEncoding.DecodeString(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// Write stores value under key.
+func (d *DirDisk) Write(key string, value []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return ErrWiped
+	}
+	if err := os.WriteFile(d.path(key), value, 0o644); err != nil {
+		return fmt.Errorf("storage: dirdisk write %q: %w", key, err)
+	}
+	d.met.Add(metrics.DiskWriteBytes, int64(len(value)))
+	return nil
+}
+
+// Read returns the value stored under key.
+func (d *DirDisk) Read(key string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return nil, ErrWiped
+	}
+	v, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("storage: disk key %q not found", key)
+	}
+	d.met.Add(metrics.DiskReadBytes, int64(len(v)))
+	return v, nil
+}
+
+// Has reports whether key exists.
+func (d *DirDisk) Has(key string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return false
+	}
+	_, err := os.Stat(d.path(key))
+	return err == nil
+}
+
+// Delete removes a key; absent keys are ignored.
+func (d *DirDisk) Delete(key string) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	os.Remove(d.path(key))
+}
+
+// DeletePrefix removes every key with the given prefix and returns the
+// number of payload bytes freed.
+func (d *DirDisk) DeletePrefix(prefix string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var freed int64
+	for _, k := range d.keys() {
+		if strings.HasPrefix(k, prefix) {
+			p := d.path(k)
+			if fi, err := os.Stat(p); err == nil {
+				freed += fi.Size()
+			}
+			os.Remove(p)
+		}
+	}
+	return freed
+}
+
+// UsedBytesPrefix returns the total payload size under keys with the
+// given prefix.
+func (d *DirDisk) UsedBytesPrefix(prefix string) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, k := range d.keys() {
+		if strings.HasPrefix(k, prefix) {
+			if fi, err := os.Stat(d.path(k)); err == nil {
+				n += fi.Size()
+			}
+		}
+	}
+	return n
+}
+
+// List returns the sorted keys with the given prefix.
+func (d *DirDisk) List(prefix string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wiped {
+		return nil
+	}
+	var out []string
+	for _, k := range d.keys() {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Wipe marks the disk lost and removes its contents.
+func (d *DirDisk) Wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wiped = true
+	for _, k := range d.keys() {
+		os.Remove(d.path(k))
+	}
+}
+
+// UsedBytes returns the total stored payload size.
+func (d *DirDisk) UsedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, k := range d.keys() {
+		if fi, err := os.Stat(d.path(k)); err == nil {
+			n += fi.Size()
+		}
+	}
+	return n
+}

@@ -9,6 +9,23 @@ import (
 	"quokka/internal/metrics"
 )
 
+// Disk is one worker's instance-attached drive: the substrate for the
+// paper's "upstream backup" of task outputs and for spill runs. Contents
+// are volatile — Wipe models losing the machine. LocalDisk is the
+// in-memory default; DirDisk backs a real quokka-worker process with an
+// actual directory.
+type Disk interface {
+	Write(key string, value []byte) error
+	Read(key string) ([]byte, error)
+	Has(key string) bool
+	Delete(key string)
+	DeletePrefix(prefix string) int64
+	UsedBytesPrefix(prefix string) int64
+	List(prefix string) []string
+	Wipe()
+	UsedBytes() int64
+}
+
 // LocalDisk simulates a worker's instance-attached NVMe drive. Contents
 // are volatile: when the worker fails, Wipe destroys everything, exactly
 // like losing a spot instance. This is the substrate for the paper's

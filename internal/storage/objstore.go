@@ -26,6 +26,21 @@ func (p Profile) String() string {
 	return "s3"
 }
 
+// Objects is durable shared storage (the S3/HDFS role). Tables and
+// spooled/checkpointed state live behind it; it survives worker failures.
+// ObjectStore is the in-memory default; process-mode workers use a wire
+// client that proxies these calls to the head.
+type Objects interface {
+	Put(key string, value []byte) error
+	PutFree(key string, value []byte)
+	Get(key string) ([]byte, error)
+	GetFree(key string) ([]byte, error)
+	Has(key string) bool
+	Delete(key string)
+	List(prefix string) []string
+	Size(key string) int64
+}
+
 // ObjectStore simulates durable shared storage (S3 or HDFS). It survives
 // worker failures. Input tables live here, and the spooling/checkpointing
 // fault-tolerance baselines write here — which is exactly why they are

@@ -1,0 +1,422 @@
+package wire
+
+// The backend conformance suite: the SAME assertions run against the
+// in-memory backends (gcs.Store, flight.Server, storage.ObjectStore) and
+// against the wire clients talking to a head server over loopback TCP.
+// Process mode is only sound if both implementations agree on the
+// semantics recovery leans on — idempotent pushes, zombie-epoch fencing,
+// ErrServerDown after failure, transactional read-your-writes, abort
+// identity — so the suite is the contract and both must pass it.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"quokka/internal/cluster"
+	"quokka/internal/flight"
+	"quokka/internal/gcs"
+	"quokka/internal/lineage"
+	"quokka/internal/metrics"
+	"quokka/internal/storage"
+)
+
+// backends is one implementation under test.
+type backends struct {
+	gcs gcs.Backend
+	fl  func(i int) flight.Transport
+	obj storage.Objects
+	// failWorker fails worker i's mailbox at the authoritative end (the
+	// in-memory server itself, or the head-hosted server behind the wire).
+	failWorker func(i int)
+}
+
+func memBackends(t *testing.T) *backends {
+	t.Helper()
+	met := &metrics.Collector{}
+	cost := storage.CostModel{}
+	servers := []*flight.Server{flight.NewServer(cost, met), flight.NewServer(cost, met)}
+	return &backends{
+		gcs:        gcs.New(cost, met),
+		fl:         func(i int) flight.Transport { return servers[i] },
+		obj:        storage.NewObjectStore(cost, storage.ProfileS3, met),
+		failWorker: func(i int) { servers[i].Fail() },
+	}
+}
+
+func wireBackends(t *testing.T) *backends {
+	t.Helper()
+	cl, err := cluster.New(cluster.Options{Workers: 2, Cost: storage.CostModel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(cl, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	p := newPool(srv.Addr())
+	t.Cleanup(p.close)
+	clients := []flight.Transport{
+		&flightClient{p: p, worker: 0},
+		&flightClient{p: p, worker: 1},
+	}
+	return &backends{
+		gcs:        &gcsClient{p: p},
+		fl:         func(i int) flight.Transport { return clients[i] },
+		obj:        &objClient{p: p},
+		failWorker: func(i int) { cl.Workers[i].Flight.Fail() },
+	}
+}
+
+func TestConformance(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func(*testing.T) *backends
+	}{
+		{"memory", memBackends},
+		{"wire", wireBackends},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			t.Run("gcs", func(t *testing.T) { gcsConformance(t, impl.mk(t)) })
+			t.Run("flight", func(t *testing.T) { flightConformance(t, impl.mk(t)) })
+			t.Run("objstore", func(t *testing.T) { objConformance(t, impl.mk(t)) })
+			t.Run("failure", func(t *testing.T) { failureConformance(t, impl.mk(t)) })
+		})
+	}
+}
+
+// nsKey builds a test key inside namespace ns. (The production "q/<qid>/"
+// keyspace is built by the engine's blessed helpers; the conformance
+// suite uses its own prefix-free namespace so the shard mapper treats all
+// keys as one namespace "".)
+func nsKey(part string) string { return "conf-" + part }
+
+func gcsConformance(t *testing.T, b *backends) {
+	g := b.gcs
+	ns := "" // prefix-free keys all map to the "" namespace shard
+
+	// Write, read-your-writes inside the txn, then visibility after commit.
+	err := g.UpdateNS(ns, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("a"), []byte("1"))
+		tx.Put(nsKey("b"), []byte("2"))
+		if v, ok := tx.Get(nsKey("a")); !ok || string(v) != "1" {
+			return fmt.Errorf("read-your-writes: got %q ok=%v", v, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	err = g.ViewNS(ns, func(tx *gcs.Txn) error {
+		if v, ok := tx.Get(nsKey("a")); !ok || string(v) != "1" {
+			return fmt.Errorf("committed value: got %q ok=%v", v, ok)
+		}
+		if _, ok := tx.Get(nsKey("missing")); ok {
+			return fmt.Errorf("absent key reported present")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+
+	// List reflects committed state merged with uncommitted writes and
+	// deletes, sorted.
+	err = g.UpdateNS(ns, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("c"), []byte("3"))
+		tx.Delete(nsKey("a"))
+		got := tx.List(nsKey(""))
+		want := []string{nsKey("b"), nsKey("c")}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("list = %v, want %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("list txn: %v", err)
+	}
+
+	// A body error aborts: no effects, and the error comes back with its
+	// identity intact (the engine compares against gcs.ErrAborted).
+	err = g.UpdateNS(ns, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("doomed"), []byte("x"))
+		return gcs.ErrAborted
+	})
+	if !errors.Is(err, gcs.ErrAborted) {
+		t.Fatalf("abort error identity lost: %v", err)
+	}
+	g.ViewNS(ns, func(tx *gcs.Txn) error {
+		if _, ok := tx.Get(nsKey("doomed")); ok {
+			t.Errorf("aborted write visible")
+		}
+		return nil
+	})
+
+	// Deletes commit.
+	g.ViewNS(ns, func(tx *gcs.Txn) error {
+		if _, ok := tx.Get(nsKey("a")); ok {
+			t.Errorf("deleted key still present")
+		}
+		return nil
+	})
+
+	// UpdateMulti spans namespaces atomically.
+	err = g.UpdateMulti([]string{ns}, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("m1"), []byte("x"))
+		tx.Put(nsKey("m2"), []byte("y"))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+
+	// Global Update/View see everything.
+	err = g.Update(func(tx *gcs.Txn) error {
+		if _, ok := tx.Get(nsKey("m1")); !ok {
+			return fmt.Errorf("global view missed m1")
+		}
+		tx.Put(nsKey("g"), []byte("z"))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("global update: %v", err)
+	}
+	if err := g.View(func(tx *gcs.Txn) error {
+		if _, ok := tx.Get(nsKey("g")); !ok {
+			return fmt.Errorf("global write invisible")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("global view: %v", err)
+	}
+
+	// Version advances on commit; VersionNS tracks the namespace's shard.
+	v0 := g.Version()
+	nsv0 := g.VersionNS(ns)
+	if err := g.UpdateNS(ns, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("v"), []byte("1"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() <= v0 {
+		t.Errorf("Version did not advance: %d -> %d", v0, g.Version())
+	}
+	if g.VersionNS(ns) <= nsv0 {
+		t.Errorf("VersionNS did not advance: %d -> %d", nsv0, g.VersionNS(ns))
+	}
+
+	// WaitChange returns promptly once the version moves past since...
+	done := make(chan uint64, 1)
+	since := g.Version()
+	go func() { done <- g.WaitChange(since, 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	g.UpdateNS(ns, func(tx *gcs.Txn) error {
+		tx.Put(nsKey("w"), []byte("1"))
+		return nil
+	})
+	select {
+	case v := <-done:
+		if v <= since {
+			t.Errorf("WaitChange returned %d, want > %d", v, since)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("WaitChange did not wake on commit")
+	}
+	// ...and times out (returning the current version) when nothing moves.
+	v := g.WaitChange(g.Version(), 50*time.Millisecond)
+	if v != g.Version() {
+		t.Errorf("WaitChange timeout returned %d, current %d", v, g.Version())
+	}
+}
+
+func flightConformance(t *testing.T, b *backends) {
+	fl := b.fl(0)
+	q := "q-conf"
+	dest := lineage.ChannelID{Stage: 1, Channel: 0}
+	push := func(seq, epoch int, data string) error {
+		return fl.Push(flight.Partition{
+			Query: q,
+			From:  lineage.TaskName{Stage: 0, Channel: 2, Seq: seq},
+			Dest:  dest, Input: 0, Data: []byte(data), Epoch: epoch,
+		})
+	}
+
+	// Contiguity tracks pushes in order, tolerates gaps.
+	for seq, d := range []string{"p0", "p1"} {
+		if err := push(seq, 0, d); err != nil {
+			t.Fatalf("push %d: %v", seq, err)
+		}
+	}
+	if err := push(3, 0, "p3"); err != nil {
+		t.Fatal(err)
+	}
+	if n := fl.ContiguousFrom(q, dest, 0, 2, 0); n != 2 {
+		t.Fatalf("contiguous = %d, want 2 (gap at 2)", n)
+	}
+	got, err := fl.Take(q, dest, 0, 2, 0, 2)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	if string(got[0]) != "p0" || string(got[1]) != "p1" {
+		t.Fatalf("take content: %q %q", got[0], got[1])
+	}
+	// Take of a missing partition errors.
+	if _, err := fl.Take(q, dest, 0, 2, 0, 3); err == nil {
+		t.Fatalf("take across gap succeeded")
+	}
+
+	// Idempotent re-push replaces within an epoch; zombie (lower-epoch)
+	// pushes are dropped; higher epochs replace.
+	if err := push(0, 1, "p0-epoch1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := push(0, 0, "p0-zombie"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fl.Take(q, dest, 0, 2, 0, 1)
+	if string(got[0]) != "p0-epoch1" {
+		t.Fatalf("after zombie push: %q, want the epoch-1 content", got[0])
+	}
+	// EpochCommitted re-feeds are always accepted.
+	if err := push(0, flight.EpochCommitted, "p0-committed"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fl.Take(q, dest, 0, 2, 0, 1)
+	if string(got[0]) != "p0-committed" {
+		t.Fatalf("committed re-feed rejected: %q", got[0])
+	}
+
+	// BufferedBytes tracks payloads; Drop frees.
+	if bb := fl.BufferedBytes(); bb <= 0 {
+		t.Fatalf("buffered = %d, want > 0", bb)
+	}
+	fl.Drop(q, dest, 0, 2, 0, 2)
+	if n := fl.ContiguousFrom(q, dest, 0, 2, 0); n != 0 {
+		t.Fatalf("after drop contiguous = %d, want 0", n)
+	}
+
+	// DropBelow clears retransmissions under the watermark (seq 3 from the
+	// gap push above is still buffered and must survive).
+	push(1, 0, "r1")
+	push(2, 0, "r2")
+	fl.DropBelow(q, dest, 0, 2, 2)
+	if n := fl.ContiguousFrom(q, dest, 0, 2, 1); n != 0 {
+		t.Fatalf("after dropBelow contiguous from 1 = %d, want 0", n)
+	}
+	if n := fl.ContiguousFrom(q, dest, 0, 2, 2); n != 2 {
+		t.Fatalf("after dropBelow contiguous from 2 = %d, want 2", n)
+	}
+
+	// Spooled results: idempotent by task, zombie-fenced, fetchable.
+	task := lineage.TaskName{Stage: 1, Channel: 0, Seq: 7}
+	if err := fl.SpoolResult(q, task, []byte("res-e1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.SpoolResult(q, task, []byte("res-zombie"), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fl.FetchResult(q, task)
+	if err != nil || string(res) != "res-e1" {
+		t.Fatalf("fetch = %q, %v; want res-e1", res, err)
+	}
+	if _, err := fl.FetchResult(q, lineage.TaskName{Stage: 1, Channel: 0, Seq: 99}); err == nil {
+		t.Fatalf("fetch of unspooled task succeeded")
+	}
+	fl.DropResult(q, task)
+	if _, err := fl.FetchResult(q, task); err == nil {
+		t.Fatalf("fetch after DropResult succeeded")
+	}
+
+	// DropChannel and DropQuery clear without error; DropQuery also clears
+	// spooled results.
+	push(5, 0, "x")
+	fl.SpoolResult(q, task, []byte("y"), 2)
+	fl.DropChannel(q, dest)
+	if n := fl.ContiguousFrom(q, dest, 0, 2, 5); n != 0 {
+		t.Fatalf("after dropChannel contiguous = %d", n)
+	}
+	fl.DropQuery(q)
+	if _, err := fl.FetchResult(q, task); err == nil {
+		t.Fatalf("spooled result survived DropQuery")
+	}
+	if bb := fl.BufferedBytes(); bb != 0 {
+		t.Fatalf("buffered after DropQuery = %d, want 0", bb)
+	}
+
+	// Mailboxes are isolated per worker.
+	other := b.fl(1)
+	push(0, 0, "w0-only")
+	if n := other.ContiguousFrom(q, dest, 0, 2, 0); n != 0 {
+		t.Fatalf("worker 1 sees worker 0's partition")
+	}
+}
+
+func objConformance(t *testing.T, b *backends) {
+	o := b.obj
+	if err := o.Put("tbl-x/0", []byte("split0")); err != nil {
+		t.Fatal(err)
+	}
+	o.PutFree("tbl-x/1", []byte("split1"))
+	v, err := o.Get("tbl-x/0")
+	if err != nil || string(v) != "split0" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	v, err = o.GetFree("tbl-x/1")
+	if err != nil || string(v) != "split1" {
+		t.Fatalf("getfree = %q, %v", v, err)
+	}
+	if _, err := o.Get("absent"); err == nil {
+		t.Fatalf("get of absent key succeeded")
+	}
+	if !o.Has("tbl-x/0") || o.Has("absent") {
+		t.Fatalf("Has wrong")
+	}
+	if got := o.List("tbl-x/"); !reflect.DeepEqual(got, []string{"tbl-x/0", "tbl-x/1"}) {
+		t.Fatalf("list = %v", got)
+	}
+	if s := o.Size("tbl-x/0"); s != 6 {
+		t.Fatalf("size = %d, want 6", s)
+	}
+	if s := o.Size("absent"); s != -1 {
+		t.Fatalf("size(absent) = %d, want -1", s)
+	}
+	o.Delete("tbl-x/0")
+	if o.Has("tbl-x/0") {
+		t.Fatalf("deleted key still present")
+	}
+}
+
+// failureConformance checks the one semantics recovery depends on most: a
+// failed worker's mailbox errors every operation with ErrServerDown — so
+// a producer pushing to it aborts without committing (Algorithm 1).
+func failureConformance(t *testing.T, b *backends) {
+	fl := b.fl(1)
+	q := "q-fail"
+	task := lineage.TaskName{Stage: 0, Channel: 0, Seq: 0}
+	if err := fl.Push(flight.Partition{Query: q, From: task, Dest: lineage.ChannelID{Stage: 1}, Data: []byte("x")}); err != nil {
+		t.Fatalf("pre-failure push: %v", err)
+	}
+	b.failWorker(1)
+	err := fl.Push(flight.Partition{Query: q, From: task, Dest: lineage.ChannelID{Stage: 1}, Data: []byte("y")})
+	if !errors.Is(err, flight.ErrServerDown) {
+		t.Fatalf("push to failed worker: %v, want ErrServerDown", err)
+	}
+	if _, err := fl.Take(q, lineage.ChannelID{Stage: 1}, 0, 0, 0, 1); !errors.Is(err, flight.ErrServerDown) {
+		t.Fatalf("take on failed worker: %v, want ErrServerDown", err)
+	}
+	if err := fl.SpoolResult(q, task, []byte("z"), 0); !errors.Is(err, flight.ErrServerDown) {
+		t.Fatalf("spool on failed worker: %v, want ErrServerDown", err)
+	}
+	if _, err := fl.FetchResult(q, task); !errors.Is(err, flight.ErrServerDown) {
+		t.Fatalf("fetch on failed worker: %v, want ErrServerDown", err)
+	}
+	// The healthy worker is unaffected.
+	if err := b.fl(0).Push(flight.Partition{Query: q, From: task, Dest: lineage.ChannelID{Stage: 1}, Data: []byte("ok")}); err != nil {
+		t.Fatalf("healthy worker push: %v", err)
+	}
+}

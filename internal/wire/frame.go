@@ -1,0 +1,254 @@
+// Package wire is the process-mode transport: it runs the engine's three
+// head-node services — the GCS, the per-worker flight mailboxes and the
+// durable object store — plus the result sink over plain TCP, so that
+// quokka-worker OS processes can execute a query's task managers against
+// a head node in another process.
+//
+// The topology is head-relay: the head hosts every worker's mailbox (a
+// real flight.Server per worker), the GCS store and the object store;
+// workers dial the head and nothing else. That keeps every head-side
+// engine path — recovery, cursor fetches, result draining, cleanup —
+// working unchanged against head-local state, at the cost of routing
+// worker-to-worker shuffle through the head (acceptable for the scale
+// this repo targets, and exactly how the paper's head-node Redis + NVMe
+// cache behaves for lineage and spooled results).
+//
+// Framing is deliberately minimal: a four-byte header (magic, version,
+// type, flags) and a big-endian length, then the payload — which for
+// shuffle partitions is the engine's existing QBA2-compressed encoding,
+// shipped as-is. Decode errors are typed: every malformed header, length
+// overflow or truncated payload surfaces as an error wrapping ErrCorrupt,
+// never as a panic or a silent short read.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"quokka/internal/lineage"
+)
+
+// Frame layout: | 'Q' | version | type | flags | len u32 BE | payload |.
+const (
+	frameMagic   = byte('Q')
+	frameVersion = byte(1)
+	headerSize   = 8
+
+	// maxFrame bounds a frame payload (1 GiB). A length above it is
+	// corruption (or a hostile peer), not a plausible partition.
+	maxFrame = 1 << 30
+)
+
+// ErrCorrupt is the typed decode failure: every malformed frame header,
+// oversized length, truncated payload or short message body wraps it, so
+// callers can distinguish protocol corruption from I/O errors with
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// writeFrame sends one frame. Payload may be nil (length 0).
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
+	}
+	var h [headerSize]byte
+	h[0] = frameMagic
+	h[1] = frameVersion
+	h[2] = typ
+	h[3] = 0
+	binary.BigEndian.PutUint32(h[4:], uint32(len(payload)))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame. A clean EOF at a frame boundary returns
+// io.EOF; an EOF inside a header or payload is truncation and wraps
+// ErrCorrupt, as do bad magic, version or length.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if _, err := io.ReadFull(r, h[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	if h[0] != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, h[0])
+	}
+	if h[1] != frameVersion {
+		return 0, nil, fmt.Errorf("%w: protocol version %d (want %d)", ErrCorrupt, h[1], frameVersion)
+	}
+	n := binary.BigEndian.Uint32(h[4:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return h[2], nil, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload (%d of %d bytes): %v", ErrCorrupt, 0, n, err)
+	}
+	return h[2], payload, nil
+}
+
+// wbuf builds a message body. All integers are fixed-width big-endian;
+// strings and byte slices are u32-length-prefixed.
+type wbuf struct {
+	b []byte
+}
+
+func (w *wbuf) u8(v byte) { w.b = append(w.b, v) }
+
+func (w *wbuf) u32(v uint32) {
+	w.b = binary.BigEndian.AppendUint32(w.b, v)
+}
+
+func (w *wbuf) u64(v uint64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, v)
+}
+
+func (w *wbuf) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *wbuf) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *wbuf) task(t lineage.TaskName) {
+	w.i64(int64(t.Stage))
+	w.i64(int64(t.Channel))
+	w.i64(int64(t.Seq))
+}
+
+func (w *wbuf) chanID(c lineage.ChannelID) {
+	w.i64(int64(c.Stage))
+	w.i64(int64(c.Channel))
+}
+
+// rbuf decodes a message body with accumulated-error discipline: the
+// first underflow or oversized length latches an ErrCorrupt-wrapped error
+// and every later read returns zero values, so decoders read the whole
+// shape unconditionally and check err() once.
+type rbuf struct {
+	b   []byte
+	off int
+	e   error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.e == nil {
+		r.e = fmt.Errorf("%w: short message body reading %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+func (r *rbuf) take(n int, what string) []byte {
+	if r.e != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *rbuf) u8(what string) byte {
+	p := r.take(1, what)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *rbuf) u32(what string) uint32 {
+	p := r.take(4, what)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *rbuf) u64(what string) uint64 {
+	p := r.take(8, what)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *rbuf) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *rbuf) boolean(what string) bool { return r.u8(what) != 0 }
+
+func (r *rbuf) str(what string) string {
+	n := int(r.u32(what))
+	return string(r.take(n, what))
+}
+
+// bytesOwned returns a copied byte field: wire payload buffers are reused
+// by nothing today, but mailbox slots outlive the frame, so aliasing the
+// frame buffer would be a time bomb.
+func (r *rbuf) bytesOwned(what string) []byte {
+	n := int(r.u32(what))
+	p := r.take(n, what)
+	if r.e != nil {
+		return nil
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	return cp
+}
+
+func (r *rbuf) task(what string) lineage.TaskName {
+	return lineage.TaskName{
+		Stage:   int(r.i64(what)),
+		Channel: int(r.i64(what)),
+		Seq:     int(r.i64(what)),
+	}
+}
+
+func (r *rbuf) chanID(what string) lineage.ChannelID {
+	return lineage.ChannelID{
+		Stage:   int(r.i64(what)),
+		Channel: int(r.i64(what)),
+	}
+}
+
+// err returns the latched decode failure, also flagging trailing garbage:
+// a well-formed message consumes its body exactly.
+func (r *rbuf) err() error {
+	if r.e != nil {
+		return r.e
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes after message body", ErrCorrupt, len(r.b)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,959 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"quokka/internal/cluster"
+	"quokka/internal/engine"
+	"quokka/internal/flight"
+	"quokka/internal/gcs"
+	"quokka/internal/metrics"
+	"quokka/internal/trace"
+)
+
+// txnDeadline bounds how long the head lets one remote transaction hold
+// its shard lock(s) while waiting for the worker's next frame. A healthy
+// transaction exchanges frames in microseconds; hitting this means the
+// worker hung mid-transaction without dropping the conn.
+const txnDeadline = 30 * time.Second
+
+// Server is the head node's wire endpoint. It serves the cluster's GCS,
+// every worker's head-hosted flight mailbox, the object store and the
+// result sinks of registered queries to quokka-worker processes, and
+// implements engine.RemoteExec to ship queries out to them.
+type Server struct {
+	cl    *cluster.Cluster
+	store *gcs.Store
+	met   *metrics.Collector
+	ln    net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on worker attach/detach
+	ctrl    map[cluster.WorkerID]*controlConn
+	queries map[string]*engine.Runner
+	procs   []*exec.Cmd
+	closed  bool
+}
+
+// controlConn is the head's handle on one attached worker process.
+type controlConn struct {
+	wid cluster.WorkerID
+	c   net.Conn
+
+	wmu sync.Mutex // serializes frame writes (start/stop vs concurrent queries)
+
+	mu    sync.Mutex
+	acks  map[string]chan startAck     // qid -> StartQuery ack
+	stops map[string]chan []trace.Span // qid -> STOPPED spans
+	down  chan struct{}                // closed when the conn dies
+}
+
+type startAck struct {
+	ok  bool
+	msg string
+}
+
+func (cc *controlConn) send(typ byte, payload []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeFrame(cc.c, typ, payload)
+}
+
+// NewServer starts the head's wire endpoint on addr (":0" for an
+// ephemeral port). The cluster's GCS must be the in-memory store — the
+// head is where the real store lives in process mode.
+func NewServer(cl *cluster.Cluster, addr string) (*Server, error) {
+	store, ok := cl.GCS.(*gcs.Store)
+	if !ok {
+		return nil, fmt.Errorf("wire: cluster GCS is %T, need the head's in-memory *gcs.Store", cl.GCS)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		cl:      cl,
+		store:   store,
+		met:     cl.Metrics,
+		ln:      ln,
+		ctrl:    make(map[cluster.WorkerID]*controlConn),
+		queries: make(map[string]*engine.Runner),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, drops every worker conn and kills every
+// spawned worker process.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ctrl := make([]*controlConn, 0, len(s.ctrl))
+	for _, cc := range s.ctrl {
+		ctrl = append(ctrl, cc)
+	}
+	procs := s.procs
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.ln.Close()
+	for _, cc := range ctrl {
+		cc.c.Close()
+	}
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGKILL)
+		}
+	}
+	for _, cmd := range procs {
+		cmd.Wait()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serve(&countingConn{Conn: conn, met: s.met})
+	}
+}
+
+// serve dispatches one accepted conn: a first frame of mtHello makes it a
+// worker's control conn; anything else starts the op request/response
+// loop with that frame as the first request.
+func (s *Server) serve(c net.Conn) {
+	typ, payload, err := readFrame(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	if typ == mtHello {
+		s.serveControl(c, payload)
+		return
+	}
+	defer c.Close()
+	for {
+		if err := s.handleOp(c, typ, payload); err != nil {
+			return
+		}
+		typ, payload, err = readFrame(c)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+
+func (s *Server) serveControl(c net.Conn, hello []byte) {
+	r := rbuf{b: hello}
+	wid := cluster.WorkerID(r.u32("hello worker id"))
+	if err := r.err(); err != nil {
+		c.Close()
+		return
+	}
+	if int(wid) < 0 || int(wid) >= len(s.cl.Workers) {
+		c.Close()
+		return
+	}
+	cc := &controlConn{
+		wid:   wid,
+		c:     c,
+		acks:  make(map[string]chan startAck),
+		stops: make(map[string]chan []trace.Span),
+		down:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed || s.ctrl[wid] != nil || !s.cl.Worker(wid).Alive() {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.ctrl[wid] = cc
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	var h wbuf
+	h.u32(uint32(len(s.cl.Workers)))
+	h.u32(uint32(wid))
+	if cc.send(mtHelloResp, h.b) != nil {
+		s.detach(cc, true)
+		return
+	}
+
+	for {
+		typ, payload, err := readFrame(c)
+		if err != nil {
+			s.detach(cc, true)
+			return
+		}
+		pr := rbuf{b: payload}
+		switch typ {
+		case mtStartAck:
+			qid := pr.str("ack qid")
+			ok := pr.boolean("ack ok")
+			msg := pr.str("ack msg")
+			if pr.err() != nil {
+				s.detach(cc, true)
+				return
+			}
+			cc.mu.Lock()
+			ch := cc.acks[qid]
+			delete(cc.acks, qid)
+			cc.mu.Unlock()
+			if ch != nil {
+				ch <- startAck{ok: ok, msg: msg}
+			}
+		case mtStopped:
+			qid := pr.str("stopped qid")
+			spansGob := pr.bytesOwned("stopped spans")
+			if pr.err() != nil {
+				s.detach(cc, true)
+				return
+			}
+			var spans []trace.Span
+			if len(spansGob) > 0 {
+				// Best effort: a span-decode failure loses observability,
+				// never correctness.
+				_ = gob.NewDecoder(bytes.NewReader(spansGob)).Decode(&spans)
+			}
+			cc.mu.Lock()
+			ch := cc.stops[qid]
+			delete(cc.stops, qid)
+			cc.mu.Unlock()
+			if ch != nil {
+				ch <- spans
+			}
+		case mtFail:
+			qid := pr.str("fail qid")
+			msg := pr.str("fail msg")
+			if pr.err() != nil {
+				s.detach(cc, true)
+				return
+			}
+			s.mu.Lock()
+			run := s.queries[qid]
+			s.mu.Unlock()
+			if run != nil {
+				run.ReportWorkerFailure(fmt.Errorf("worker %d: %s", cc.wid, msg))
+			}
+		default:
+			s.detach(cc, true)
+			return
+		}
+	}
+}
+
+// detach drops a worker's control conn. Losing the conn outside a server
+// shutdown IS the liveness signal: the worker process died (or hung), so
+// the head kills the cluster-side worker — failing its head-hosted
+// mailbox and triggering the engine's usual rewind/replay recovery.
+func (s *Server) detach(cc *controlConn, kill bool) {
+	s.mu.Lock()
+	if s.ctrl[cc.wid] == cc {
+		delete(s.ctrl, cc.wid)
+		s.cond.Broadcast()
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	cc.c.Close()
+	close(cc.down)
+	if kill && !closed {
+		s.cl.Worker(cc.wid).Kill()
+	}
+}
+
+// AwaitWorkers blocks until n worker processes are attached (or the
+// timeout expires).
+func (s *Server) AwaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ctrl) < n {
+		if s.closed {
+			return fmt.Errorf("wire: server closed")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: %d of %d workers attached after %v", len(s.ctrl), n, timeout)
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// AttachedWorkers returns how many worker processes are currently
+// attached.
+func (s *Server) AttachedWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ctrl)
+}
+
+// Spawn launches a quokka-worker process from the given binary for worker
+// id, pointed at this server, and installs a SIGKILL hook on the cluster
+// worker: Cluster.KillWorker then delivers a real kill -9 to the process,
+// the paper's spot-preemption model made literal.
+func (s *Server) Spawn(bin string, id int, slots int, memBudget int64, spillDir string) error {
+	if id < 0 || id >= len(s.cl.Workers) {
+		return fmt.Errorf("wire: no worker %d in a %d-worker cluster", id, len(s.cl.Workers))
+	}
+	cmd := exec.Command(bin,
+		"-head", s.Addr(),
+		"-id", strconv.Itoa(id),
+		"-slots", strconv.Itoa(slots),
+		"-mem", strconv.FormatInt(memBudget, 10),
+		"-spill", spillDir,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("wire: spawn worker %d: %w", id, err)
+	}
+	proc := cmd.Process
+	s.cl.Worker(cluster.WorkerID(id)).SetKillFn(func() {
+		proc.Signal(syscall.SIGKILL)
+	})
+	s.mu.Lock()
+	s.procs = append(s.procs, cmd)
+	s.mu.Unlock()
+	go cmd.Wait() // reap; liveness is detected via the control conn
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// RemoteExec: shipping queries to the attached worker processes
+
+// StartQuery implements engine.RemoteExec: it registers the query's
+// runner (so sink and failure relays can find it), ships the spec to
+// every attached worker, and returns a stop function that halts the
+// worker-side loops and folds their trace spans back into the runner.
+func (s *Server) StartQuery(r *engine.Runner) (func(), error) {
+	spec := r.WorkerSpec()
+	data, err := spec.Encode()
+	if err != nil {
+		return nil, err
+	}
+	qid := spec.QueryID
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("wire: server closed")
+	}
+	// Every live cluster worker must have its process attached: placement
+	// spans all live workers, and a missing process would strand its
+	// channels' tasks forever.
+	var ccs []*controlConn
+	for _, w := range s.cl.Workers {
+		if !w.Alive() {
+			continue
+		}
+		cc := s.ctrl[w.ID]
+		if cc == nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("wire: worker %d is alive but no process is attached", w.ID)
+		}
+		ccs = append(ccs, cc)
+	}
+	if len(ccs) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("wire: no worker processes attached")
+	}
+	s.queries[qid] = r
+	s.mu.Unlock()
+
+	var msg wbuf
+	msg.str(qid)
+	msg.bytes(data)
+
+	started := make([]*controlConn, 0, len(ccs))
+	var startErr error
+	for _, cc := range ccs {
+		ack := make(chan startAck, 1)
+		cc.mu.Lock()
+		cc.acks[qid] = ack
+		cc.mu.Unlock()
+		if err := cc.send(mtStartQuery, msg.b); err != nil {
+			startErr = fmt.Errorf("wire: start query on worker %d: %w", cc.wid, err)
+			break
+		}
+		select {
+		case a := <-ack:
+			if !a.ok {
+				startErr = fmt.Errorf("wire: worker %d rejected query: %s", cc.wid, a.msg)
+			}
+		case <-cc.down:
+			startErr = fmt.Errorf("wire: worker %d died during query start", cc.wid)
+		case <-time.After(30 * time.Second):
+			startErr = fmt.Errorf("wire: worker %d start ack timeout", cc.wid)
+		}
+		if startErr != nil {
+			break
+		}
+		started = append(started, cc)
+	}
+
+	stop := func() {
+		var sq wbuf
+		sq.str(qid)
+		waits := make([]chan []trace.Span, len(started))
+		for i, cc := range started {
+			ch := make(chan []trace.Span, 1)
+			cc.mu.Lock()
+			cc.stops[qid] = ch
+			cc.mu.Unlock()
+			waits[i] = ch
+			if cc.send(mtStopQuery, sq.b) != nil {
+				// Conn already dead; the down channel unblocks the wait.
+				continue
+			}
+		}
+		for i, cc := range started {
+			select {
+			case spans := <-waits[i]:
+				r.MergeWorkerSpans(spans)
+			case <-cc.down:
+				// Worker died; its spans died with it.
+			case <-time.After(30 * time.Second):
+				// Hung worker: abandon its spans rather than wedge teardown.
+			}
+			cc.mu.Lock()
+			delete(cc.stops, qid)
+			cc.mu.Unlock()
+		}
+		s.mu.Lock()
+		delete(s.queries, qid)
+		s.mu.Unlock()
+	}
+
+	if startErr != nil {
+		stop()
+		return nil, startErr
+	}
+	return stop, nil
+}
+
+// ---------------------------------------------------------------------------
+// Op dispatch
+
+// handleOp serves one op-conn request. Returning an error tears the conn
+// down (the client discards it too); protocol-level failures that the
+// client can act on are sent as mtErrResp instead.
+func (s *Server) handleOp(c net.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case mtTxnBegin:
+		return s.serveTxn(c, payload)
+	case mtGCSVersionNS:
+		r := rbuf{b: payload}
+		ns := r.str("ns")
+		if err := r.err(); err != nil {
+			return err
+		}
+		var w wbuf
+		w.u64(s.store.VersionNS(ns))
+		return writeFrame(c, mtU64Resp, w.b)
+	case mtGCSVersion:
+		var w wbuf
+		w.u64(s.store.Version())
+		return writeFrame(c, mtU64Resp, w.b)
+	case mtGCSWaitChange:
+		r := rbuf{b: payload}
+		since := r.u64("since")
+		timeout := time.Duration(r.i64("timeout"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		if timeout < 0 {
+			timeout = 0
+		}
+		if timeout > maxWaitChange {
+			timeout = maxWaitChange
+		}
+		var w wbuf
+		w.u64(s.store.WaitChange(since, timeout))
+		return writeFrame(c, mtU64Resp, w.b)
+
+	case mtFlPush, mtFlContig, mtFlTake, mtFlDrop, mtFlDropBelow,
+		mtFlDropChannel, mtFlDropQuery, mtFlSpool, mtFlFetch,
+		mtFlDropResult, mtFlBuffered:
+		return s.handleFlight(c, typ, payload)
+
+	case mtObjPut:
+		r := rbuf{b: payload}
+		key := r.str("key")
+		free := r.boolean("free")
+		val := r.bytesOwned("val")
+		if err := r.err(); err != nil {
+			return err
+		}
+		if free {
+			s.cl.ObjStore.PutFree(key, val)
+			return writeFrame(c, mtOK, nil)
+		}
+		if err := s.cl.ObjStore.Put(key, val); err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		return writeFrame(c, mtOK, nil)
+	case mtObjGet:
+		r := rbuf{b: payload}
+		key := r.str("key")
+		free := r.boolean("free")
+		if err := r.err(); err != nil {
+			return err
+		}
+		var val []byte
+		var err error
+		if free {
+			val, err = s.cl.ObjStore.GetFree(key)
+		} else {
+			val, err = s.cl.ObjStore.Get(key)
+		}
+		if err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		var w wbuf
+		w.bytes(val)
+		return writeFrame(c, mtBytesResp, w.b)
+	case mtObjHas:
+		r := rbuf{b: payload}
+		key := r.str("key")
+		if err := r.err(); err != nil {
+			return err
+		}
+		var w wbuf
+		w.boolean(s.cl.ObjStore.Has(key))
+		return writeFrame(c, mtBoolResp, w.b)
+	case mtObjDelete:
+		r := rbuf{b: payload}
+		key := r.str("key")
+		if err := r.err(); err != nil {
+			return err
+		}
+		s.cl.ObjStore.Delete(key)
+		return writeFrame(c, mtOK, nil)
+	case mtObjList:
+		r := rbuf{b: payload}
+		prefix := r.str("prefix")
+		if err := r.err(); err != nil {
+			return err
+		}
+		keys := s.cl.ObjStore.List(prefix)
+		var w wbuf
+		w.u32(uint32(len(keys)))
+		for _, k := range keys {
+			w.str(k)
+		}
+		return writeFrame(c, mtStrListResp, w.b)
+	case mtObjSize:
+		r := rbuf{b: payload}
+		key := r.str("key")
+		if err := r.err(); err != nil {
+			return err
+		}
+		var w wbuf
+		w.i64(s.cl.ObjStore.Size(key))
+		return writeFrame(c, mtIntResp, w.b)
+
+	case mtSinkDeliver:
+		r := rbuf{b: payload}
+		qid := r.str("qid")
+		t := r.task("task")
+		epoch := int(r.i64("epoch"))
+		data := r.bytesOwned("data")
+		if err := r.err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		run := s.queries[qid]
+		s.mu.Unlock()
+		// An unknown query means it already finished teardown: accept-and-
+		// drop, so a straggler worker never spins on backpressure retries.
+		ok := true
+		if run != nil {
+			ok = run.DeliverResult(t, data, epoch)
+		}
+		var w wbuf
+		w.boolean(ok)
+		return writeFrame(c, mtBoolResp, w.b)
+	case mtSinkSpooled:
+		r := rbuf{b: payload}
+		qid := r.str("qid")
+		t := r.task("task")
+		worker := int(r.i64("worker"))
+		size := r.i64("size")
+		epoch := int(r.i64("epoch"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		run := s.queries[qid]
+		s.mu.Unlock()
+		ok := true
+		if run != nil {
+			ok = run.DeliverSpooledResult(t, worker, size, epoch)
+		}
+		var w wbuf
+		w.boolean(ok)
+		return writeFrame(c, mtBoolResp, w.b)
+	}
+	return fmt.Errorf("%w: unknown op 0x%02x", ErrCorrupt, typ)
+}
+
+// handleFlight serves one mailbox op against the target worker's
+// head-hosted flight server.
+func (s *Server) handleFlight(c net.Conn, typ byte, payload []byte) error {
+	r := rbuf{b: payload}
+	wid := int(r.u32("flight worker id"))
+	if r.e == nil && (wid < 0 || wid >= len(s.cl.Workers)) {
+		return fmt.Errorf("%w: flight op for unknown worker %d", ErrCorrupt, wid)
+	}
+	var tr flight.Transport
+	if r.e == nil {
+		tr = s.cl.Workers[wid].Flight
+	}
+	switch typ {
+	case mtFlPush:
+		p := flight.Partition{Query: r.str("query")}
+		p.From = r.task("from")
+		p.Dest = r.chanID("dest")
+		p.Input = int(r.i64("input"))
+		p.Epoch = int(r.i64("epoch"))
+		p.Local = r.boolean("local")
+		p.Data = r.bytesOwned("data")
+		if err := r.err(); err != nil {
+			return err
+		}
+		if err := tr.Push(p); err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		return writeFrame(c, mtOK, nil)
+	case mtFlContig:
+		query := r.str("query")
+		dest := r.chanID("dest")
+		input := int(r.i64("input"))
+		up := int(r.i64("upChannel"))
+		from := int(r.i64("from"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		var w wbuf
+		w.i64(int64(tr.ContiguousFrom(query, dest, input, up, from)))
+		return writeFrame(c, mtIntResp, w.b)
+	case mtFlTake:
+		query := r.str("query")
+		dest := r.chanID("dest")
+		input := int(r.i64("input"))
+		up := int(r.i64("upChannel"))
+		from := int(r.i64("from"))
+		count := int(r.i64("count"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		if count < 0 || count > 1<<20 {
+			return fmt.Errorf("%w: take count %d", ErrCorrupt, count)
+		}
+		parts, err := tr.Take(query, dest, input, up, from, count)
+		if err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		var w wbuf
+		w.u32(uint32(len(parts)))
+		for _, p := range parts {
+			w.bytes(p)
+		}
+		return writeFrame(c, mtBytesListResp, w.b)
+	case mtFlDrop:
+		query := r.str("query")
+		dest := r.chanID("dest")
+		input := int(r.i64("input"))
+		up := int(r.i64("upChannel"))
+		from := int(r.i64("from"))
+		count := int(r.i64("count"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		tr.Drop(query, dest, input, up, from, count)
+		return writeFrame(c, mtOK, nil)
+	case mtFlDropBelow:
+		query := r.str("query")
+		dest := r.chanID("dest")
+		input := int(r.i64("input"))
+		up := int(r.i64("upChannel"))
+		wm := int(r.i64("wm"))
+		if err := r.err(); err != nil {
+			return err
+		}
+		tr.DropBelow(query, dest, input, up, wm)
+		return writeFrame(c, mtOK, nil)
+	case mtFlDropChannel:
+		query := r.str("query")
+		dest := r.chanID("dest")
+		if err := r.err(); err != nil {
+			return err
+		}
+		tr.DropChannel(query, dest)
+		return writeFrame(c, mtOK, nil)
+	case mtFlDropQuery:
+		query := r.str("query")
+		if err := r.err(); err != nil {
+			return err
+		}
+		tr.DropQuery(query)
+		return writeFrame(c, mtOK, nil)
+	case mtFlSpool:
+		query := r.str("query")
+		t := r.task("task")
+		epoch := int(r.i64("epoch"))
+		data := r.bytesOwned("data")
+		if err := r.err(); err != nil {
+			return err
+		}
+		if err := tr.SpoolResult(query, t, data, epoch); err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		return writeFrame(c, mtOK, nil)
+	case mtFlFetch:
+		query := r.str("query")
+		t := r.task("task")
+		if err := r.err(); err != nil {
+			return err
+		}
+		data, err := tr.FetchResult(query, t)
+		if err != nil {
+			return writeFrame(c, mtErrResp, encodeErr(err))
+		}
+		var w wbuf
+		w.bytes(data)
+		return writeFrame(c, mtBytesResp, w.b)
+	case mtFlDropResult:
+		query := r.str("query")
+		t := r.task("task")
+		if err := r.err(); err != nil {
+			return err
+		}
+		tr.DropResult(query, t)
+		return writeFrame(c, mtOK, nil)
+	case mtFlBuffered:
+		if err := r.err(); err != nil {
+			return err
+		}
+		var w wbuf
+		w.i64(tr.BufferedBytes())
+		return writeFrame(c, mtIntResp, w.b)
+	}
+	return fmt.Errorf("%w: unknown flight op 0x%02x", ErrCorrupt, typ)
+}
+
+// ---------------------------------------------------------------------------
+// Interactive GCS transactions
+
+// errClientAbort marks a transaction the client's body chose to abort (as
+// opposed to a conn/protocol failure).
+var errClientAbort = errors.New("wire: client aborted transaction")
+
+// serveTxn runs one remote transaction against the real store. The
+// transaction body reads the client's frames from the conn: Get and List
+// are answered inside the shard lock, Commit applies the client's
+// buffered writes through the real Txn (so the namespace-shard discipline
+// still holds), Abort discards. A conn failure or deadline aborts — a
+// SIGKILLed worker can never wedge a shard lock.
+func (s *Server) serveTxn(c net.Conn, payload []byte) error {
+	r := rbuf{b: payload}
+	kind := r.u8("txn kind")
+	n := int(r.u32("txn ns count"))
+	if n < 0 || n > 1<<16 {
+		return fmt.Errorf("%w: txn namespace count %d", ErrCorrupt, n)
+	}
+	nss := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		nss = append(nss, r.str("txn ns"))
+	}
+	if err := r.err(); err != nil {
+		return err
+	}
+	readOnly := kind == txnViewNS || kind == txnView
+
+	var connErr error
+	body := func(tx *gcs.Txn) (err error) {
+		// The client's write set is applied through real tx.Put/Delete
+		// calls, which panic on keys outside the transaction's namespace
+		// shard. Over the wire that discipline violation must abort the
+		// transaction, not crash the head.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("wire: txn body: %v", p)
+			}
+		}()
+		c.SetReadDeadline(time.Now().Add(txnDeadline))
+		defer c.SetReadDeadline(time.Time{})
+		for {
+			typ, pl, rerr := readFrame(c)
+			if rerr != nil {
+				connErr = rerr
+				return fmt.Errorf("wire: txn conn: %w", rerr)
+			}
+			pr := rbuf{b: pl}
+			switch typ {
+			case mtTxnGet:
+				key := pr.str("txn get key")
+				if derr := pr.err(); derr != nil {
+					connErr = derr
+					return derr
+				}
+				val, ok := tx.Get(key)
+				var w wbuf
+				w.boolean(ok)
+				w.bytes(val)
+				if werr := writeFrame(c, mtTxnGetResp, w.b); werr != nil {
+					connErr = werr
+					return werr
+				}
+			case mtTxnList:
+				prefix := pr.str("txn list prefix")
+				if derr := pr.err(); derr != nil {
+					connErr = derr
+					return derr
+				}
+				keys := tx.List(prefix)
+				var w wbuf
+				w.u32(uint32(len(keys)))
+				for _, k := range keys {
+					w.str(k)
+				}
+				if werr := writeFrame(c, mtTxnListResp, w.b); werr != nil {
+					connErr = werr
+					return werr
+				}
+			case mtTxnCommit:
+				nw := int(pr.u32("txn write count"))
+				if nw < 0 || nw > 1<<24 {
+					derr := fmt.Errorf("%w: txn write count %d", ErrCorrupt, nw)
+					connErr = derr
+					return derr
+				}
+				if readOnly && nw > 0 {
+					return fmt.Errorf("wire: %d writes in a read-only transaction", nw)
+				}
+				for i := 0; i < nw; i++ {
+					key := pr.str("txn write key")
+					del := pr.boolean("txn write delete")
+					val := pr.bytesOwned("txn write val")
+					// Mid-loop only the latched error is checked: err()
+					// would flag the still-unread writes as trailing bytes.
+					if pr.e != nil {
+						connErr = pr.e
+						return pr.e
+					}
+					if del {
+						tx.Delete(key)
+					} else {
+						tx.Put(key, val)
+					}
+				}
+				if derr := pr.err(); derr != nil {
+					connErr = derr
+					return derr
+				}
+				return nil
+			case mtTxnAbort:
+				msg := pr.str("txn abort msg")
+				if pr.err() != nil {
+					msg = "(malformed abort)"
+				}
+				return fmt.Errorf("%w: %s", errClientAbort, msg)
+			default:
+				derr := fmt.Errorf("%w: frame 0x%02x inside transaction", ErrCorrupt, typ)
+				connErr = derr
+				return derr
+			}
+		}
+	}
+
+	var err error
+	switch kind {
+	case txnUpdateNS:
+		if len(nss) != 1 {
+			return fmt.Errorf("%w: UpdateNS with %d namespaces", ErrCorrupt, len(nss))
+		}
+		err = s.store.UpdateNS(nss[0], body)
+	case txnViewNS:
+		if len(nss) != 1 {
+			return fmt.Errorf("%w: ViewNS with %d namespaces", ErrCorrupt, len(nss))
+		}
+		err = s.store.ViewNS(nss[0], body)
+	case txnUpdateMulti:
+		err = s.store.UpdateMulti(nss, body)
+	case txnUpdate:
+		err = s.store.Update(body)
+	case txnView:
+		err = s.store.View(body)
+	default:
+		return fmt.Errorf("%w: unknown txn kind %d", ErrCorrupt, kind)
+	}
+	if connErr != nil {
+		return connErr // conn unusable: no Done frame possible
+	}
+	var w wbuf
+	w.boolean(err == nil)
+	if err != nil {
+		w.str(err.Error())
+	} else {
+		w.str("")
+	}
+	return writeFrame(c, mtTxnDone, w.b)
+}
+
+// ---------------------------------------------------------------------------
+// Wire byte accounting
+
+// countingConn counts every byte a head-side conn moves — framing,
+// control traffic and payloads, both directions — into net.bytes.wire.
+// Contrast with net.bytes.modelled, the shuffle payload bytes the cost
+// model charges: the gap between the two is the real protocol overhead.
+type countingConn struct {
+	net.Conn
+	met *metrics.Collector
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.met.Add(metrics.NetBytesWire, int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.met.Add(metrics.NetBytesWire, int64(n))
+	}
+	return n, err
+}

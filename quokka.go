@@ -40,6 +40,7 @@ import (
 	"quokka/internal/cluster"
 	"quokka/internal/engine"
 	"quokka/internal/storage"
+	"quokka/internal/wire"
 )
 
 // RunConfig controls one query execution: pipelined vs stagewise
@@ -132,6 +133,24 @@ func WithShuffleCompression(on bool) Option { return engine.WithShuffleCompressi
 // after the call observe the change.
 func WithSpillCompression(on bool) Option { return engine.WithSpillCompression(on) }
 
+// WithListenAddr switches a cluster into process mode: the head serves
+// its control plane — GCS transactions, flight mailboxes, the object
+// store and the result sink — to quokka-worker processes over TCP on the
+// given address (":0" picks an ephemeral port; see Cluster.WireAddr).
+// Queries then execute on attached worker processes instead of local
+// goroutines. Empty (the default) keeps the cluster fully in-memory.
+//
+// Experimental: the wire protocol and this option's shape may change.
+func WithListenAddr(addr string) Option { return engine.WithListenAddr(addr) }
+
+// WithTransport selects the wire transport implementation for process
+// mode. "tcp" (the default) is length-prefixed framing over plain TCP;
+// the name exists so alternative transports can be added without an API
+// change. Ignored without WithListenAddr.
+//
+// Experimental: the wire protocol and this option's shape may change.
+func WithTransport(name string) Option { return engine.WithTransport(name) }
+
 // WithTracing enables the per-query flight recorder (off by default).
 // Traced queries record a structured span for every unit of work — task
 // executions, partition pushes, lineage flushes, admission waits, recovery
@@ -157,13 +176,18 @@ type ClusterConfig struct {
 
 // Cluster is a simulated cluster: workers (killable at any time), the
 // durable object store holding input tables, the head-node GCS, and the
-// metrics collector.
+// metrics collector. In process mode (WithListenAddr) it additionally
+// runs the head's wire server, and the workers are real OS processes.
 type Cluster struct {
 	inner *cluster.Cluster
+	wire  *wire.Server // non-nil in process mode
 }
 
 // NewCluster builds a cluster of cfg.Workers live workers and applies any
-// cluster-level tuning options (see Option).
+// cluster-level tuning options (see Option). With WithListenAddr among
+// the options, the cluster comes up in process mode: the head's wire
+// server is started and queries wait for quokka-worker processes (spawn
+// with SpawnWorker or attach externally; see AwaitWorkers).
 func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 	cost := storage.DefaultCostModel()
 	switch {
@@ -185,7 +209,62 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	engine.Configure(inner, opts...)
-	return &Cluster{inner: inner}, nil
+	c := &Cluster{inner: inner}
+	if addr := engine.ListenAddr(inner); addr != "" {
+		if name := engine.TransportName(inner); name != engine.DefaultTransport {
+			return nil, fmt.Errorf("quokka: unknown wire transport %q (have %q)", name, engine.DefaultTransport)
+		}
+		srv, err := wire.NewServer(inner, addr)
+		if err != nil {
+			return nil, err
+		}
+		engine.SetRemoteExec(inner, srv)
+		c.wire = srv
+	}
+	return c, nil
+}
+
+// WireAddr returns the head's wire listen address in process mode (with
+// the resolved port when WithListenAddr(":0") was used), "" otherwise.
+func (c *Cluster) WireAddr() string {
+	if c.wire == nil {
+		return ""
+	}
+	return c.wire.Addr()
+}
+
+// SpawnWorker launches a quokka-worker process from the given binary for
+// worker id, attached to this cluster's head. slots caps its task-manager
+// threads per query and memBudget its accounted operator memory (0 keeps
+// each query's own setting); spillDir backs its local disk. KillWorker on
+// a spawned worker delivers a real SIGKILL to the process.
+//
+// Experimental: process-mode surface, may change.
+func (c *Cluster) SpawnWorker(bin string, id, slots int, memBudget int64, spillDir string) error {
+	if c.wire == nil {
+		return fmt.Errorf("quokka: SpawnWorker needs process mode (WithListenAddr)")
+	}
+	return c.wire.Spawn(bin, id, slots, memBudget, spillDir)
+}
+
+// AwaitWorkers blocks until n worker processes are attached to the head,
+// or the timeout expires.
+//
+// Experimental: process-mode surface, may change.
+func (c *Cluster) AwaitWorkers(n int, timeout time.Duration) error {
+	if c.wire == nil {
+		return fmt.Errorf("quokka: AwaitWorkers needs process mode (WithListenAddr)")
+	}
+	return c.wire.AwaitWorkers(n, timeout)
+}
+
+// Close shuts the cluster down. In process mode it stops the wire server
+// and kills every spawned worker process; for an in-memory cluster it is
+// a no-op. Safe to call more than once.
+func (c *Cluster) Close() {
+	if c.wire != nil {
+		c.wire.Close()
+	}
 }
 
 // Configure applies cluster-level tuning options to a live cluster. It may
